@@ -1,0 +1,35 @@
+//! Wall-clock cost of recorded forward passes and BPTT backward sweeps —
+//! the dominant cost of every training epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncl_snn::{bptt, Network, NetworkConfig};
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+use std::time::Duration;
+
+fn bench_bptt(c: &mut Criterion) {
+    let net = Network::new(NetworkConfig::paper()).expect("paper net");
+    let mut rng = Rng::seed_from_u64(7);
+    let input = SpikeRaster::from_fn(700, 100, |_, _| rng.bernoulli(0.02));
+    let history = net.record_from(0, &input, None).expect("record");
+
+    // Readout-only training input: stage-3 activations (insertion layer 3).
+    let act3 = net.activations_at(3, &input).expect("activations");
+    let history3 = net.record_from(3, &act3, None).expect("record");
+
+    let mut group = c.benchmark_group("bptt");
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("record_full_t100", |b| {
+        b.iter(|| net.record_from(0, std::hint::black_box(&input), None).unwrap())
+    });
+    group.bench_function("backward_full_t100", |b| {
+        b.iter(|| bptt::backward(&net, std::hint::black_box(&history), 5).unwrap())
+    });
+    group.bench_function("backward_readout_only_t100", |b| {
+        b.iter(|| bptt::backward(&net, std::hint::black_box(&history3), 5).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bptt);
+criterion_main!(benches);

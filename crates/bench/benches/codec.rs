@@ -1,0 +1,36 @@
+//! Throughput of the Fig. 7 compression codec and the temporal resampler
+//! on paper-sized rasters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncl_spike::codec::{self, CompressionFactor};
+use ncl_spike::resample::{resample, ResampleStrategy};
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+use std::time::Duration;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(21);
+    // A stage-1 activation at paper scale: 200 neurons x 100 steps.
+    let raster = SpikeRaster::from_fn(200, 100, |_, _| rng.bernoulli(0.1));
+    let factor = CompressionFactor::new(2).expect("factor 2");
+    let compressed = codec::compress(&raster, factor);
+
+    let mut group = c.benchmark_group("codec");
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("compress_200x100_x2", |b| {
+        b.iter(|| codec::compress(std::hint::black_box(&raster), factor))
+    });
+    group.bench_function("decompress_200x100_x2", |b| {
+        b.iter(|| std::hint::black_box(&compressed).decompress())
+    });
+    group.bench_function("decimate_200x100_to_40", |b| {
+        b.iter(|| resample(std::hint::black_box(&raster), 40, ResampleStrategy::Decimate).unwrap())
+    });
+    group.bench_function("orbins_200x100_to_40", |b| {
+        b.iter(|| resample(std::hint::black_box(&raster), 40, ResampleStrategy::OrBins).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

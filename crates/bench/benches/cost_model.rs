@@ -1,0 +1,34 @@
+//! Cost of evaluating the analytic hardware models (they run inside every
+//! scenario epoch, so they must be negligible next to simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncl_hw::{CostReport, HardwareProfile, OpCounts};
+use ncl_snn::{Network, NetworkConfig};
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+use std::time::Duration;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let net = Network::new(NetworkConfig::paper()).expect("paper net");
+    let mut rng = Rng::seed_from_u64(3);
+    let input = SpikeRaster::from_fn(700, 100, |_, _| rng.bernoulli(0.02));
+    let (_, activity) = net.forward_from_traced(0, &input, None).expect("traced");
+    let profile = HardwareProfile::embedded();
+    let ops = OpCounts::forward(&activity, true);
+
+    let mut group = c.benchmark_group("cost_model");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group.bench_function("ops_from_activity", |b| {
+        b.iter(|| OpCounts::forward(std::hint::black_box(&activity), true))
+    });
+    group.bench_function("cost_report", |b| {
+        b.iter(|| CostReport::of(std::hint::black_box(&ops), &profile))
+    });
+    group.bench_function("traced_forward_overhead", |b| {
+        b.iter(|| net.forward_from_traced(0, std::hint::black_box(&input), None).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

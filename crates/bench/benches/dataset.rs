@@ -1,0 +1,26 @@
+//! Synthetic SHD-like dataset generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncl_data::generator::{self, ClassPrototype, ShdLikeConfig};
+use ncl_tensor::Rng;
+use std::time::Duration;
+
+fn bench_dataset(c: &mut Criterion) {
+    let config = ShdLikeConfig::paper();
+    let proto = ClassPrototype::derive(&config, 0);
+
+    let mut group = c.benchmark_group("dataset");
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("draw_one_paper_sample", |b| {
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| generator::draw_sample(&config, &proto, &mut rng))
+    });
+    group.bench_function("generate_smoke_pair", |b| {
+        let smoke = ShdLikeConfig::smoke_test();
+        b.iter(|| generator::generate_pair(std::hint::black_box(&smoke)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset);
+criterion_main!(benches);

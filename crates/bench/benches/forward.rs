@@ -1,0 +1,39 @@
+//! Wall-clock throughput of the event-driven SNN forward pass at the
+//! paper's network size (700-200-100-50-20, T = 100).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncl_snn::{Network, NetworkConfig};
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+use std::time::Duration;
+
+fn paper_input(density: f64, steps: usize) -> SpikeRaster {
+    let mut rng = Rng::seed_from_u64(99);
+    SpikeRaster::from_fn(700, steps, |_, _| rng.bernoulli(density))
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let net = Network::new(NetworkConfig::paper()).expect("paper net");
+    let input = paper_input(0.02, 100);
+    let sparse = paper_input(0.005, 100);
+    let short = paper_input(0.02, 40);
+
+    let mut group = c.benchmark_group("forward");
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("paper_net_t100_d2pct", |b| {
+        b.iter(|| net.forward(std::hint::black_box(&input)).unwrap())
+    });
+    group.bench_function("paper_net_t100_sparse", |b| {
+        b.iter(|| net.forward(std::hint::black_box(&sparse)).unwrap())
+    });
+    group.bench_function("paper_net_t40_d2pct", |b| {
+        b.iter(|| net.forward(std::hint::black_box(&short)).unwrap())
+    });
+    group.bench_function("frozen_stages_to_layer3", |b| {
+        b.iter(|| net.activations_at(3, std::hint::black_box(&input)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

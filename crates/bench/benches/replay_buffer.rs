@@ -1,0 +1,42 @@
+//! Latent-replay buffer operations: storing compressed entries, sizing the
+//! store and materializing replay rasters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncl_spike::codec::{self, CompressionFactor};
+use ncl_spike::memory::Alignment;
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+use replay4ncl::buffer::{LatentEntry, LatentReplayBuffer};
+use std::time::Duration;
+
+fn filled_buffer(entries: usize) -> LatentReplayBuffer {
+    let mut rng = Rng::seed_from_u64(5);
+    let mut buffer = LatentReplayBuffer::new(Alignment::Byte);
+    for i in 0..entries {
+        let act = SpikeRaster::from_fn(50, 100, |_, _| rng.bernoulli(0.1));
+        let compressed = codec::compress(&act, CompressionFactor::new(2).expect("factor"));
+        buffer.push(LatentEntry::compressed(compressed, (i % 19) as u16));
+    }
+    buffer
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let buffer = filled_buffer(152); // paper scale: 19 classes x 8
+
+    let mut group = c.benchmark_group("replay_buffer");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group.bench_function("fill_152_entries", |b| b.iter(|| filled_buffer(152)));
+    group.bench_function("footprint", |b| {
+        b.iter(|| std::hint::black_box(&buffer).footprint())
+    });
+    group.bench_function("replay_decompressed", |b| {
+        b.iter(|| std::hint::black_box(&buffer).replay_samples(true).unwrap())
+    });
+    group.bench_function("replay_direct", |b| {
+        b.iter(|| std::hint::black_box(&buffer).replay_samples(false).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Internal calibration sweep (not a paper figure): explores CL epochs,
+//! learning-rate divisors, threshold modes and T* to pick harness
+//! defaults. Kept in-tree because it documents how the demo-scale knobs
+//! were chosen.
+
+use ncl_bench::{demo_config, RunArgs};
+use replay4ncl::{cache, methods::MethodSpec, report, scenario};
+
+fn main() {
+    let args = RunArgs::from_env();
+    let mut config = demo_config();
+    config.cl_epochs = 50;
+    config.batch_size = 4;
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    config.insertion_layer = args.insertion.unwrap_or(3);
+
+    let (network, pretrain_acc) = cache::pretrained_network(&config).expect("pretrain");
+    println!("pretrain acc {} | insertion {}", report::pct(pretrain_acc), config.insertion_layer);
+
+    let per_class = 6;
+    let t = config.data.steps;
+    let specs: Vec<MethodSpec> = vec![
+        MethodSpec::baseline(),
+        MethodSpec::spiking_lr(per_class),
+        MethodSpec::spiking_lr_reduced(per_class, t * 2 / 5),
+        MethodSpec::replay4ncl(per_class, t * 2 / 5).with_lr_divisor(2.0),
+        MethodSpec::replay4ncl(per_class, t * 2 / 5).with_lr_divisor(3.0),
+        MethodSpec::replay4ncl(per_class, t * 2 / 5).with_lr_divisor(5.0),
+        MethodSpec::replay4ncl_ablation(per_class, t * 2 / 5, false, true)
+            .with_lr_divisor(3.0),
+        MethodSpec::replay4ncl_ablation(per_class, t * 2 / 5, true, false),
+        {
+            let mut m = MethodSpec::replay4ncl(per_class, t * 2 / 5).with_lr_divisor(3.0);
+            m.threshold_mode = ncl_snn::adaptive::ThresholdMode::Adaptive(
+                ncl_snn::adaptive::AdaptivePolicy::literal(),
+            );
+            m.name = "Replay4NCL-literal".into();
+            m
+        },
+        MethodSpec::replay4ncl(per_class, t / 5).with_lr_divisor(3.0),
+    ];
+
+    let mut rows = Vec::new();
+    let mut sota_cost = None;
+    for spec in &specs {
+        let start = std::time::Instant::now();
+        let r = scenario::run_method(&config, spec, &network, pretrain_acc).expect("scenario");
+        let cost = r.total_cost();
+        if spec.name == "SpikingLR" {
+            sota_cost = Some(cost);
+        }
+        let speedup = sota_cost.map_or(0.0, |s| cost.speedup_vs(&s).recip().recip());
+        let speed_str = sota_cost.map_or("-".to_string(), |s| format!("{:.2}x", s.latency.ratio_to(cost.latency)));
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{}", r.operating_steps),
+            format!("{:.1}", spec.lr_divisor),
+            report::pct(r.final_old_acc()),
+            report::pct(r.final_new_acc()),
+            speed_str,
+            format!("{:.1}s", start.elapsed().as_secs_f32()),
+        ]);
+        let _ = speedup;
+    }
+    println!(
+        "{}",
+        report::render_table(
+            &["method", "T", "div", "old acc", "new acc", "speedup", "wall"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,55 @@
+//! Fig. 1(a): catastrophic forgetting of the no-NCL baseline.
+//!
+//! The baseline fine-tunes the whole network (insertion layer 0 — no
+//! frozen stages, no replay) on the new class only. The paper shows
+//! old-task accuracy collapsing across CL epochs while the new task is
+//! learned; this binary prints both curves per epoch.
+
+use ncl_bench::{print_header, RunArgs};
+use replay4ncl::{cache, methods::MethodSpec, report, scenario};
+
+fn main() {
+    let mut args = RunArgs::from_env();
+    // Fig. 1's baseline retrains the full network.
+    args.insertion.get_or_insert(0);
+    let config = args.config();
+    print_header("Fig. 1(a)", "catastrophic forgetting of the baseline", &args, &config);
+
+    let (network, pretrain_acc) =
+        cache::pretrained_network(&config).expect("pre-training failed");
+    println!("pre-trained old-class accuracy: {}", report::pct(pretrain_acc));
+
+    let result = scenario::run_method(&config, &MethodSpec::baseline(), &network, pretrain_acc)
+        .expect("scenario failed");
+
+    let rows: Vec<Vec<String>> = result
+        .epochs
+        .iter()
+        .map(|e| {
+            vec![
+                format!("{}", e.epoch),
+                report::pct(e.old_acc),
+                report::pct(e.new_acc),
+                format!("{:.4}", e.mean_loss),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &["epoch", "old-task acc (pre-trained)", "new-task acc", "train loss"],
+            &rows
+        )
+    );
+    println!();
+    println!(
+        "forgetting after {} epochs: {} (old acc {} -> {})",
+        result.epochs.len(),
+        report::pct(result.forgetting()),
+        report::pct(result.pretrain_acc),
+        report::pct(result.final_old_acc()),
+    );
+    println!(
+        "paper shape: old-task accuracy drops sharply as the new task is learned (Fig. 1(a))"
+    );
+}

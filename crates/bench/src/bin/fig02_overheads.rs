@@ -1,0 +1,60 @@
+//! Fig. 2(a): the state-of-the-art SpikingLR incurs significant latency
+//! and energy overheads compared to the baseline network without NCL
+//! techniques, across latent-replay insertion layers 0–3.
+//!
+//! Prints the SpikingLR cost normalized to the baseline per insertion
+//! layer (the paper's bars range roughly 2–6x for latency and 2–8x for
+//! energy).
+
+use ncl_bench::{print_header, spiking_lr_spec, RunArgs};
+use replay4ncl::{cache, methods::MethodSpec, report, scenario};
+
+fn main() {
+    let args = RunArgs::from_env();
+    let base_config = args.config();
+    print_header("Fig. 2(a)", "SpikingLR overheads vs the no-NCL baseline", &args, &base_config);
+
+    let layers = base_config.network.layers();
+    let mut rows = Vec::new();
+    for insertion in 0..=layers {
+        let mut config = base_config.clone();
+        config.insertion_layer = insertion;
+        let (network, pretrain_acc) =
+            cache::pretrained_network(&config).expect("pre-training failed");
+
+        let baseline =
+            scenario::run_method(&config, &MethodSpec::baseline(), &network, pretrain_acc)
+                .expect("baseline failed");
+        let sota = scenario::run_method(&config, &spiking_lr_spec(&config), &network, pretrain_acc)
+            .expect("spikinglr failed");
+
+        let b = baseline.total_cost();
+        let s = sota.total_cost();
+        rows.push(vec![
+            format!("{insertion}"),
+            format!("{:.2}x", s.normalized_latency(&b)),
+            format!("{:.2}x", s.normalized_energy(&b)),
+            format!("{}", s.latency),
+            format!("{}", s.energy),
+        ]);
+    }
+
+    println!(
+        "{}",
+        report::render_table(
+            &[
+                "LR insertion layer",
+                "SpikingLR latency (norm. to baseline)",
+                "SpikingLR energy (norm. to baseline)",
+                "SpikingLR latency",
+                "SpikingLR energy",
+            ],
+            &rows
+        )
+    );
+    println!();
+    println!(
+        "paper shape: SpikingLR costs a multiple of the baseline at every insertion layer \
+         (Fig. 2(a): ~2-6x latency, ~2-8x energy)"
+    );
+}

@@ -1,0 +1,74 @@
+//! Fig. 2(b): aggressive timestep reduction (100 → 20, i.e. T → T/5)
+//! degrades accuracy significantly when applied naively to SpikingLR —
+//! the case study motivating Replay4NCL's parameter adjustments.
+//!
+//! Prints old-task accuracy per epoch for SpikingLR at the native T and
+//! at T/5 with no enhancements.
+
+use ncl_bench::{print_header, replay_per_class, RunArgs};
+use replay4ncl::{cache, methods::MethodSpec, report, scenario};
+
+fn main() {
+    let args = RunArgs::from_env();
+    let config = args.config();
+    print_header("Fig. 2(b)", "accuracy under aggressive timestep reduction", &args, &config);
+
+    let (network, pretrain_acc) =
+        cache::pretrained_network(&config).expect("pre-training failed");
+    let per_class = replay_per_class(&config);
+    let t = config.data.steps;
+
+    let native = scenario::run_method(
+        &config,
+        &MethodSpec::spiking_lr(per_class),
+        &network,
+        pretrain_acc,
+    )
+    .expect("native run failed");
+    let reduced = scenario::run_method(
+        &config,
+        &MethodSpec::spiking_lr_reduced(per_class, (t / 5).max(1)),
+        &network,
+        pretrain_acc,
+    )
+    .expect("reduced run failed");
+
+    let rows: Vec<Vec<String>> = native
+        .epochs
+        .iter()
+        .zip(reduced.epochs.iter())
+        .map(|(a, b)| {
+            vec![
+                format!("{}", a.epoch),
+                report::pct(a.old_acc),
+                report::pct(b.old_acc),
+                report::pct(a.new_acc),
+                report::pct(b.new_acc),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &[
+                "epoch",
+                &format!("old acc @ T={t}"),
+                &format!("old acc @ T={}", (t / 5).max(1)),
+                &format!("new acc @ T={t}"),
+                &format!("new acc @ T={}", (t / 5).max(1)),
+            ],
+            &rows
+        )
+    );
+    println!();
+    let drop = native.final_old_acc() - reduced.final_old_acc();
+    println!(
+        "final old-task accuracy: {} @ T={} vs {} @ T={} (drop {})",
+        report::pct(native.final_old_acc()),
+        t,
+        report::pct(reduced.final_old_acc()),
+        (t / 5).max(1),
+        report::pct(drop),
+    );
+    println!("paper shape: significant accuracy degradation at T/5 without enhancements");
+}

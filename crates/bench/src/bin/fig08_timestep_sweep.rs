@@ -1,0 +1,83 @@
+//! Fig. 8: timestep-optimization case study — accuracy profiles (a) and
+//! normalized processing time (b) for T ∈ {1.0, 0.6, 0.4, 0.2} × native T
+//! (the paper's 100/60/40/20), using naive reduction without parameter
+//! adjustments.
+//!
+//! Expected shapes (the paper's Observations A–C): aggressive reduction
+//! (0.2 T) hurts old-task accuracy most; ≥ 0.4 T stays acceptable;
+//! processing time falls roughly linearly with T.
+
+use ncl_bench::{print_header, replay_per_class, RunArgs};
+use replay4ncl::{cache, methods::MethodSpec, report, scenario, ScenarioResult};
+
+fn main() {
+    let args = RunArgs::from_env();
+    let config = args.config();
+    print_header("Fig. 8", "accuracy & latency across timestep settings", &args, &config);
+
+    let (network, pretrain_acc) =
+        cache::pretrained_network(&config).expect("pre-training failed");
+    let per_class = replay_per_class(&config);
+    let t = config.data.steps;
+    let fractions = [(1.0f64, t), (0.6, t * 3 / 5), (0.4, t * 2 / 5), (0.2, t / 5)];
+
+    let mut results: Vec<(usize, ScenarioResult)> = Vec::new();
+    for &(_, steps) in &fractions {
+        let method = if steps == t {
+            MethodSpec::spiking_lr(per_class)
+        } else {
+            MethodSpec::spiking_lr_reduced(per_class, steps.max(1))
+        };
+        let r = scenario::run_method(&config, &method, &network, pretrain_acc)
+            .expect("scenario failed");
+        results.push((steps.max(1), r));
+    }
+
+    // (a) accuracy profiles across epochs.
+    println!("--- (a) accuracy per epoch (old task | new task) ---");
+    let headers: Vec<String> = std::iter::once("epoch".to_string())
+        .chain(results.iter().map(|(s, _)| format!("old@T={s}")))
+        .chain(results.iter().map(|(s, _)| format!("new@T={s}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let epochs = results[0].1.epochs.len();
+    let rows: Vec<Vec<String>> = (0..epochs)
+        .map(|e| {
+            let mut row = vec![format!("{e}")];
+            row.extend(results.iter().map(|(_, r)| report::pct(r.epochs[e].old_acc)));
+            row.extend(results.iter().map(|(_, r)| report::pct(r.epochs[e].new_acc)));
+            row
+        })
+        .collect();
+    println!("{}", report::render_table(&header_refs, &rows));
+
+    // (b) processing time normalized to the native-T setting.
+    println!();
+    println!("--- (b) CL processing time, normalized to T={t} ---");
+    let native_cost = results[0].1.total_cost();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(s, r)| {
+            let c = r.total_cost();
+            vec![
+                format!("{s}"),
+                format!("{:.3}", c.normalized_latency(&native_cost)),
+                format!("{}", c.latency),
+                report::pct(r.final_old_acc()),
+                report::pct(r.final_new_acc()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &["timesteps", "normalized time", "absolute time", "final old acc", "final new acc"],
+            &rows
+        )
+    );
+    println!();
+    println!(
+        "paper shapes: old-task accuracy degrades as T shrinks (worst at 0.2T); \
+         processing time decreases with T (Observations A-C)"
+    );
+}

@@ -1,0 +1,101 @@
+//! Fig. 10: SpikingLR vs Replay4NCL across LR insertion layers 0–3 —
+//! (a) final old/new-task Top-1 accuracy, (b) processing time and
+//! (c) energy, both normalized to SpikingLR at insertion layer 0.
+//!
+//! Expected shapes: comparable accuracy at every layer with new-task
+//! accuracy dropping at the deepest insertion (readout-only adaptation);
+//! Replay4NCL consistently faster and lower-energy, with savings growing
+//! for earlier insertion layers.
+
+use ncl_bench::{print_header, replay4ncl_spec, spiking_lr_spec, RunArgs};
+use replay4ncl::{cache, report, scenario, ScenarioResult};
+
+fn main() {
+    let args = RunArgs::from_env();
+    let base_config = args.config();
+    print_header("Fig. 10", "accuracy/time/energy across insertion layers", &args, &base_config);
+
+    let layers = base_config.network.layers();
+    let mut sota_results: Vec<ScenarioResult> = Vec::new();
+    let mut ours_results: Vec<ScenarioResult> = Vec::new();
+    for insertion in 0..=layers {
+        let mut config = base_config.clone();
+        config.insertion_layer = insertion;
+        let (network, pretrain_acc) =
+            cache::pretrained_network(&config).expect("pre-training failed");
+        sota_results.push(
+            scenario::run_method(&config, &spiking_lr_spec(&config), &network, pretrain_acc)
+                .expect("spikinglr failed"),
+        );
+        ours_results.push(
+            scenario::run_method(
+                &config,
+                &replay4ncl_spec(&config, args.scale),
+                &network,
+                pretrain_acc,
+            )
+            .expect("replay4ncl failed"),
+        );
+    }
+
+    // (a) accuracy.
+    println!("--- (a) final Top-1 accuracy ---");
+    let rows: Vec<Vec<String>> = (0..=layers)
+        .map(|i| {
+            vec![
+                format!("{i}"),
+                report::pct(sota_results[i].final_old_acc()),
+                report::pct(ours_results[i].final_old_acc()),
+                report::pct(sota_results[i].final_new_acc()),
+                report::pct(ours_results[i].final_new_acc()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &["insertion", "SpikingLR old", "Replay4NCL old", "SpikingLR new", "Replay4NCL new"],
+            &rows
+        )
+    );
+
+    // (b)+(c) cost normalized to SpikingLR at layer 0.
+    let reference = sota_results[0].total_cost();
+    println!();
+    println!("--- (b)+(c) cost normalized to SpikingLR @ insertion 0 ---");
+    let rows: Vec<Vec<String>> = (0..=layers)
+        .map(|i| {
+            let s = sota_results[i].total_cost();
+            let o = ours_results[i].total_cost();
+            vec![
+                format!("{i}"),
+                format!("{:.3}", s.normalized_latency(&reference)),
+                format!("{:.3}", o.normalized_latency(&reference)),
+                format!("{:.3}", s.normalized_energy(&reference)),
+                format!("{:.3}", o.normalized_energy(&reference)),
+                format!("{:.2}x", o.speedup_vs(&s)),
+                report::pct(o.energy_saving_vs(&s)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &[
+                "insertion",
+                "SOTA time",
+                "R4NCL time",
+                "SOTA energy",
+                "R4NCL energy",
+                "speed-up",
+                "energy saving",
+            ],
+            &rows
+        )
+    );
+    println!();
+    println!(
+        "paper shapes: comparable accuracy (new-task drops at insertion 3); \
+         Replay4NCL up to ~2.3x faster and up to ~57% lower energy"
+    );
+}

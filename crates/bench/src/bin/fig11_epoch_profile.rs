@@ -1,0 +1,86 @@
+//! Fig. 11: at the headline insertion layer 3 — (a) old-task accuracy per
+//! epoch for SpikingLR and Replay4NCL, (b) cumulative processing time and
+//! (c) energy at epoch checkpoints (the paper samples epochs 10/30/50),
+//! normalized to SpikingLR at the first checkpoint.
+
+use ncl_bench::{print_header, replay4ncl_spec, spiking_lr_spec, RunArgs};
+use replay4ncl::{cache, report, scenario};
+
+fn main() {
+    let mut args = RunArgs::from_env();
+    args.insertion.get_or_insert(3);
+    let config = args.config();
+    print_header("Fig. 11", "epoch profiles at the headline insertion layer", &args, &config);
+
+    let (network, pretrain_acc) =
+        cache::pretrained_network(&config).expect("pre-training failed");
+    let sota = scenario::run_method(&config, &spiking_lr_spec(&config), &network, pretrain_acc)
+        .expect("spikinglr failed");
+    let ours = scenario::run_method(
+        &config,
+        &replay4ncl_spec(&config, args.scale),
+        &network,
+        pretrain_acc,
+    )
+    .expect("replay4ncl failed");
+
+    // (a) old-task accuracy per epoch.
+    println!("--- (a) old-task accuracy per epoch ---");
+    let rows: Vec<Vec<String>> = sota
+        .epochs
+        .iter()
+        .zip(ours.epochs.iter())
+        .map(|(s, o)| {
+            vec![format!("{}", s.epoch), report::pct(s.old_acc), report::pct(o.old_acc)]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(&["epoch", "SpikingLR old acc", "Replay4NCL old acc"], &rows)
+    );
+
+    // (b)+(c) cumulative cost at checkpoints epochs/5, 3*epochs/5, epochs.
+    let n = config.cl_epochs;
+    let checkpoints = [n / 5, 3 * n / 5, n - 1];
+    let reference = sota.cost_through_epoch(checkpoints[0]);
+    println!();
+    println!("--- (b)+(c) cumulative cost at epoch checkpoints (norm. to SOTA @ first) ---");
+    let rows: Vec<Vec<String>> = checkpoints
+        .iter()
+        .map(|&e| {
+            let s = sota.cost_through_epoch(e);
+            let o = ours.cost_through_epoch(e);
+            vec![
+                format!("{}", e + 1),
+                format!("{:.3}", s.latency.ratio_to(reference.latency)),
+                format!("{:.3}", o.latency.ratio_to(reference.latency)),
+                format!("{:.3}", s.energy.ratio_to(reference.energy)),
+                format!("{:.3}", o.energy.ratio_to(reference.energy)),
+                format!("{:.2}x", o.speedup_vs(&s)),
+                report::pct(o.energy_saving_vs(&s)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &[
+                "epochs",
+                "SOTA time",
+                "R4NCL time",
+                "SOTA energy",
+                "R4NCL energy",
+                "speed-up",
+                "energy saving",
+            ],
+            &rows
+        )
+    );
+    println!();
+    println!(
+        "final old-task acc: SpikingLR {} vs Replay4NCL {} \
+         (paper: 86.22% vs 90.43%; 36.4% energy saving at layer 3)",
+        report::pct(sota.final_old_acc()),
+        report::pct(ours.final_old_acc()),
+    );
+}

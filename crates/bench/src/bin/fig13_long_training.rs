@@ -1,0 +1,65 @@
+//! Fig. 13: long-training comparison — new-task accuracy of SpikingLR vs
+//! Replay4NCL over an extended CL run (the paper uses 150 epochs; the demo
+//! scale uses 3x its normal epoch budget). Replay4NCL's lower CL learning
+//! rate should yield a visibly smoother learning curve; smoothness is
+//! quantified with the total-variation roughness metric.
+
+use ncl_bench::{print_header, replay4ncl_spec, spiking_lr_spec, RunArgs, Scale};
+use ncl_tensor::stats;
+use replay4ncl::{cache, report, scenario};
+
+fn main() {
+    let mut args = RunArgs::from_env();
+    args.insertion.get_or_insert(3);
+    let mut config = args.config();
+    config.cl_epochs = match args.scale {
+        Scale::Paper => 150,
+        Scale::Demo => 3 * config.cl_epochs,
+    };
+    print_header("Fig. 13", "long-training convergence comparison", &args, &config);
+
+    let (network, pretrain_acc) =
+        cache::pretrained_network(&config).expect("pre-training failed");
+    let sota = scenario::run_method(&config, &spiking_lr_spec(&config), &network, pretrain_acc)
+        .expect("spikinglr failed");
+    let ours = scenario::run_method(
+        &config,
+        &replay4ncl_spec(&config, args.scale),
+        &network,
+        pretrain_acc,
+    )
+    .expect("replay4ncl failed");
+
+    println!("--- new-task accuracy per epoch ---");
+    let rows: Vec<Vec<String>> = sota
+        .epochs
+        .iter()
+        .zip(ours.epochs.iter())
+        .map(|(s, o)| {
+            vec![format!("{}", s.epoch), report::pct(s.new_acc), report::pct(o.new_acc)]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(&["epoch", "SpikingLR new acc", "Replay4NCL new acc"], &rows)
+    );
+
+    let sota_rough = stats::roughness(&sota.new_acc_curve());
+    let ours_rough = stats::roughness(&ours.new_acc_curve());
+    println!();
+    println!(
+        "learning-curve roughness (mean |step|, lower = smoother): \
+         SpikingLR {sota_rough:.4} vs Replay4NCL {ours_rough:.4}"
+    );
+    println!(
+        "final new-task acc: SpikingLR {} vs Replay4NCL {} | final old-task acc: {} vs {}",
+        report::pct(sota.final_new_acc()),
+        report::pct(ours.final_new_acc()),
+        report::pct(sota.final_old_acc()),
+        report::pct(ours.final_old_acc()),
+    );
+    println!(
+        "paper shape: Replay4NCL's lower learning rate gives better convergence \
+         (smoother curve) over the long run"
+    );
+}

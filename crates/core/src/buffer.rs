@@ -1,0 +1,370 @@
+//! The latent-replay buffer: what the embedded device's latent memory
+//! holds.
+
+use ncl_spike::codec::{CompressedRaster, CompressionFactor};
+use ncl_spike::memory::{sample_footprint, Alignment};
+use ncl_spike::SpikeRaster;
+use serde::{Deserialize, Serialize};
+
+use ncl_hw::memory::MemoryFootprint;
+
+use crate::error::NclError;
+
+/// One stored latent-replay sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatentEntry {
+    frames: SpikeRaster,
+    original_steps: usize,
+    codec_factor: Option<CompressionFactor>,
+    label: u16,
+}
+
+impl LatentEntry {
+    /// A codec-compressed entry (SpikingLR storage): frames are every
+    /// `factor`-th frame of a native-length activation.
+    #[must_use]
+    pub fn compressed(compressed: CompressedRaster, label: u16) -> Self {
+        LatentEntry {
+            original_steps: compressed.original_steps(),
+            codec_factor: Some(compressed.factor()),
+            frames: compressed.into_frames(),
+            label,
+        }
+    }
+
+    /// A reduced-timestep entry (Replay4NCL storage): `frames` already live
+    /// at the reduced step count and are replayed verbatim.
+    #[must_use]
+    pub fn reduced(frames: SpikeRaster, original_steps: usize, label: u16) -> Self {
+        LatentEntry { frames, original_steps, codec_factor: None, label }
+    }
+
+    /// Class label of the stored sample.
+    #[must_use]
+    pub fn label(&self) -> u16 {
+        self.label
+    }
+
+    /// Stored frame count (what occupies latent memory).
+    #[must_use]
+    pub fn stored_steps(&self) -> usize {
+        self.frames.steps()
+    }
+
+    /// Native step count of the activation this entry was captured from.
+    #[must_use]
+    pub fn original_steps(&self) -> usize {
+        self.original_steps
+    }
+
+    /// Payload bits in latent memory.
+    #[must_use]
+    pub fn payload_bits(&self) -> u64 {
+        self.frames.payload_bits()
+    }
+
+    /// Materializes the raster to replay.
+    ///
+    /// With `decompress = true` a codec entry is re-expanded to its native
+    /// length (SpikingLR); otherwise the stored frames are fed directly
+    /// (Replay4NCL). Reduced entries ignore `decompress` — they have no
+    /// codec factor to re-expand with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NclError::Spike`] if the stored parts are inconsistent
+    /// (cannot happen through the public constructors).
+    pub fn replay_raster(&self, decompress: bool) -> Result<SpikeRaster, NclError> {
+        match (decompress, self.codec_factor) {
+            (true, Some(factor)) => {
+                let c = CompressedRaster::from_parts(
+                    self.frames.clone(),
+                    self.original_steps,
+                    factor,
+                )?;
+                Ok(c.decompress())
+            }
+            _ => Ok(self.frames.clone()),
+        }
+    }
+}
+
+/// The latent memory of the device: stored activations of old-task samples
+/// plus bit-exact size accounting.
+///
+/// # Example
+///
+/// ```
+/// use replay4ncl::buffer::{LatentEntry, LatentReplayBuffer};
+/// use ncl_spike::memory::Alignment;
+/// use ncl_spike::SpikeRaster;
+///
+/// let mut buffer = LatentReplayBuffer::new(Alignment::Byte);
+/// buffer.push(LatentEntry::reduced(SpikeRaster::new(50, 40), 100, 3));
+/// assert_eq!(buffer.len(), 1);
+/// assert_eq!(buffer.footprint().payload_bits_per_sample, 50 * 40);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatentReplayBuffer {
+    entries: Vec<LatentEntry>,
+    alignment: Alignment,
+    capacity_bits: Option<u64>,
+}
+
+impl LatentReplayBuffer {
+    /// Creates an empty buffer with the given alignment policy and no
+    /// capacity bound.
+    #[must_use]
+    pub fn new(alignment: Alignment) -> Self {
+        LatentReplayBuffer { entries: Vec::new(), alignment, capacity_bits: None }
+    }
+
+    /// Creates a buffer bounded to `capacity_bits` of (aligned) latent
+    /// memory. When a push would exceed the bound, entries are evicted
+    /// class-balanced: the oldest entry of the currently most-represented
+    /// class goes first, so no class starves (the property replay
+    /// correctness depends on).
+    #[must_use]
+    pub fn with_capacity_bits(alignment: Alignment, capacity_bits: u64) -> Self {
+        LatentReplayBuffer { entries: Vec::new(), alignment, capacity_bits: Some(capacity_bits) }
+    }
+
+    /// The configured capacity bound, if any.
+    #[must_use]
+    pub fn capacity_bits(&self) -> Option<u64> {
+        self.capacity_bits
+    }
+
+    /// Stores an entry, evicting class-balanced if a capacity bound is
+    /// configured. Returns the number of evicted entries.
+    pub fn push(&mut self, entry: LatentEntry) -> usize {
+        self.entries.push(entry);
+        let Some(budget) = self.capacity_bits else {
+            return 0;
+        };
+        let mut evicted = 0;
+        while self.entries.len() > 1 && self.footprint().total_bits > budget {
+            // Find the most-represented class and drop its oldest entry.
+            let mut counts: std::collections::HashMap<u16, usize> =
+                std::collections::HashMap::new();
+            for e in &self.entries {
+                *counts.entry(e.label()).or_insert(0) += 1;
+            }
+            let heaviest = *counts
+                .iter()
+                .max_by_key(|(label, count)| (**count, u16::MAX - **label))
+                .map(|(label, _)| label)
+                .expect("buffer non-empty");
+            let victim = self
+                .entries
+                .iter()
+                .position(|e| e.label() == heaviest)
+                .expect("heaviest class has entries");
+            self.entries.remove(victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Entry count per class label.
+    #[must_use]
+    pub fn class_counts(&self) -> std::collections::HashMap<u16, usize> {
+        let mut counts = std::collections::HashMap::new();
+        for e in &self.entries {
+            *counts.entry(e.label()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterator over stored entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, LatentEntry> {
+        self.entries.iter()
+    }
+
+    /// Total stored payload bits (sum over entries, before alignment).
+    #[must_use]
+    pub fn payload_bits(&self) -> u64 {
+        self.entries.iter().map(LatentEntry::payload_bits).sum()
+    }
+
+    /// Memory footprint under the buffer's alignment policy.
+    #[must_use]
+    pub fn footprint(&self) -> MemoryFootprint {
+        let total: u64 = self
+            .entries
+            .iter()
+            .map(|e| sample_footprint(e.payload_bits(), self.alignment).aligned_bits)
+            .sum();
+        MemoryFootprint {
+            samples: self.entries.len(),
+            payload_bits_per_sample: self.entries.first().map_or(0, LatentEntry::payload_bits),
+            total_bits: total,
+        }
+    }
+
+    /// Materializes all replay rasters with their labels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LatentEntry::replay_raster`] failures.
+    pub fn replay_samples(&self, decompress: bool) -> Result<Vec<(SpikeRaster, u16)>, NclError> {
+        self.entries.iter().map(|e| Ok((e.replay_raster(decompress)?, e.label()))).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a LatentReplayBuffer {
+    type Item = &'a LatentEntry;
+    type IntoIter = std::slice::Iter<'a, LatentEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_spike::codec;
+
+    fn activation(neurons: usize, steps: usize) -> SpikeRaster {
+        SpikeRaster::from_fn(neurons, steps, |n, t| (n * 7 + t * 3) % 5 == 0)
+    }
+
+    #[test]
+    fn compressed_entry_round_trip() {
+        let act = activation(50, 100);
+        let c = codec::compress(&act, CompressionFactor::new(2).unwrap());
+        let entry = LatentEntry::compressed(c.clone(), 4);
+        assert_eq!(entry.label(), 4);
+        assert_eq!(entry.stored_steps(), 50);
+        assert_eq!(entry.original_steps(), 100);
+        assert_eq!(entry.payload_bits(), 50 * 50);
+        // Decompressed replay equals codec decompression.
+        let replay = entry.replay_raster(true).unwrap();
+        assert_eq!(replay, c.decompress());
+        assert_eq!(replay.steps(), 100);
+        // Direct replay feeds the stored frames.
+        let direct = entry.replay_raster(false).unwrap();
+        assert_eq!(direct.steps(), 50);
+    }
+
+    #[test]
+    fn reduced_entry_ignores_decompress_flag() {
+        let frames = activation(50, 40);
+        let entry = LatentEntry::reduced(frames.clone(), 100, 2);
+        assert_eq!(entry.replay_raster(true).unwrap(), frames);
+        assert_eq!(entry.replay_raster(false).unwrap(), frames);
+        assert_eq!(entry.payload_bits(), 50 * 40);
+    }
+
+    #[test]
+    fn buffer_accounting_matches_paper_saving() {
+        // SpikingLR store: 19 entries of 50x50; Replay4NCL: 19 of 50x40.
+        let mut sota = LatentReplayBuffer::new(Alignment::Bit);
+        let mut ours = LatentReplayBuffer::new(Alignment::Bit);
+        for label in 0..19u16 {
+            let act = activation(50, 100);
+            sota.push(LatentEntry::compressed(
+                codec::compress(&act, CompressionFactor::new(2).unwrap()),
+                label,
+            ));
+            ours.push(LatentEntry::reduced(
+                ncl_spike::resample::resample(
+                    &act,
+                    40,
+                    ncl_spike::resample::ResampleStrategy::Decimate,
+                )
+                .unwrap(),
+                100,
+                label,
+            ));
+        }
+        assert_eq!(sota.len(), 19);
+        let saving = 1.0 - ours.payload_bits() as f64 / sota.payload_bits() as f64;
+        assert!((saving - 0.20).abs() < 1e-12, "paper's 20% latent memory saving");
+        // Aligned footprints keep the saving close to 20 %.
+        let fp_saving = ours.footprint().saving_vs(&sota.footprint());
+        assert!((0.18..=0.22).contains(&fp_saving));
+    }
+
+    #[test]
+    fn replay_samples_materializes_all() {
+        let mut buffer = LatentReplayBuffer::new(Alignment::Byte);
+        for label in 0..3u16 {
+            buffer.push(LatentEntry::reduced(activation(10, 20), 40, label));
+        }
+        let samples = buffer.replay_samples(false).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[2].1, 2);
+        assert!(samples.iter().all(|(r, _)| r.steps() == 20));
+        assert_eq!(buffer.iter().count(), 3);
+        assert_eq!((&buffer).into_iter().count(), 3);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let buffer = LatentReplayBuffer::new(Alignment::Byte);
+        assert!(buffer.is_empty());
+        assert_eq!(buffer.payload_bits(), 0);
+        assert_eq!(buffer.footprint().total_bits, 0);
+        assert!(buffer.replay_samples(true).unwrap().is_empty());
+        assert_eq!(buffer.capacity_bits(), None);
+    }
+
+    #[test]
+    fn unbounded_buffer_never_evicts() {
+        let mut buffer = LatentReplayBuffer::new(Alignment::Byte);
+        for i in 0..20 {
+            assert_eq!(buffer.push(LatentEntry::reduced(activation(10, 20), 40, i % 3)), 0);
+        }
+        assert_eq!(buffer.len(), 20);
+    }
+
+    #[test]
+    fn bounded_buffer_stays_under_capacity() {
+        // Each entry: 10x20 = 200 payload bits + 32 metadata, byte-aligned
+        // = 232 bits. Budget for ~4 entries.
+        let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, 950);
+        let mut total_evicted = 0;
+        for i in 0..10u16 {
+            total_evicted += buffer.push(LatentEntry::reduced(activation(10, 20), 40, i % 2));
+        }
+        assert!(buffer.footprint().total_bits <= 950);
+        assert_eq!(buffer.len() + total_evicted, 10);
+        assert!(buffer.len() >= 4);
+        assert_eq!(buffer.capacity_bits(), Some(950));
+    }
+
+    #[test]
+    fn eviction_is_class_balanced() {
+        // Class 0 gets many entries, class 1 gets one; under pressure the
+        // lone class-1 entry must survive.
+        let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, 950);
+        buffer.push(LatentEntry::reduced(activation(10, 20), 40, 1));
+        for _ in 0..12 {
+            buffer.push(LatentEntry::reduced(activation(10, 20), 40, 0));
+        }
+        let counts = buffer.class_counts();
+        assert_eq!(counts.get(&1), Some(&1), "minority class survives eviction");
+        assert!(counts.get(&0).copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn tiny_capacity_keeps_at_least_one_entry() {
+        let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, 1);
+        buffer.push(LatentEntry::reduced(activation(10, 20), 40, 0));
+        assert_eq!(buffer.len(), 1, "the newest entry is never evicted to zero");
+    }
+}

@@ -1,0 +1,152 @@
+//! Pre-trained model caching.
+//!
+//! Pre-training dominates the cost of every figure regeneration, and every
+//! method comparison starts from the *same* pre-trained network. This
+//! module memoizes pre-training outcomes (a) in-process and (b) on disk
+//! under `NCL_CACHE_DIR` (default `target/ncl-cache`), keyed by a hash of
+//! every configuration field that influences pre-training.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+use ncl_snn::{serialize, Network};
+
+use crate::config::ScenarioConfig;
+use crate::error::NclError;
+use crate::phases;
+
+/// In-process memo of pre-trained networks.
+static MEMO: OnceLock<Mutex<HashMap<u64, (Network, f64)>>> = OnceLock::new();
+
+fn memo() -> &'static Mutex<HashMap<u64, (Network, f64)>> {
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Hash of every config field pre-training depends on. The insertion
+/// layer, CL epochs and profile are deliberately excluded — they only
+/// affect the CL phase, so figure sweeps over them share one cache entry.
+#[must_use]
+pub fn pretrain_key(config: &ScenarioConfig) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    format!("{:?}", config.data).hash(&mut hasher);
+    format!("{:?}", config.network).hash(&mut hasher);
+    config.pretrain_epochs.hash(&mut hasher);
+    config.pretrain_lr.to_bits().hash(&mut hasher);
+    config.batch_size.hash(&mut hasher);
+    config.seed.hash(&mut hasher);
+    hasher.finish()
+}
+
+fn cache_dir() -> PathBuf {
+    std::env::var_os("NCL_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/ncl-cache"))
+}
+
+fn cache_path(key: u64) -> PathBuf {
+    cache_dir().join(format!("pretrain-{key:016x}.snn"))
+}
+
+/// Returns the pre-trained network and its old-class test accuracy for a
+/// scenario, training it on first use and reusing the in-process/on-disk
+/// cache afterwards.
+///
+/// Disk-cache write failures are swallowed (the result is still returned);
+/// malformed cache files are ignored and retrained.
+///
+/// # Errors
+///
+/// Returns [`NclError`] if the configuration is invalid or training fails.
+pub fn pretrained_network(config: &ScenarioConfig) -> Result<(Network, f64), NclError> {
+    config.validate()?;
+    let key = pretrain_key(config);
+
+    if let Some(hit) = memo().lock().get(&key) {
+        return Ok(hit.clone());
+    }
+
+    let path = cache_path(key);
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(network) = serialize::from_bytes(&bytes) {
+            let acc = evaluate_pretrain(config, &network)?;
+            let entry = (network, acc);
+            memo().lock().insert(key, entry.clone());
+            return Ok(entry);
+        }
+    }
+
+    let outcome = phases::pretrain(config)?;
+    let entry = (outcome.network, outcome.test_acc);
+    if std::fs::create_dir_all(cache_dir()).is_ok() {
+        // Best effort: a failed write only costs future retraining.
+        let _ = std::fs::write(&path, serialize::to_bytes(&entry.0));
+    }
+    memo().lock().insert(key, entry.clone());
+    Ok(entry)
+}
+
+/// Re-evaluates a (possibly disk-loaded) pre-trained network on the
+/// scenario's old-class test split.
+fn evaluate_pretrain(config: &ScenarioConfig, network: &Network) -> Result<f64, NclError> {
+    let data = phases::scenario_data(config)?;
+    let split = phases::scenario_split(config)?;
+    let test = split.pretrain_subset(&data.test);
+    let refs = phases::sample_refs(&test);
+    let acc = ncl_snn::trainer::evaluate(
+        network,
+        &refs,
+        0,
+        ncl_snn::adaptive::ThresholdMode::Constant,
+    )?;
+    Ok(acc.top1())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScenarioConfig {
+        let mut c = ScenarioConfig::smoke();
+        c.pretrain_epochs = 2;
+        c.seed = 9912; // distinct cache key for this test module
+        c
+    }
+
+    #[test]
+    fn key_is_stable_and_selective() {
+        let a = tiny();
+        assert_eq!(pretrain_key(&a), pretrain_key(&a.clone()));
+        // CL-only fields do not change the key.
+        let mut b = a.clone();
+        b.cl_epochs += 10;
+        b.insertion_layer = 0;
+        assert_eq!(pretrain_key(&a), pretrain_key(&b));
+        // Pre-training fields do.
+        let mut c = a.clone();
+        c.pretrain_epochs += 1;
+        assert_ne!(pretrain_key(&a), pretrain_key(&c));
+        let mut d = a.clone();
+        d.data.seed += 1;
+        assert_ne!(pretrain_key(&a), pretrain_key(&d));
+    }
+
+    #[test]
+    fn memo_returns_identical_network() {
+        let config = tiny();
+        let (n1, a1) = pretrained_network(&config).unwrap();
+        let (n2, a2) = pretrained_network(&config).unwrap();
+        assert_eq!(n1, n2);
+        assert!((a1 - a2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_cache() {
+        let mut config = tiny();
+        config.batch_size = 0;
+        assert!(pretrained_network(&config).is_err());
+    }
+}

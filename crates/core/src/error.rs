@@ -1,0 +1,105 @@
+//! Error type for the Replay4NCL methodology layer.
+
+use std::error::Error;
+use std::fmt;
+
+use ncl_data::DataError;
+use ncl_snn::SnnError;
+use ncl_spike::SpikeError;
+
+/// Error returned by scenario construction and execution.
+#[derive(Debug)]
+pub enum NclError {
+    /// A method or scenario parameter was invalid.
+    InvalidConfig {
+        /// Which parameter failed validation.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Underlying SNN failure.
+    Snn(SnnError),
+    /// Underlying dataset failure.
+    Data(DataError),
+    /// Underlying spike-raster failure.
+    Spike(SpikeError),
+    /// Model-cache I/O failure (non-fatal for correctness; surfaced so the
+    /// caller can fall back to retraining).
+    Cache(std::io::Error),
+}
+
+impl fmt::Display for NclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NclError::InvalidConfig { what, detail } => write!(f, "invalid {what}: {detail}"),
+            NclError::Snn(e) => write!(f, "snn failure: {e}"),
+            NclError::Data(e) => write!(f, "dataset failure: {e}"),
+            NclError::Spike(e) => write!(f, "spike failure: {e}"),
+            NclError::Cache(e) => write!(f, "model cache i/o failure: {e}"),
+        }
+    }
+}
+
+impl Error for NclError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NclError::Snn(e) => Some(e),
+            NclError::Data(e) => Some(e),
+            NclError::Spike(e) => Some(e),
+            NclError::Cache(e) => Some(e),
+            NclError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<SnnError> for NclError {
+    fn from(e: SnnError) -> Self {
+        NclError::Snn(e)
+    }
+}
+
+impl From<DataError> for NclError {
+    fn from(e: DataError) -> Self {
+        NclError::Data(e)
+    }
+}
+
+impl From<SpikeError> for NclError {
+    fn from(e: SpikeError) -> Self {
+        NclError::Spike(e)
+    }
+}
+
+impl From<std::io::Error> for NclError {
+    fn from(e: std::io::Error) -> Self {
+        NclError::Cache(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e: NclError = SnnError::InvalidStage { stage: 1, layers: 0 }.into();
+        assert!(e.to_string().contains("snn"));
+        assert!(e.source().is_some());
+        let e: NclError = DataError::EmptySelection { op: "x" }.into();
+        assert!(e.to_string().contains("dataset"));
+        let e: NclError =
+            SpikeError::InvalidParameter { what: "f", detail: "d".into() }.into();
+        assert!(e.to_string().contains("spike"));
+        let e: NclError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("cache"));
+        let e = NclError::InvalidConfig { what: "epochs", detail: "zero".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("epochs"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NclError>();
+    }
+}

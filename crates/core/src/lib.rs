@@ -1,0 +1,61 @@
+//! **Replay4NCL** — an efficient memory-replay methodology for
+//! neuromorphic continual learning (Minhas et al., DAC 2025), reproduced
+//! in Rust.
+//!
+//! A recurrent spiking network is pre-trained on 19 of 20 classes of an
+//! SHD-like event dataset, then learns the 20th class in a
+//! continual-learning (CL) phase. To avoid catastrophic forgetting,
+//! *latent replay* activations — spike rasters captured at an insertion
+//! layer — are mixed into the CL training stream. Replay4NCL's
+//! contribution over the SpikingLR state of the art is efficiency on
+//! embedded devices:
+//!
+//! 1. **timestep optimization** — latent data is stored and replayed at a
+//!    reduced timestep count T* (20 % smaller latent memory, multiple-fold
+//!    lower training latency/energy);
+//! 2. **parameter adjustments** — an adaptive firing threshold (Alg. 1)
+//!    and a 100× lower CL learning rate compensate the information lost
+//!    with fewer spikes;
+//! 3. **insertion-layer strategy** — a design-space exploration over where
+//!    the latent data enters the network.
+//!
+//! The [`methods`] module expresses the baseline, SpikingLR and
+//! Replay4NCL as settings of one knob set; [`scenario`] runs the full
+//! class-incremental protocol and records accuracy plus modeled
+//! latency/energy/memory per epoch.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use replay4ncl::{cache, methods::MethodSpec, scenario, ScenarioConfig};
+//!
+//! # fn main() -> Result<(), replay4ncl::NclError> {
+//! let config = ScenarioConfig::smoke(); // or ScenarioConfig::paper()
+//! let (network, pretrain_acc) = cache::pretrained_network(&config)?;
+//! let t_star = config.data.steps * 2 / 5; // the paper's T* = 40 at T = 100
+//! let result = scenario::run_method(
+//!     &config,
+//!     &MethodSpec::replay4ncl(4, t_star),
+//!     &network,
+//!     pretrain_acc,
+//! )?;
+//! println!("{}", replay4ncl::report::summarize(&result));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod buffer;
+pub mod cache;
+pub mod config;
+pub mod error;
+pub mod methods;
+pub mod metrics;
+pub mod phases;
+pub mod report;
+pub mod scenario;
+pub mod sequence;
+
+pub use config::ScenarioConfig;
+pub use error::NclError;
+pub use methods::MethodSpec;
+pub use scenario::{EpochRecord, ScenarioResult};

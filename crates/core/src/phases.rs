@@ -1,0 +1,371 @@
+//! The three phases of Alg. 1: pre-training, network preparation (latent
+//! replay generation) and new-task activation capture.
+
+use ncl_data::generator::{self, GeneratedData};
+use ncl_data::split::{replay_subset, ClassIncrementalSplit};
+use ncl_data::Dataset;
+use ncl_hw::OpCounts;
+use ncl_snn::adaptive::ThresholdMode;
+use ncl_snn::optimizer::Optimizer;
+use ncl_snn::trainer::{self, TrainOptions};
+use ncl_snn::Network;
+use ncl_spike::codec;
+use ncl_spike::resample::{resample, ResampleStrategy};
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+
+use crate::buffer::{LatentEntry, LatentReplayBuffer};
+use crate::config::ScenarioConfig;
+use crate::error::NclError;
+use crate::methods::{MethodSpec, StoragePolicy};
+
+/// Seed salts keeping the phase streams independent.
+const PRETRAIN_SALT: u64 = 0x11;
+const REPLAY_SALT: u64 = 0x22;
+const CL_SALT: u64 = 0x33;
+
+/// Outcome of the pre-training phase (Alg. 1 lines 1–5).
+#[derive(Debug, Clone)]
+pub struct PretrainOutcome {
+    /// The trained network.
+    pub network: Network,
+    /// Top-1 accuracy on the old-class test split.
+    pub test_acc: f64,
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// Generates the scenario's dataset pair (deterministic per config).
+///
+/// # Errors
+///
+/// Returns [`NclError::Data`] for invalid dataset parameters.
+pub fn scenario_data(config: &ScenarioConfig) -> Result<GeneratedData, NclError> {
+    Ok(generator::generate_pair(&config.data)?)
+}
+
+/// The scenario's class split (hold out the last class, per the paper).
+///
+/// # Errors
+///
+/// Returns [`NclError::Data`] if the dataset has fewer than 2 classes.
+pub fn scenario_split(config: &ScenarioConfig) -> Result<ClassIncrementalSplit, NclError> {
+    Ok(ClassIncrementalSplit::hold_out_last(config.data.classes)?)
+}
+
+/// Collects `(raster, label)` references of a dataset for the trainer.
+#[must_use]
+pub fn sample_refs(dataset: &Dataset) -> Vec<(&SpikeRaster, u16)> {
+    dataset.iter().map(|s| (&s.raster, s.label)).collect()
+}
+
+/// Converts a raw input raster to a method's operating timestep: reduced
+/// methods decimate the event stream at the sensor interface *before* the
+/// frozen stages, so their whole CL pipeline (frozen inference, training,
+/// evaluation) runs at T*. Returns the raster and the decimation work.
+///
+/// # Errors
+///
+/// Returns [`NclError::Spike`] if resampling fails.
+pub fn method_input(
+    raster: &SpikeRaster,
+    method: &MethodSpec,
+    config: &ScenarioConfig,
+) -> Result<(SpikeRaster, OpCounts), NclError> {
+    let operating = method.operating_steps(config.data.steps);
+    if operating < raster.steps() {
+        let reduced = resample(raster, operating, ResampleStrategy::Decimate)?;
+        let ops = OpCounts::codec(reduced.steps() as u64, 0, false);
+        Ok((reduced, ops))
+    } else {
+        Ok((raster.clone(), OpCounts::default()))
+    }
+}
+
+/// Pre-training (Alg. 1 lines 1–5): trains a fresh network on the 19
+/// pre-training classes at the native timestep and constant threshold.
+///
+/// # Errors
+///
+/// Returns [`NclError`] for invalid configs or training failures.
+pub fn pretrain(config: &ScenarioConfig) -> Result<PretrainOutcome, NclError> {
+    config.validate()?;
+    let data = scenario_data(config)?;
+    let split = scenario_split(config)?;
+    let train = split.pretrain_subset(&data.train);
+    let test = split.pretrain_subset(&data.test);
+
+    let mut network = Network::new(config.network.clone())?;
+    let mut optimizer = Optimizer::adam(config.pretrain_lr);
+    let options = TrainOptions {
+        from_stage: 0,
+        batch_size: config.batch_size,
+        parallelism: config.parallelism,
+        threshold_mode: ThresholdMode::Constant,
+    };
+    let mut rng = Rng::seed_from_u64(config.seed ^ PRETRAIN_SALT);
+
+    let refs = sample_refs(&train);
+    let mut epoch_losses = Vec::with_capacity(config.pretrain_epochs);
+    for _ in 0..config.pretrain_epochs {
+        let report = trainer::train_epoch(&mut network, &refs, &mut optimizer, &options, &mut rng)?;
+        epoch_losses.push(report.mean_loss);
+    }
+
+    let test_refs = sample_refs(&test);
+    let acc = trainer::evaluate(&network, &test_refs, 0, ThresholdMode::Constant)?;
+    Ok(PretrainOutcome { network, test_acc: acc.top1(), epoch_losses })
+}
+
+/// Latent-replay generation (Alg. 1 lines 6–20): runs the frozen stages on
+/// the replay subset, stores activations per the method's storage policy,
+/// and counts the device work (frozen inference + codec + latent-memory
+/// writes).
+///
+/// # Errors
+///
+/// Returns [`NclError`] for invalid specs or simulation failures.
+pub fn prepare_buffer(
+    network: &Network,
+    config: &ScenarioConfig,
+    method: &MethodSpec,
+    train_data: &Dataset,
+    split: &ClassIncrementalSplit,
+) -> Result<(LatentReplayBuffer, OpCounts), NclError> {
+    method.validate()?;
+    let mut buffer = LatentReplayBuffer::new(config.alignment);
+    let mut ops = OpCounts::default();
+    let Some(replay) = &method.replay else {
+        return Ok((buffer, ops));
+    };
+
+    let mut rng = Rng::seed_from_u64(config.seed ^ REPLAY_SALT);
+    let replay_set = replay_subset(train_data, split, replay.per_class, &mut rng)?;
+
+    let base = config.network.lif.v_threshold;
+    for sample in &replay_set {
+        // Reduced methods decimate the event stream first: their whole
+        // latent-generation pass runs at T*.
+        let (input, input_ops) = method_input(&sample.raster, method, config)?;
+        ops += input_ops;
+        // Alg. 1 lines 8-19: the latent activations are generated with the
+        // method's threshold policy applied to the frozen stages.
+        let schedule = method.threshold_mode.schedule_for(&input, base)?;
+        let (activation, activity) = network.activations_at_traced(
+            config.insertion_layer,
+            &input,
+            Some(&schedule),
+        )?;
+        ops += OpCounts::forward(&activity, config.network.recurrent);
+
+        let entry = match replay.storage {
+            StoragePolicy::Codec(factor) => {
+                let compressed = codec::compress(&activation, factor);
+                ops += OpCounts::codec(
+                    compressed.stored_steps() as u64,
+                    activation.neurons() as u64,
+                    true,
+                );
+                LatentEntry::compressed(compressed, sample.label)
+            }
+            StoragePolicy::Reduced(_) => {
+                // The activation already lives at T*; store it verbatim.
+                ops += OpCounts::codec(
+                    activation.steps() as u64,
+                    activation.neurons() as u64,
+                    true,
+                );
+                LatentEntry::reduced(activation, config.data.steps, sample.label)
+            }
+        };
+        buffer.push(entry);
+    }
+    Ok((buffer, ops))
+}
+
+/// New-task activation capture (Alg. 1 line 23): decimates each CL
+/// training sample to the method's operating timestep, then runs the
+/// frozen stages on it. Returns the samples and the device work of one
+/// generation pass; the scenario charges that work once per CL epoch, as
+/// Alg. 1 regenerates `A_new` inside the epoch loop.
+///
+/// # Errors
+///
+/// Returns [`NclError`] for simulation failures.
+pub fn new_task_activations(
+    network: &Network,
+    config: &ScenarioConfig,
+    method: &MethodSpec,
+    cl_train: &Dataset,
+) -> Result<(Vec<(SpikeRaster, u16)>, OpCounts), NclError> {
+    let mut samples = Vec::with_capacity(cl_train.len());
+    let mut ops = OpCounts::default();
+    let base = config.network.lif.v_threshold;
+    for s in cl_train {
+        let (input, input_ops) = method_input(&s.raster, method, config)?;
+        ops += input_ops;
+        let schedule = method.threshold_mode.schedule_for(&input, base)?;
+        let (activation, activity) = network.activations_at_traced(
+            config.insertion_layer,
+            &input,
+            Some(&schedule),
+        )?;
+        ops += OpCounts::forward(&activity, config.network.recurrent);
+        samples.push((activation, s.label));
+    }
+    Ok((samples, ops))
+}
+
+/// Converts evaluation samples to the learning-path inputs of a method:
+/// input decimated to the operating timestep, then frozen activations at
+/// the insertion layer. (Evaluation work is not charged to training
+/// cost.)
+///
+/// # Errors
+///
+/// Returns [`NclError`] for simulation failures.
+pub fn eval_activations(
+    network: &Network,
+    config: &ScenarioConfig,
+    method: &MethodSpec,
+    eval_data: &Dataset,
+) -> Result<Vec<(SpikeRaster, u16)>, NclError> {
+    let base = config.network.lif.v_threshold;
+    let mut out = Vec::with_capacity(eval_data.len());
+    for s in eval_data {
+        let (input, _) = method_input(&s.raster, method, config)?;
+        let schedule = method.threshold_mode.schedule_for(&input, base)?;
+        let activation = network.activations_at_scheduled(
+            config.insertion_layer,
+            &input,
+            Some(&schedule),
+        )?;
+        out.push((activation, s.label));
+    }
+    Ok(out)
+}
+
+/// The RNG stream for the CL training phase of a scenario.
+#[must_use]
+pub fn cl_rng(config: &ScenarioConfig) -> Rng {
+    Rng::seed_from_u64(config.seed ^ CL_SALT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::MethodSpec;
+
+    fn smoke() -> ScenarioConfig {
+        let mut c = ScenarioConfig::smoke();
+        c.pretrain_epochs = 2; // keep the phase tests fast
+        c
+    }
+
+    #[test]
+    fn pretrain_produces_working_network() {
+        let config = smoke();
+        let outcome = pretrain(&config).unwrap();
+        assert_eq!(outcome.epoch_losses.len(), 2);
+        assert!(outcome.epoch_losses.iter().all(|l| l.is_finite()));
+        assert!(outcome.test_acc >= 0.0 && outcome.test_acc <= 1.0);
+    }
+
+    #[test]
+    fn pretrain_is_deterministic() {
+        let config = smoke();
+        let a = pretrain(&config).unwrap();
+        let b = pretrain(&config).unwrap();
+        assert_eq!(a.network, b.network);
+        assert_eq!(a.epoch_losses, b.epoch_losses);
+    }
+
+    #[test]
+    fn prepare_buffer_stores_per_policy() {
+        let config = smoke();
+        let data = scenario_data(&config).unwrap();
+        let split = scenario_split(&config).unwrap();
+        let network = Network::new(config.network.clone()).unwrap();
+
+        // SpikingLR: codec x2 storage at native steps.
+        let sota = MethodSpec::spiking_lr(2);
+        let (buf, ops) = prepare_buffer(&network, &config, &sota, &data.train, &split).unwrap();
+        assert_eq!(buf.len(), 2 * (config.data.classes as usize - 1));
+        let native = config.data.steps;
+        for e in &buf {
+            assert_eq!(e.stored_steps(), native.div_ceil(2));
+            assert_eq!(e.original_steps(), native);
+        }
+        assert!(ops.synaptic_ops > 0, "frozen stages cost synaptic work");
+        assert!(ops.mem_write_bits > 0, "latent memory written");
+
+        // Replay4NCL: reduced storage.
+        let ours = MethodSpec::replay4ncl(2, native / 2);
+        let (buf, _) = prepare_buffer(&network, &config, &ours, &data.train, &split).unwrap();
+        for e in &buf {
+            assert_eq!(e.stored_steps(), native / 2);
+        }
+
+        // Baseline: nothing stored, nothing spent.
+        let (buf, ops) =
+            prepare_buffer(&network, &config, &MethodSpec::baseline(), &data.train, &split)
+                .unwrap();
+        assert!(buf.is_empty());
+        assert!(ops.is_zero());
+    }
+
+    #[test]
+    fn buffer_never_contains_new_class() {
+        let config = smoke();
+        let data = scenario_data(&config).unwrap();
+        let split = scenario_split(&config).unwrap();
+        let network = Network::new(config.network.clone()).unwrap();
+        let (buf, _) =
+            prepare_buffer(&network, &config, &MethodSpec::spiking_lr(3), &data.train, &split)
+                .unwrap();
+        let new_class = config.data.classes - 1;
+        assert!(buf.iter().all(|e| e.label() != new_class));
+    }
+
+    #[test]
+    fn new_task_activations_reduce_for_replay4ncl() {
+        let config = smoke();
+        let data = scenario_data(&config).unwrap();
+        let split = scenario_split(&config).unwrap();
+        let cl_train = split.continual_subset(&data.train);
+        let network = Network::new(config.network.clone()).unwrap();
+
+        let native = config.data.steps;
+        let (sota_acts, sota_ops) =
+            new_task_activations(&network, &config, &MethodSpec::spiking_lr(2), &cl_train)
+                .unwrap();
+        assert!(sota_acts.iter().all(|(r, _)| r.steps() == native));
+
+        let (our_acts, our_ops) = new_task_activations(
+            &network,
+            &config,
+            &MethodSpec::replay4ncl(2, native / 2),
+            &cl_train,
+        )
+        .unwrap();
+        assert!(our_acts.iter().all(|(r, _)| r.steps() == native / 2));
+        // Both pay frozen-forward work; ours additionally decimates.
+        assert!(sota_ops.synaptic_ops > 0 && our_ops.synaptic_ops > 0);
+        assert!(our_ops.codec_frames > sota_ops.codec_frames);
+        // All samples are the held-out class.
+        assert!(our_acts.iter().all(|(_, l)| *l == config.data.classes - 1));
+    }
+
+    #[test]
+    fn eval_activations_match_operating_steps() {
+        let config = smoke();
+        let data = scenario_data(&config).unwrap();
+        let split = scenario_split(&config).unwrap();
+        let old_test = split.pretrain_subset(&data.test);
+        let network = Network::new(config.network.clone()).unwrap();
+        let method = MethodSpec::replay4ncl(2, config.data.steps / 2);
+        let acts = eval_activations(&network, &config, &method, &old_test).unwrap();
+        assert_eq!(acts.len(), old_test.len());
+        assert!(acts.iter().all(|(r, _)| r.steps() == config.data.steps / 2));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the methodology layer: buffer accounting,
+//! method validation and storage-policy arithmetic.
+
+use ncl_spike::codec::{self, CompressionFactor};
+use ncl_spike::memory::{sample_footprint, Alignment};
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+use proptest::prelude::*;
+use replay4ncl::buffer::{LatentEntry, LatentReplayBuffer};
+use replay4ncl::methods::{MethodSpec, StoragePolicy};
+
+fn raster(neurons: usize, steps: usize, seed: u64) -> SpikeRaster {
+    let mut rng = Rng::seed_from_u64(seed);
+    SpikeRaster::from_fn(neurons, steps, |_, _| rng.bernoulli(0.15))
+}
+
+proptest! {
+    #[test]
+    fn buffer_footprint_is_sum_of_sample_footprints(
+        entries in 0usize..20, neurons in 1usize..40, steps in 1usize..40, seed in any::<u64>()
+    ) {
+        let mut buffer = LatentReplayBuffer::new(Alignment::Byte);
+        let mut expected = 0u64;
+        for i in 0..entries {
+            let r = raster(neurons, steps, seed.wrapping_add(i as u64));
+            expected += sample_footprint(r.payload_bits(), Alignment::Byte).aligned_bits;
+            buffer.push(LatentEntry::reduced(r, steps * 2, (i % 5) as u16));
+        }
+        prop_assert_eq!(buffer.footprint().total_bits, expected);
+        prop_assert_eq!(buffer.len(), entries);
+    }
+
+    #[test]
+    fn compressed_entries_replay_consistently(
+        neurons in 1usize..30, steps in 2usize..60, factor in 1u32..5, seed in any::<u64>()
+    ) {
+        let act = raster(neurons, steps, seed);
+        let compressed = codec::compress(&act, CompressionFactor::new(factor).unwrap());
+        let entry = LatentEntry::compressed(compressed.clone(), 3);
+        // Decompressed replay equals the codec's output.
+        prop_assert_eq!(entry.replay_raster(true).unwrap(), compressed.decompress());
+        // Direct replay equals the stored frames.
+        prop_assert_eq!(entry.replay_raster(false).unwrap(), compressed.frames().clone());
+        prop_assert_eq!(entry.payload_bits(), compressed.payload_bits());
+    }
+
+    #[test]
+    fn storage_policy_stored_steps_bounds(
+        native in 1usize..200, factor in 1u32..6, t_star in 1usize..250
+    ) {
+        let codec_steps = StoragePolicy::Codec(CompressionFactor::new(factor).unwrap())
+            .stored_steps(native);
+        prop_assert_eq!(codec_steps, native.div_ceil(factor as usize));
+        prop_assert!(codec_steps >= 1);
+
+        let reduced_steps = StoragePolicy::Reduced(t_star).stored_steps(native);
+        prop_assert_eq!(reduced_steps, t_star.min(native));
+    }
+
+    #[test]
+    fn replay4ncl_always_stores_less_than_spikinglr_at_paper_ratio(native in 5usize..300) {
+        // T* = 2/5 native vs codec x2 (1/2 native): ours is smaller for
+        // every native T >= 5.
+        let ours = MethodSpec::replay4ncl(1, (native * 2 / 5).max(1))
+            .replay.unwrap().storage.stored_steps(native);
+        let sota = MethodSpec::spiking_lr(1).replay.unwrap().storage.stored_steps(native);
+        prop_assert!(ours <= sota, "{ours} vs {sota} at native {native}");
+    }
+
+    #[test]
+    fn method_validation_catches_all_bad_divisors(div in prop::num::f32::ANY) {
+        let mut m = MethodSpec::baseline();
+        m.lr_divisor = div;
+        let valid = div.is_finite() && div > 0.0;
+        prop_assert_eq!(m.validate().is_ok(), valid);
+    }
+
+    #[test]
+    fn bounded_buffer_respects_capacity(
+        budget_entries in 1usize..8, pushes in 1usize..25, seed in any::<u64>()
+    ) {
+        let entry_bits =
+            sample_footprint(raster(8, 10, 0).payload_bits(), Alignment::Byte).aligned_bits;
+        let budget = entry_bits * budget_entries as u64;
+        let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, budget);
+        for i in 0..pushes {
+            buffer.push(LatentEntry::reduced(
+                raster(8, 10, seed.wrapping_add(i as u64)),
+                20,
+                (i % 3) as u16,
+            ));
+        }
+        prop_assert!(buffer.len() >= 1);
+        prop_assert!(
+            buffer.footprint().total_bits <= budget || buffer.len() == 1,
+            "capacity respected unless a single entry exceeds it"
+        );
+        prop_assert!(buffer.len() <= pushes);
+    }
+}

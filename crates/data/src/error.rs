@@ -1,0 +1,68 @@
+//! Error type for dataset construction and splitting.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by dataset generation and task splitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A generator or split parameter was invalid.
+    InvalidConfig {
+        /// Which parameter failed validation.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A requested class label does not exist in the dataset.
+    UnknownClass {
+        /// The offending label.
+        label: u16,
+        /// Number of classes in the dataset.
+        classes: u16,
+    },
+    /// An operation needed a non-empty selection but got none.
+    EmptySelection {
+        /// Name of the operation.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig { what, detail } => {
+                write!(f, "invalid {what}: {detail}")
+            }
+            DataError::UnknownClass { label, classes } => {
+                write!(f, "unknown class {label} (dataset has {classes} classes)")
+            }
+            DataError::EmptySelection { op } => {
+                write!(f, "{op}: selection is empty")
+            }
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::InvalidConfig { what: "channels", detail: "zero".into() }
+            .to_string()
+            .contains("channels"));
+        assert!(DataError::UnknownClass { label: 25, classes: 20 }.to_string().contains("25"));
+        assert!(DataError::EmptySelection { op: "replay_subset" }
+            .to_string()
+            .contains("replay_subset"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DataError>();
+    }
+}

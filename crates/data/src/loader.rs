@@ -1,0 +1,152 @@
+//! Shuffled mini-batch iteration over datasets.
+
+use ncl_tensor::Rng;
+
+use crate::error::DataError;
+use crate::sample::{Dataset, LabeledSample};
+
+/// Yields shuffled mini-batches of sample references, reshuffling on every
+/// [`BatchLoader::epoch`] call.
+///
+/// # Example
+///
+/// ```
+/// use ncl_data::{generator, loader::BatchLoader, ShdLikeConfig};
+/// use ncl_tensor::Rng;
+///
+/// # fn main() -> Result<(), ncl_data::DataError> {
+/// let dataset = generator::generate(&ShdLikeConfig::smoke_test())?;
+/// let mut loader = BatchLoader::new(8)?;
+/// let mut rng = Rng::seed_from_u64(1);
+/// let mut seen = 0;
+/// for batch in loader.epoch(&dataset, &mut rng) {
+///     assert!(batch.len() <= 8);
+///     seen += batch.len();
+/// }
+/// assert_eq!(seen, dataset.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchLoader {
+    batch_size: usize,
+}
+
+impl BatchLoader {
+    /// Creates a loader with the given batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `batch_size == 0`.
+    pub fn new(batch_size: usize) -> Result<Self, DataError> {
+        if batch_size == 0 {
+            return Err(DataError::InvalidConfig {
+                what: "batch_size",
+                detail: "must be at least 1".into(),
+            });
+        }
+        Ok(BatchLoader { batch_size })
+    }
+
+    /// The configured batch size.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// An iterator over shuffled batches for one epoch. Every sample
+    /// appears exactly once; the final batch may be smaller.
+    pub fn epoch<'d>(&mut self, dataset: &'d Dataset, rng: &mut Rng) -> Batches<'d> {
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        rng.shuffle(&mut order);
+        Batches { dataset, order, batch_size: self.batch_size, cursor: 0 }
+    }
+}
+
+/// Iterator over the batches of one epoch; produced by
+/// [`BatchLoader::epoch`].
+#[derive(Debug)]
+pub struct Batches<'d> {
+    dataset: &'d Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'d> Iterator for Batches<'d> {
+    type Item = Vec<&'d LabeledSample>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.order[self.cursor..end]
+            .iter()
+            .map(|&i| &self.dataset.samples()[i])
+            .collect();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_spike::SpikeRaster;
+
+    fn dataset(n: usize) -> Dataset {
+        let samples =
+            (0..n).map(|i| LabeledSample::new(SpikeRaster::new(2, 2), (i % 3) as u16)).collect();
+        Dataset::new(samples, 3, 2, 2).unwrap()
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        assert!(BatchLoader::new(0).is_err());
+        assert_eq!(BatchLoader::new(4).unwrap().batch_size(), 4);
+    }
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let ds = dataset(10);
+        let mut loader = BatchLoader::new(3).unwrap();
+        let mut rng = Rng::seed_from_u64(5);
+        let batches: Vec<_> = loader.epoch(&ds, &mut rng).collect();
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        assert_eq!(batches.last().unwrap().len(), 1);
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn epochs_are_shuffled_differently() {
+        let ds = dataset(20);
+        let mut loader = BatchLoader::new(20).unwrap();
+        let mut rng = Rng::seed_from_u64(5);
+        let first: Vec<*const LabeledSample> =
+            loader.epoch(&ds, &mut rng).next().unwrap().iter().map(|s| *s as *const _).collect();
+        let second: Vec<*const LabeledSample> =
+            loader.epoch(&ds, &mut rng).next().unwrap().iter().map(|s| *s as *const _).collect();
+        assert_ne!(first, second, "two epochs should visit in different orders");
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_batches() {
+        let ds = dataset(0);
+        let mut loader = BatchLoader::new(4).unwrap();
+        let mut rng = Rng::seed_from_u64(5);
+        assert_eq!(loader.epoch(&ds, &mut rng).count(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset(12);
+        let collect = |seed: u64| -> Vec<u16> {
+            let mut loader = BatchLoader::new(5).unwrap();
+            let mut rng = Rng::seed_from_u64(seed);
+            loader.epoch(&ds, &mut rng).flatten().map(|s| s.label).collect()
+        };
+        assert_eq!(collect(3), collect(3));
+    }
+}

@@ -1,0 +1,88 @@
+//! Dataset-level descriptive statistics (used in reports and sanity
+//! checks).
+
+use serde::{Deserialize, Serialize};
+
+use crate::sample::Dataset;
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of samples.
+    pub samples: usize,
+    /// Samples per class label (indexed by label).
+    pub per_class: Vec<usize>,
+    /// Mean spikes per sample.
+    pub mean_spikes: f64,
+    /// Mean raster density (fraction of set bits).
+    pub mean_density: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a dataset.
+    #[must_use]
+    pub fn of(dataset: &Dataset) -> Self {
+        let mut per_class = vec![0usize; dataset.classes() as usize];
+        let mut spikes = 0u64;
+        for s in dataset {
+            per_class[s.label as usize] += 1;
+            spikes += s.raster.total_spikes() as u64;
+        }
+        let n = dataset.len().max(1) as f64;
+        let cells = (dataset.channels() * dataset.steps()).max(1) as f64;
+        DatasetStats {
+            samples: dataset.len(),
+            per_class,
+            mean_spikes: spikes as f64 / n,
+            mean_density: spikes as f64 / n / cells,
+        }
+    }
+
+    /// Whether every class has the same number of samples.
+    #[must_use]
+    pub fn is_balanced(&self) -> bool {
+        match self.per_class.iter().find(|&&c| c > 0) {
+            None => true,
+            Some(&first) => self.per_class.iter().all(|&c| c == first || c == 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{self, ShdLikeConfig};
+    use crate::sample::{Dataset, LabeledSample};
+    use ncl_spike::SpikeRaster;
+
+    #[test]
+    fn stats_of_generated_data() {
+        let config = ShdLikeConfig::smoke_test();
+        let ds = generator::generate(&config).unwrap();
+        let stats = DatasetStats::of(&ds);
+        assert_eq!(stats.samples, ds.len());
+        assert!(stats.is_balanced());
+        assert!(stats.mean_spikes > 0.0);
+        assert!(stats.mean_density > 0.0 && stats.mean_density < 1.0);
+    }
+
+    #[test]
+    fn imbalance_detected() {
+        let mut samples = vec![LabeledSample::new(SpikeRaster::new(2, 2), 0)];
+        samples.push(LabeledSample::new(SpikeRaster::new(2, 2), 0));
+        samples.push(LabeledSample::new(SpikeRaster::new(2, 2), 1));
+        let ds = Dataset::new(samples, 2, 2, 2).unwrap();
+        let stats = DatasetStats::of(&ds);
+        assert!(!stats.is_balanced());
+        assert_eq!(stats.per_class, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let ds = Dataset::new(vec![], 3, 2, 2).unwrap();
+        let stats = DatasetStats::of(&ds);
+        assert_eq!(stats.samples, 0);
+        assert!(stats.is_balanced());
+        assert_eq!(stats.mean_spikes, 0.0);
+    }
+}

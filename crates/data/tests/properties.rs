@@ -1,0 +1,91 @@
+//! Property-based tests of the synthetic dataset and task splits.
+
+use ncl_data::generator::{self, ClassPrototype, ShdLikeConfig};
+use ncl_data::split::{replay_subset, ClassIncrementalSplit};
+use ncl_tensor::Rng;
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = ShdLikeConfig> {
+    (8usize..40, 2u16..6, 8usize..30, 1usize..5, any::<u64>()).prop_map(
+        |(channels, classes, steps, per_class, seed)| {
+            let mut c = ShdLikeConfig::smoke_test();
+            c.channels = channels;
+            c.classes = classes;
+            c.steps = steps;
+            c.train_per_class = per_class;
+            c.test_per_class = 1;
+            c.bump_sigma = (channels as f32 / 12.0).max(0.5);
+            c.channel_jitter = 1.0;
+            c.seed = seed;
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_is_deterministic(config in config_strategy()) {
+        let a = generator::generate_pair(&config).unwrap();
+        let b = generator::generate_pair(&config).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_shapes_and_labels_are_valid(config in config_strategy()) {
+        let data = generator::generate_pair(&config).unwrap();
+        prop_assert_eq!(data.train.len(), config.train_per_class * config.classes as usize);
+        for s in &data.train {
+            prop_assert_eq!(s.raster.neurons(), config.channels);
+            prop_assert_eq!(s.raster.steps(), config.steps);
+            prop_assert!(s.label < config.classes);
+        }
+        // Train/test draws differ (independent streams).
+        if !data.train.is_empty() && !data.test.is_empty() {
+            prop_assert!(data.train.samples()[0] != data.test.samples()[0]);
+        }
+    }
+
+    #[test]
+    fn prototypes_are_inside_the_channel_range(config in config_strategy()) {
+        for class in 0..config.classes {
+            let p = ClassPrototype::derive(&config, class);
+            for i in 0..=20 {
+                let c = p.center_at(i as f32 / 20.0);
+                prop_assert!(c >= 0.0 && c < config.channels as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_subset_is_balanced_and_leak_free(
+        config in config_strategy(), per_class in 1usize..4, seed in any::<u64>()
+    ) {
+        prop_assume!(config.classes >= 2);
+        let data = generator::generate(&config).unwrap();
+        let split = ClassIncrementalSplit::hold_out_last(config.classes).unwrap();
+        let mut rng = Rng::seed_from_u64(seed);
+        let replay = replay_subset(&data, &split, per_class, &mut rng).unwrap();
+        let expected_per_class = per_class.min(config.train_per_class);
+        for class in split.pretrain_classes() {
+            prop_assert_eq!(replay.indices_of_class(*class).len(), expected_per_class);
+        }
+        let new_class = config.classes - 1;
+        prop_assert!(replay.indices_of_class(new_class).is_empty(),
+            "replay must never contain the held-out class");
+    }
+
+    #[test]
+    fn splits_partition_without_overlap(classes in 2u16..10) {
+        let split = ClassIncrementalSplit::hold_out_last(classes).unwrap();
+        let mut all: Vec<u16> = split
+            .pretrain_classes()
+            .iter()
+            .chain(split.continual_classes())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..classes).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,37 @@
+//! Analytic hardware cost models for embedded neuromorphic execution.
+//!
+//! The paper measures latency with GPU wall-clock and energy with the
+//! machine's power draw. Neither exists here, so — per the standard
+//! methodology of the neuromorphic-hardware literature — this crate maps
+//! *counted work* (synaptic accumulates, neuron updates, weight updates,
+//! codec frames, latent-memory traffic) through a parameterized
+//! [`profile::HardwareProfile`] to latency and energy. All comparative
+//! claims of the paper are driven by differences in counted work
+//! (timesteps, spikes, stored bits), which this model captures directly.
+//!
+//! # Example
+//!
+//! ```
+//! use ncl_hw::{ops::OpCounts, profile::HardwareProfile, report::CostReport};
+//!
+//! let profile = HardwareProfile::embedded();
+//! let mut work = OpCounts::default();
+//! work.synaptic_ops = 1_000_000;
+//! work.neuron_updates = 50_000;
+//! let report = CostReport::of(&work, &profile);
+//! assert!(report.latency.seconds() > 0.0);
+//! assert!(report.energy.joules() > 0.0);
+//! ```
+
+pub mod energy;
+pub mod latency;
+pub mod memory;
+pub mod ops;
+pub mod profile;
+pub mod report;
+
+pub use energy::Energy;
+pub use latency::Latency;
+pub use ops::OpCounts;
+pub use profile::HardwareProfile;
+pub use report::CostReport;

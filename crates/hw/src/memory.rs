@@ -1,0 +1,80 @@
+//! Latent-memory sizing (re-exported accounting plus report helpers).
+//!
+//! The bit-exact footprint model lives in [`ncl_spike::memory`]; this
+//! module adds the store-level summary used by the Fig. 12 reproduction.
+
+use ncl_spike::memory::{self, Alignment};
+use serde::{Deserialize, Serialize};
+
+/// Size summary of a latent-replay store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Number of stored samples.
+    pub samples: usize,
+    /// Payload bits per sample (`neurons x stored frames`).
+    pub payload_bits_per_sample: u64,
+    /// Total bits including metadata and alignment.
+    pub total_bits: u64,
+}
+
+impl MemoryFootprint {
+    /// Computes the footprint of `samples` equal-shaped latent entries.
+    #[must_use]
+    pub fn of(samples: usize, payload_bits_per_sample: u64, alignment: Alignment) -> Self {
+        MemoryFootprint {
+            samples,
+            payload_bits_per_sample,
+            total_bits: memory::store_bits(samples, payload_bits_per_sample, alignment),
+        }
+    }
+
+    /// Total size in KiB.
+    #[must_use]
+    pub fn kib(&self) -> f64 {
+        memory::bits_to_kib(self.total_bits)
+    }
+
+    /// Fractional saving of `self` relative to `baseline`
+    /// (`1 − self/baseline`); negative when `self` is larger.
+    #[must_use]
+    pub fn saving_vs(&self, baseline: &MemoryFootprint) -> f64 {
+        if baseline.total_bits == 0 {
+            return 0.0;
+        }
+        1.0 - self.total_bits as f64 / baseline.total_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig12_headline_band() {
+        // SpikingLR at insertion 3: 19 samples/class-count aside, 50
+        // neurons x 50 frames; Replay4NCL: 50 x 40.
+        let sota = MemoryFootprint::of(19, 50 * 50, Alignment::Byte);
+        let ours = MemoryFootprint::of(19, 50 * 40, Alignment::Byte);
+        let saving = ours.saving_vs(&sota);
+        assert!((0.18..=0.23).contains(&saving), "saving {saving}");
+        assert!(ours.kib() < sota.kib());
+    }
+
+    #[test]
+    fn later_layers_are_smaller() {
+        // Widths 200 / 100 / 50 at the same frame count.
+        let l1 = MemoryFootprint::of(19, 200 * 50, Alignment::Byte);
+        let l2 = MemoryFootprint::of(19, 100 * 50, Alignment::Byte);
+        let l3 = MemoryFootprint::of(19, 50 * 50, Alignment::Byte);
+        assert!(l1.total_bits > l2.total_bits);
+        assert!(l2.total_bits > l3.total_bits);
+    }
+
+    #[test]
+    fn saving_vs_degenerate_baseline() {
+        let a = MemoryFootprint::of(0, 100, Alignment::Bit);
+        let b = MemoryFootprint::of(1, 100, Alignment::Bit);
+        assert_eq!(b.saving_vs(&a), 0.0);
+        assert!(a.saving_vs(&b) > 0.99);
+    }
+}

@@ -1,0 +1,161 @@
+//! Hardware profiles: per-event energies and throughput figures.
+//!
+//! Default constants are 45/28 nm-class values in the range used by the
+//! neuromorphic-accelerator literature (e.g. Loihi-class synaptic-op
+//! energies of a few pJ, SRAM access fractions of a pJ per bit). Absolute
+//! numbers only set the scale of reports; every claim reproduced from the
+//! paper is a *ratio* between two runs under the same profile.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy, throughput and clock parameters of an execution target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareProfile {
+    /// Human-readable profile name.
+    pub name: String,
+    /// Energy per synaptic accumulate, picojoule.
+    pub e_synop_pj: f64,
+    /// Energy per neuron/integrator update, picojoule.
+    pub e_neuron_pj: f64,
+    /// Energy per weight update, picojoule.
+    pub e_weight_update_pj: f64,
+    /// Energy per bit of latent-memory traffic, picojoule.
+    pub e_mem_pj_per_bit: f64,
+    /// Energy per codec frame operation, picojoule.
+    pub e_codec_pj_per_frame: f64,
+    /// Parallel compute lanes (events retired per cycle).
+    pub lanes: f64,
+    /// Cycles per synaptic op (per lane).
+    pub cycles_per_synop: f64,
+    /// Cycles per neuron update (per lane).
+    pub cycles_per_neuron_update: f64,
+    /// Cycles per weight update (per lane).
+    pub cycles_per_weight_update: f64,
+    /// Cycles per codec frame (per lane).
+    pub cycles_per_codec_frame: f64,
+    /// Memory bandwidth, bits per cycle.
+    pub mem_bits_per_cycle: f64,
+    /// Core clock, Hz.
+    pub clock_hz: f64,
+}
+
+impl HardwareProfile {
+    /// Embedded neuromorphic edge device (the paper's deployment target):
+    /// modest clock, few lanes, SRAM-class memory energy.
+    #[must_use]
+    pub fn embedded() -> Self {
+        HardwareProfile {
+            name: "embedded-edge".into(),
+            e_synop_pj: 2.0,
+            e_neuron_pj: 8.0,
+            e_weight_update_pj: 12.0,
+            e_mem_pj_per_bit: 0.3,
+            e_codec_pj_per_frame: 4.0,
+            lanes: 8.0,
+            cycles_per_synop: 1.0,
+            cycles_per_neuron_update: 2.0,
+            cycles_per_weight_update: 4.0,
+            cycles_per_codec_frame: 2.0,
+            mem_bits_per_cycle: 64.0,
+            clock_hz: 200e6,
+        }
+    }
+
+    /// Loihi-like manycore: very low synaptic-op energy, high parallelism.
+    #[must_use]
+    pub fn loihi_like() -> Self {
+        HardwareProfile {
+            name: "loihi-like".into(),
+            e_synop_pj: 0.4,
+            e_neuron_pj: 2.0,
+            e_weight_update_pj: 6.0,
+            e_mem_pj_per_bit: 0.15,
+            e_codec_pj_per_frame: 2.0,
+            lanes: 128.0,
+            cycles_per_synop: 1.0,
+            cycles_per_neuron_update: 1.0,
+            cycles_per_weight_update: 2.0,
+            cycles_per_codec_frame: 1.0,
+            mem_bits_per_cycle: 512.0,
+            clock_hz: 100e6,
+        }
+    }
+
+    /// Edge-GPU-like device: high clock and bandwidth, but much higher
+    /// per-event energy (dense execution does not exploit sparsity).
+    #[must_use]
+    pub fn edge_gpu_like() -> Self {
+        HardwareProfile {
+            name: "edge-gpu-like".into(),
+            e_synop_pj: 20.0,
+            e_neuron_pj: 20.0,
+            e_weight_update_pj: 30.0,
+            e_mem_pj_per_bit: 1.2,
+            e_codec_pj_per_frame: 10.0,
+            lanes: 1024.0,
+            cycles_per_synop: 1.0,
+            cycles_per_neuron_update: 1.0,
+            cycles_per_weight_update: 1.0,
+            cycles_per_codec_frame: 1.0,
+            mem_bits_per_cycle: 4096.0,
+            clock_hz: 1.2e9,
+        }
+    }
+
+    /// Whether all parameters are positive and finite.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let vals = [
+            self.e_synop_pj,
+            self.e_neuron_pj,
+            self.e_weight_update_pj,
+            self.e_mem_pj_per_bit,
+            self.e_codec_pj_per_frame,
+            self.lanes,
+            self.cycles_per_synop,
+            self.cycles_per_neuron_update,
+            self.cycles_per_weight_update,
+            self.cycles_per_codec_frame,
+            self.mem_bits_per_cycle,
+            self.clock_hz,
+        ];
+        vals.iter().all(|v| v.is_finite() && *v > 0.0)
+    }
+}
+
+impl Default for HardwareProfile {
+    fn default() -> Self {
+        HardwareProfile::embedded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(HardwareProfile::embedded().is_valid());
+        assert!(HardwareProfile::loihi_like().is_valid());
+        assert!(HardwareProfile::edge_gpu_like().is_valid());
+        assert!(HardwareProfile::default().is_valid());
+        assert_eq!(HardwareProfile::default().name, "embedded-edge");
+    }
+
+    #[test]
+    fn invalid_detected() {
+        let mut p = HardwareProfile::embedded();
+        p.clock_hz = 0.0;
+        assert!(!p.is_valid());
+        p.clock_hz = f64::NAN;
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    fn neuromorphic_is_more_efficient_per_event_than_gpu() {
+        let loihi = HardwareProfile::loihi_like();
+        let gpu = HardwareProfile::edge_gpu_like();
+        assert!(loihi.e_synop_pj < gpu.e_synop_pj);
+        assert!(loihi.e_mem_pj_per_bit < gpu.e_mem_pj_per_bit);
+    }
+}

@@ -1,0 +1,131 @@
+//! Combined cost reports: latency + energy (+ optional memory), with the
+//! ratio helpers the figure reproductions print.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::energy::{self, Energy};
+use crate::latency::{self, Latency};
+use crate::ops::OpCounts;
+use crate::profile::HardwareProfile;
+
+/// Latency and energy of a counted workload under one profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Modeled execution latency.
+    pub latency: Latency,
+    /// Modeled energy.
+    pub energy: Energy,
+    /// The raw counted work.
+    pub ops: OpCounts,
+}
+
+impl CostReport {
+    /// Evaluates the cost of `ops` under `profile`.
+    #[must_use]
+    pub fn of(ops: &OpCounts, profile: &HardwareProfile) -> Self {
+        CostReport {
+            latency: latency::latency_of(ops, profile),
+            energy: energy::energy_of(ops, profile),
+            ops: *ops,
+        }
+    }
+
+    /// Speed-up of `self` relative to `baseline`
+    /// (`baseline.latency / self.latency`; > 1 means `self` is faster).
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &CostReport) -> f64 {
+        baseline.latency.ratio_to(self.latency)
+    }
+
+    /// Fractional energy saving of `self` relative to `baseline`
+    /// (`1 − self/baseline`).
+    #[must_use]
+    pub fn energy_saving_vs(&self, baseline: &CostReport) -> f64 {
+        if baseline.energy.joules() == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.energy.joules() / baseline.energy.joules()
+    }
+
+    /// Latency normalized to a baseline (`self / baseline`, the
+    /// normalization the paper's bar charts use).
+    #[must_use]
+    pub fn normalized_latency(&self, baseline: &CostReport) -> f64 {
+        self.latency.ratio_to(baseline.latency)
+    }
+
+    /// Energy normalized to a baseline.
+    #[must_use]
+    pub fn normalized_energy(&self, baseline: &CostReport) -> f64 {
+        self.energy.ratio_to(baseline.energy)
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "latency {} | energy {} | {} synops, {} neuron updates",
+            self.latency, self.energy, self.ops.synaptic_ops, self.ops.neuron_updates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(scale: u64) -> OpCounts {
+        OpCounts {
+            synaptic_ops: 1000 * scale,
+            neuron_updates: 100 * scale,
+            mem_read_bits: 640 * scale,
+            ..OpCounts::default()
+        }
+    }
+
+    #[test]
+    fn ratios_behave() {
+        let p = HardwareProfile::embedded();
+        let slow = CostReport::of(&work(5), &p);
+        let fast = CostReport::of(&work(1), &p);
+        assert!((fast.speedup_vs(&slow) - 5.0).abs() < 1e-9);
+        assert!((fast.energy_saving_vs(&slow) - 0.8).abs() < 1e-9);
+        assert!((fast.normalized_latency(&slow) - 0.2).abs() < 1e-9);
+        assert!((fast.normalized_energy(&slow) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_baseline() {
+        let p = HardwareProfile::embedded();
+        let zero = CostReport::of(&OpCounts::default(), &p);
+        let one = CostReport::of(&work(1), &p);
+        assert_eq!(one.energy_saving_vs(&zero), 0.0);
+        assert_eq!(zero.speedup_vs(&one), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_mentions_units() {
+        let p = HardwareProfile::embedded();
+        let r = CostReport::of(&work(1), &p);
+        let s = r.to_string();
+        assert!(s.contains("latency"));
+        assert!(s.contains("energy"));
+        assert!(s.contains("synops"));
+    }
+
+    #[test]
+    fn profile_choice_changes_absolute_but_not_relative() {
+        let a = HardwareProfile::embedded();
+        let b = HardwareProfile::loihi_like();
+        let r1a = CostReport::of(&work(1), &a);
+        let r5a = CostReport::of(&work(5), &a);
+        let r1b = CostReport::of(&work(1), &b);
+        let r5b = CostReport::of(&work(5), &b);
+        // Absolute numbers differ across profiles...
+        assert_ne!(r1a.latency, r1b.latency);
+        // ...but the 5x workload ratio is profile-invariant.
+        assert!((r1a.speedup_vs(&r5a) - r1b.speedup_vs(&r5b)).abs() < 1e-9);
+    }
+}

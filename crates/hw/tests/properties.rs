@@ -1,0 +1,95 @@
+//! Property-based tests of the hardware cost models: additivity,
+//! monotonicity and profile-invariant orderings.
+
+use ncl_hw::{energy, latency, CostReport, HardwareProfile, OpCounts};
+use proptest::prelude::*;
+
+fn ops_strategy() -> impl Strategy<Value = OpCounts> {
+    (0u64..1_000_000, 0u64..100_000, 0u64..50_000, 0u64..10_000, 0u64..500_000, 0u64..500_000)
+        .prop_map(|(s, n, w, c, r, wr)| OpCounts {
+            synaptic_ops: s,
+            neuron_updates: n,
+            weight_updates: w,
+            codec_frames: c,
+            mem_read_bits: r,
+            mem_write_bits: wr,
+        })
+}
+
+fn profiles() -> [HardwareProfile; 3] {
+    [HardwareProfile::embedded(), HardwareProfile::loihi_like(), HardwareProfile::edge_gpu_like()]
+}
+
+proptest! {
+    #[test]
+    fn cost_is_additive(a in ops_strategy(), b in ops_strategy()) {
+        for profile in profiles() {
+            let la = latency::latency_of(&a, &profile).seconds();
+            let lb = latency::latency_of(&b, &profile).seconds();
+            let lsum = latency::latency_of(&(a + b), &profile).seconds();
+            prop_assert!((lsum - (la + lb)).abs() <= 1e-9 * lsum.max(1e-30));
+
+            let ea = energy::energy_of(&a, &profile).joules();
+            let eb = energy::energy_of(&b, &profile).joules();
+            let esum = energy::energy_of(&(a + b), &profile).joules();
+            prop_assert!((esum - (ea + eb)).abs() <= 1e-9 * esum.max(1e-30));
+        }
+    }
+
+    #[test]
+    fn more_work_never_costs_less(a in ops_strategy(), extra in ops_strategy()) {
+        for profile in profiles() {
+            let base = CostReport::of(&a, &profile);
+            let more = CostReport::of(&(a + extra), &profile);
+            prop_assert!(more.latency >= base.latency);
+            prop_assert!(more.energy >= base.energy);
+        }
+    }
+
+    #[test]
+    fn latency_ordering_is_profile_invariant_for_scaled_work(
+        a in ops_strategy(), scale in 2u64..10
+    ) {
+        // Same op mix at different scales orders identically under every
+        // profile (scaling preserves the mix).
+        let scaled = OpCounts {
+            synaptic_ops: a.synaptic_ops * scale,
+            neuron_updates: a.neuron_updates * scale,
+            weight_updates: a.weight_updates * scale,
+            codec_frames: a.codec_frames * scale,
+            mem_read_bits: a.mem_read_bits * scale,
+            mem_write_bits: a.mem_write_bits * scale,
+        };
+        for profile in profiles() {
+            let small = CostReport::of(&a, &profile);
+            let big = CostReport::of(&scaled, &profile);
+            prop_assert!(big.latency >= small.latency);
+            if !a.is_zero() {
+                let ratio = big.latency.ratio_to(small.latency);
+                prop_assert!((ratio - scale as f64).abs() < 1e-6,
+                    "scaling must be exact: {ratio} vs {scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_work_costs_nothing_everywhere(_x in 0u8..1) {
+        for profile in profiles() {
+            let r = CostReport::of(&OpCounts::default(), &profile);
+            prop_assert_eq!(r.latency.seconds(), 0.0);
+            prop_assert_eq!(r.energy.joules(), 0.0);
+        }
+    }
+
+    #[test]
+    fn normalization_identities(a in ops_strategy()) {
+        prop_assume!(!a.is_zero());
+        for profile in profiles() {
+            let r = CostReport::of(&a, &profile);
+            prop_assert!((r.normalized_latency(&r) - 1.0).abs() < 1e-12);
+            prop_assert!((r.normalized_energy(&r) - 1.0).abs() < 1e-12);
+            prop_assert!((r.speedup_vs(&r) - 1.0).abs() < 1e-12);
+            prop_assert!(r.energy_saving_vs(&r).abs() < 1e-12);
+        }
+    }
+}

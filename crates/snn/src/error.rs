@@ -1,0 +1,105 @@
+//! Error type for SNN construction, simulation and training.
+
+use std::error::Error;
+use std::fmt;
+
+use ncl_spike::SpikeError;
+use ncl_tensor::TensorError;
+
+/// Error returned by fallible SNN operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnnError {
+    /// A network or training configuration was invalid.
+    InvalidConfig {
+        /// Which parameter failed validation.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Input data did not match the network's expected shape.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// A stage index was outside `0..=layers`.
+    InvalidStage {
+        /// The offending stage.
+        stage: usize,
+        /// Number of hidden layers in the network.
+        layers: usize,
+    },
+    /// An underlying tensor kernel failed (internal invariant violation).
+    Tensor(TensorError),
+    /// An underlying spike-raster operation failed.
+    Spike(SpikeError),
+    /// Serialized model bytes were malformed.
+    Deserialize {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::InvalidConfig { what, detail } => write!(f, "invalid {what}: {detail}"),
+            SnnError::ShapeMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected size {expected}, got {actual}")
+            }
+            SnnError::InvalidStage { stage, layers } => {
+                write!(f, "stage {stage} out of range for a network with {layers} hidden layers")
+            }
+            SnnError::Tensor(e) => write!(f, "tensor kernel failed: {e}"),
+            SnnError::Spike(e) => write!(f, "spike operation failed: {e}"),
+            SnnError::Deserialize { detail } => write!(f, "malformed model bytes: {detail}"),
+        }
+    }
+}
+
+impl Error for SnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnnError::Tensor(e) => Some(e),
+            SnnError::Spike(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SnnError {
+    fn from(e: TensorError) -> Self {
+        SnnError::Tensor(e)
+    }
+}
+
+impl From<SpikeError> for SnnError {
+    fn from(e: SpikeError) -> Self {
+        SnnError::Spike(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SnnError::InvalidStage { stage: 9, layers: 3 };
+        assert!(e.to_string().contains("stage 9"));
+        let t: SnnError = TensorError::ZeroDimension { op: "gemv" }.into();
+        assert!(t.source().is_some());
+        let s: SnnError = SpikeError::InvalidParameter { what: "x", detail: "y".into() }.into();
+        assert!(s.to_string().contains("spike"));
+        assert!(SnnError::Deserialize { detail: "short".into() }.to_string().contains("short"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SnnError>();
+    }
+}

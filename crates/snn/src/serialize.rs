@@ -1,0 +1,219 @@
+//! Binary model serialization.
+//!
+//! A dependency-light fixed binary format (little-endian, versioned magic)
+//! so pre-trained models can be cached to disk between experiment runs —
+//! the pre-training phase is by far the most expensive part of every
+//! figure regeneration.
+
+use bytes::{Buf, BufMut};
+
+use crate::config::{LifConfig, NetworkConfig, ReadoutConfig};
+use crate::error::SnnError;
+use crate::network::Network;
+use crate::surrogate::SurrogateKind;
+
+/// Stable on-disk tag of a surrogate kind.
+fn surrogate_kind_tag(kind: SurrogateKind) -> u8 {
+    match kind {
+        SurrogateKind::FastSigmoid => 0,
+        SurrogateKind::ArcTan => 1,
+        SurrogateKind::Triangular => 2,
+        SurrogateKind::Gaussian => 3,
+    }
+}
+
+/// Inverse of [`surrogate_kind_tag`].
+fn surrogate_kind_from_tag(tag: u8) -> Result<SurrogateKind, SnnError> {
+    match tag {
+        0 => Ok(SurrogateKind::FastSigmoid),
+        1 => Ok(SurrogateKind::ArcTan),
+        2 => Ok(SurrogateKind::Triangular),
+        3 => Ok(SurrogateKind::Gaussian),
+        other => Err(SnnError::Deserialize {
+            detail: format!("unknown surrogate kind tag {other}"),
+        }),
+    }
+}
+
+/// Magic + version prefix of the model format.
+pub const MAGIC: &[u8; 8] = b"NCLSNN02";
+
+/// Serializes a network (architecture + all weights) to bytes.
+///
+/// # Example
+///
+/// ```
+/// use ncl_snn::{Network, NetworkConfig, serialize};
+///
+/// # fn main() -> Result<(), ncl_snn::SnnError> {
+/// let net = Network::new(NetworkConfig::tiny(4, 2))?;
+/// let bytes = serialize::to_bytes(&net);
+/// let restored = serialize::from_bytes(&bytes)?;
+/// assert_eq!(net, restored);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_bytes(net: &Network) -> Vec<u8> {
+    let config = net.config();
+    let mut buf = Vec::with_capacity(64 + net.trainable_params(0).unwrap_or(0) * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(config.input_size as u64);
+    buf.put_u32_le(config.hidden_sizes.len() as u32);
+    for &h in &config.hidden_sizes {
+        buf.put_u64_le(h as u64);
+    }
+    buf.put_u64_le(config.output_size as u64);
+    buf.put_u8(u8::from(config.recurrent));
+    buf.put_f32_le(config.lif.beta);
+    buf.put_f32_le(config.lif.v_threshold);
+    buf.put_f32_le(config.lif.surrogate_scale);
+    buf.put_u8(surrogate_kind_tag(config.lif.surrogate_kind));
+    buf.put_f32_le(config.readout.beta);
+    buf.put_u64_le(config.seed);
+
+    // Weights in the canonical visitation order (stage 0 = everything).
+    let mut clone = net.clone();
+    clone
+        .visit_trainable_mut(0, |slice| {
+            for &v in slice.iter() {
+                buf.put_f32_le(v);
+            }
+        })
+        .expect("stage 0 is always valid");
+    buf
+}
+
+/// Deserializes a network from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`SnnError::Deserialize`] for malformed/truncated bytes and
+/// [`SnnError::InvalidConfig`] if the embedded configuration is invalid.
+pub fn from_bytes(mut bytes: &[u8]) -> Result<Network, SnnError> {
+    let need = |buf: &&[u8], n: usize, what: &str| -> Result<(), SnnError> {
+        if buf.remaining() < n {
+            return Err(SnnError::Deserialize { detail: format!("truncated while reading {what}") });
+        }
+        Ok(())
+    };
+
+    need(&bytes, 8, "magic")?;
+    let mut magic = [0u8; 8];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SnnError::Deserialize { detail: "bad magic (not an NCLSNN02 model)".into() });
+    }
+
+    need(&bytes, 8, "input size")?;
+    let input_size = bytes.get_u64_le() as usize;
+    need(&bytes, 4, "hidden count")?;
+    let n_hidden = bytes.get_u32_le() as usize;
+    if n_hidden > 1024 {
+        return Err(SnnError::Deserialize {
+            detail: format!("implausible hidden layer count {n_hidden}"),
+        });
+    }
+    let mut hidden_sizes = Vec::with_capacity(n_hidden);
+    for _ in 0..n_hidden {
+        need(&bytes, 8, "hidden size")?;
+        hidden_sizes.push(bytes.get_u64_le() as usize);
+    }
+    need(&bytes, 8 + 1 + 17 + 8, "parameters")?;
+    let output_size = bytes.get_u64_le() as usize;
+    let recurrent = bytes.get_u8() != 0;
+    let beta = bytes.get_f32_le();
+    let v_threshold = bytes.get_f32_le();
+    let surrogate_scale = bytes.get_f32_le();
+    let surrogate_kind = surrogate_kind_from_tag(bytes.get_u8())?;
+    let lif = LifConfig { beta, v_threshold, surrogate_scale, surrogate_kind };
+    let readout = ReadoutConfig { beta: bytes.get_f32_le() };
+    let seed = bytes.get_u64_le();
+
+    let config = NetworkConfig {
+        input_size,
+        hidden_sizes,
+        output_size,
+        recurrent,
+        lif,
+        readout,
+        seed,
+    };
+    let mut net = Network::new(config)?;
+    let expected = net.trainable_params(0)?;
+    if bytes.remaining() != expected * 4 {
+        return Err(SnnError::Deserialize {
+            detail: format!(
+                "weight payload mismatch: expected {} bytes, found {}",
+                expected * 4,
+                bytes.remaining()
+            ),
+        });
+    }
+    net.visit_trainable_mut(0, |slice| {
+        for v in slice.iter_mut() {
+            *v = bytes.get_f32_le();
+        }
+    })?;
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+
+    #[test]
+    fn round_trip_exact() {
+        let net = Network::new(NetworkConfig::tiny(7, 4)).unwrap();
+        let bytes = to_bytes(&net);
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(net, restored);
+    }
+
+    #[test]
+    fn round_trip_after_training_changes() {
+        let mut net = Network::new(NetworkConfig::tiny(7, 4)).unwrap();
+        net.layer_mut(0).w_ff_mut().set(0, 0, 123.456);
+        net.readout_mut().bias_mut()[2] = -9.0;
+        let restored = from_bytes(&to_bytes(&net)).unwrap();
+        assert_eq!(restored.layer(0).w_ff().get(0, 0), 123.456);
+        assert_eq!(restored.readout().bias()[2], -9.0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let net = Network::new(NetworkConfig::tiny(4, 2)).unwrap();
+        let mut bytes = to_bytes(&net);
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(SnnError::Deserialize { .. })));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let net = Network::new(NetworkConfig::tiny(4, 2)).unwrap();
+        let bytes = to_bytes(&net);
+        // Any strict prefix must fail cleanly, never panic.
+        for cut in [0, 4, 8, 12, 20, 40, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let net = Network::new(NetworkConfig::tiny(4, 2)).unwrap();
+        let mut bytes = to_bytes(&net);
+        bytes.extend_from_slice(&[0u8; 4]);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn paper_architecture_round_trips() {
+        let net = Network::new(NetworkConfig::paper()).unwrap();
+        let bytes = to_bytes(&net);
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(net, restored);
+        // ~ (700*200 + 200*200 + 200 + ...) weights: format is compact.
+        assert!(bytes.len() < 2 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,398 @@
+//! Mini-batch training and evaluation loops.
+//!
+//! The trainer is deliberately dataset-agnostic: it consumes slices of
+//! `(&SpikeRaster, label)` pairs so the same loop trains on raw input
+//! rasters (pre-training) and on captured latent activations (the CL
+//! phase). Per-sample gradients within a batch are computed in parallel
+//! with crossbeam scoped threads.
+
+use crossbeam::thread;
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::adaptive::ThresholdMode;
+use crate::bptt::{self, Gradients};
+use crate::error::SnnError;
+use crate::network::Network;
+use crate::optimizer::Optimizer;
+
+/// Options controlling one training phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Stage the trainable layers start after (0 = train everything).
+    pub from_stage: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Worker threads for per-sample gradient computation.
+    pub parallelism: usize,
+    /// How firing thresholds are determined during training.
+    pub threshold_mode: ThresholdMode,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            from_stage: 0,
+            batch_size: 16,
+            parallelism: 2,
+            threshold_mode: ThresholdMode::Constant,
+        }
+    }
+}
+
+impl TrainOptions {
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] for a zero batch size or zero
+    /// parallelism.
+    pub fn validate(&self) -> Result<(), SnnError> {
+        if self.batch_size == 0 {
+            return Err(SnnError::InvalidConfig {
+                what: "batch_size",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if self.parallelism == 0 {
+            return Err(SnnError::InvalidConfig {
+                what: "parallelism",
+                detail: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-epoch training summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Mean loss over all samples of the epoch.
+    pub mean_loss: f32,
+    /// Number of samples trained on.
+    pub samples: usize,
+    /// Summed spike activity of all training forward passes (for cost
+    /// modeling); `None` when the epoch was empty.
+    pub activity: Option<crate::network::ForwardActivity>,
+}
+
+/// Classification accuracy counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Correct predictions.
+    pub correct: usize,
+    /// Total predictions.
+    pub total: usize,
+}
+
+impl Accuracy {
+    /// Top-1 accuracy in `[0, 1]`; `0.0` when empty.
+    #[must_use]
+    pub fn top1(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: Accuracy) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+}
+
+/// Computes loss and gradients for one sample.
+fn sample_gradient(
+    net: &Network,
+    raster: &SpikeRaster,
+    label: u16,
+    options: &TrainOptions,
+) -> Result<(f32, Gradients, crate::network::ForwardActivity), SnnError> {
+    let base = net.config().lif.v_threshold;
+    let schedule = options.threshold_mode.schedule_for(raster, base)?;
+    let history = net.record_from(options.from_stage, raster, Some(&schedule))?;
+    let activity = history.activity.clone();
+    let (loss, grads) = bptt::backward(net, &history, label as usize)?;
+    Ok((loss, grads, activity))
+}
+
+/// Computes the summed gradients and loss of a batch, fanning samples out
+/// over `options.parallelism` threads.
+fn batch_gradient(
+    net: &Network,
+    batch: &[(&SpikeRaster, u16)],
+    options: &TrainOptions,
+) -> Result<(f32, Gradients, Option<crate::network::ForwardActivity>), SnnError> {
+    let workers = options.parallelism.min(batch.len()).max(1);
+    if workers == 1 {
+        let mut total = Gradients::zeros(net, options.from_stage)?;
+        let mut loss_sum = 0.0f32;
+        let mut activity: Option<crate::network::ForwardActivity> = None;
+        for &(raster, label) in batch {
+            let (loss, g, a) = sample_gradient(net, raster, label, options)?;
+            loss_sum += loss;
+            total.accumulate(&g)?;
+            match activity.as_mut() {
+                None => activity = Some(a),
+                Some(acc) => acc.merge(&a)?,
+            }
+        }
+        return Ok((loss_sum, total, activity));
+    }
+
+    let chunk = batch.len().div_ceil(workers);
+    type Partial = (f32, Gradients, Option<crate::network::ForwardActivity>);
+    let results = thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in batch.chunks(chunk) {
+            handles.push(scope.spawn(move |_| -> Result<Partial, SnnError> {
+                let mut total = Gradients::zeros(net, options.from_stage)?;
+                let mut loss_sum = 0.0f32;
+                let mut activity: Option<crate::network::ForwardActivity> = None;
+                for &(raster, label) in part {
+                    let (loss, g, a) = sample_gradient(net, raster, label, options)?;
+                    loss_sum += loss;
+                    total.accumulate(&g)?;
+                    match activity.as_mut() {
+                        None => activity = Some(a),
+                        Some(acc) => acc.merge(&a)?,
+                    }
+                }
+                Ok((loss_sum, total, activity))
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope panicked");
+
+    let mut total = Gradients::zeros(net, options.from_stage)?;
+    let mut loss_sum = 0.0f32;
+    let mut activity: Option<crate::network::ForwardActivity> = None;
+    for r in results {
+        let (l, g, a) = r?;
+        loss_sum += l;
+        total.accumulate(&g)?;
+        match (&mut activity, a) {
+            (None, x) => activity = x,
+            (Some(acc), Some(x)) => acc.merge(&x)?,
+            (Some(_), None) => {}
+        }
+    }
+    Ok((loss_sum, total, activity))
+}
+
+/// Trains one epoch over `samples` (shuffled), applying one optimizer step
+/// per mini-batch with mean-reduced gradients.
+///
+/// # Errors
+///
+/// Returns [`SnnError`] on invalid options, shape mismatches or label
+/// range violations.
+pub fn train_epoch(
+    net: &mut Network,
+    samples: &[(&SpikeRaster, u16)],
+    optimizer: &mut Optimizer,
+    options: &TrainOptions,
+    rng: &mut Rng,
+) -> Result<EpochReport, SnnError> {
+    options.validate()?;
+    if samples.is_empty() {
+        return Ok(EpochReport { mean_loss: 0.0, samples: 0, activity: None });
+    }
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    rng.shuffle(&mut order);
+
+    let mut loss_sum = 0.0f32;
+    let mut activity: Option<crate::network::ForwardActivity> = None;
+    for batch_idx in order.chunks(options.batch_size) {
+        let batch: Vec<(&SpikeRaster, u16)> = batch_idx.iter().map(|&i| samples[i]).collect();
+        let (batch_loss, mut grads, batch_activity) = batch_gradient(net, &batch, options)?;
+        grads.scale(1.0 / batch.len() as f32);
+        optimizer.step(net, &grads)?;
+        loss_sum += batch_loss;
+        match (&mut activity, batch_activity) {
+            (None, x) => activity = x,
+            (Some(acc), Some(x)) => acc.merge(&x)?,
+            (Some(_), None) => {}
+        }
+    }
+    Ok(EpochReport {
+        mean_loss: loss_sum / samples.len() as f32,
+        samples: samples.len(),
+        activity,
+    })
+}
+
+/// Evaluates Top-1 accuracy of the network (executed from `from_stage`)
+/// over labeled rasters.
+///
+/// # Errors
+///
+/// Returns [`SnnError`] on shape mismatches.
+pub fn evaluate(
+    net: &Network,
+    samples: &[(&SpikeRaster, u16)],
+    from_stage: usize,
+    threshold_mode: ThresholdMode,
+) -> Result<Accuracy, SnnError> {
+    let base = net.config().lif.v_threshold;
+    let mut acc = Accuracy::default();
+    for &(raster, label) in samples {
+        let schedule = threshold_mode.schedule_for(raster, base)?;
+        let logits = net.forward_from(from_stage, raster, Some(&schedule))?;
+        let pred = ncl_tensor::ops::argmax(&logits).expect("non-empty logits");
+        acc.total += 1;
+        if pred == label as usize {
+            acc.correct += 1;
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+
+    /// Two linearly-separated "classes": spikes in the low channels vs the
+    /// high channels.
+    fn toy_problem(n_per_class: usize, steps: usize) -> Vec<(SpikeRaster, u16)> {
+        let mut rng = Rng::seed_from_u64(31);
+        let mut out = Vec::new();
+        for i in 0..n_per_class * 2 {
+            let label = (i % 2) as u16;
+            let raster = SpikeRaster::from_fn(8, steps, |n, _| {
+                let in_band = if label == 0 { n < 4 } else { n >= 4 };
+                in_band && rng.bernoulli(0.5)
+            });
+            out.push((raster, label));
+        }
+        out
+    }
+
+    #[test]
+    fn options_validation() {
+        let mut o = TrainOptions::default();
+        assert!(o.validate().is_ok());
+        o.batch_size = 0;
+        assert!(o.validate().is_err());
+        let o = TrainOptions { parallelism: 0, ..TrainOptions::default() };
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn accuracy_counter() {
+        let mut a = Accuracy { correct: 3, total: 4 };
+        assert!((a.top1() - 0.75).abs() < 1e-12);
+        a.merge(Accuracy { correct: 1, total: 4 });
+        assert_eq!(a.correct, 4);
+        assert_eq!(a.total, 8);
+        assert_eq!(Accuracy::default().top1(), 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_a_noop() {
+        let mut net = Network::new(NetworkConfig::tiny(8, 2)).unwrap();
+        let mut opt = Optimizer::adam(1e-3);
+        let mut rng = Rng::seed_from_u64(1);
+        let report =
+            train_epoch(&mut net, &[], &mut opt, &TrainOptions::default(), &mut rng).unwrap();
+        assert_eq!(report.samples, 0);
+    }
+
+    #[test]
+    fn training_learns_toy_problem() {
+        let mut net = Network::new(NetworkConfig::tiny(8, 2)).unwrap();
+        let data = toy_problem(10, 15);
+        let refs: Vec<(&SpikeRaster, u16)> = data.iter().map(|(r, l)| (r, *l)).collect();
+        let mut opt = Optimizer::adam(2e-3);
+        let options = TrainOptions { batch_size: 4, ..TrainOptions::default() };
+        let mut rng = Rng::seed_from_u64(7);
+
+        let before = evaluate(&net, &refs, 0, ThresholdMode::Constant).unwrap();
+        let mut losses = Vec::new();
+        for _ in 0..15 {
+            let r = train_epoch(&mut net, &refs, &mut opt, &options, &mut rng).unwrap();
+            losses.push(r.mean_loss);
+        }
+        let after = evaluate(&net, &refs, 0, ThresholdMode::Constant).unwrap();
+        assert!(
+            after.top1() >= before.top1().max(0.9),
+            "training should solve the toy problem: {} -> {}",
+            before.top1(),
+            after.top1()
+        );
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn parallel_and_serial_training_agree() {
+        // With the same shuffling RNG, 1-thread and 2-thread batch gradient
+        // sums are identical up to float association; final accuracy paths
+        // must both learn. We check the batch gradient itself for equality.
+        let net = Network::new(NetworkConfig::tiny(8, 2)).unwrap();
+        let data = toy_problem(6, 10);
+        let refs: Vec<(&SpikeRaster, u16)> = data.iter().map(|(r, l)| (r, *l)).collect();
+        let serial = TrainOptions { parallelism: 1, ..TrainOptions::default() };
+        let parallel = TrainOptions { parallelism: 2, ..TrainOptions::default() };
+        let (l1, g1, a1) = batch_gradient(&net, &refs, &serial).unwrap();
+        let (l2, g2, a2) = batch_gradient(&net, &refs, &parallel).unwrap();
+        assert_eq!(a1, a2, "activity accounting is order-independent");
+        assert!((l1 - l2).abs() < 1e-4);
+        let mut a = Vec::new();
+        g1.visit(|s| a.extend_from_slice(s));
+        let mut b = Vec::new();
+        g2.visit(|s| b.extend_from_slice(s));
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn training_from_partial_stage_only_touches_learning_layers() {
+        let mut net = Network::new(NetworkConfig::tiny(8, 2)).unwrap();
+        let data = toy_problem(4, 10);
+        // Capture activations at stage 1, train stages 2.. on them.
+        let acts: Vec<(SpikeRaster, u16)> = data
+            .iter()
+            .map(|(r, l)| (net.activations_at(1, r).unwrap(), *l))
+            .collect();
+        let refs: Vec<(&SpikeRaster, u16)> = acts.iter().map(|(r, l)| (r, *l)).collect();
+
+        let frozen_before = net.layer(0).w_ff().clone();
+        let learn_before = net.layer(1).w_ff().clone();
+        let mut opt = Optimizer::adam(1e-2);
+        let options = TrainOptions { from_stage: 1, ..TrainOptions::default() };
+        let mut rng = Rng::seed_from_u64(9);
+        train_epoch(&mut net, &refs, &mut opt, &options, &mut rng).unwrap();
+
+        assert_eq!(net.layer(0).w_ff(), &frozen_before, "frozen layer untouched");
+        assert_ne!(net.layer(1).w_ff(), &learn_before, "learning layer updated");
+    }
+
+    #[test]
+    fn adaptive_mode_trains_without_error() {
+        let mut net = Network::new(NetworkConfig::tiny(8, 2)).unwrap();
+        let data = toy_problem(4, 10);
+        let refs: Vec<(&SpikeRaster, u16)> = data.iter().map(|(r, l)| (r, *l)).collect();
+        let mut opt = Optimizer::adam(1e-3);
+        let options = TrainOptions {
+            threshold_mode: ThresholdMode::Adaptive(crate::adaptive::AdaptivePolicy::default()),
+            ..TrainOptions::default()
+        };
+        let mut rng = Rng::seed_from_u64(11);
+        let report = train_epoch(&mut net, &refs, &mut opt, &options, &mut rng).unwrap();
+        assert!(report.mean_loss.is_finite());
+        let acc = evaluate(
+            &net,
+            &refs,
+            0,
+            ThresholdMode::Adaptive(crate::adaptive::AdaptivePolicy::default()),
+        )
+        .unwrap();
+        assert!(acc.total == refs.len());
+    }
+}

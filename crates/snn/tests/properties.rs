@@ -1,0 +1,124 @@
+//! Property-based tests of the SNN simulator: determinism, stage-split
+//! consistency, threshold monotonicity, gradient well-formedness and
+//! serialization round-trips under randomized configurations.
+
+use ncl_snn::adaptive::{AdaptivePolicy, ThresholdSchedule};
+use ncl_snn::{bptt, serialize, LifConfig, Network, NetworkConfig, ReadoutConfig};
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+use proptest::prelude::*;
+
+/// Strategy: a small random-but-valid network configuration.
+fn config_strategy() -> impl Strategy<Value = NetworkConfig> {
+    (2usize..10, 1usize..3, 2usize..8, 2usize..5, any::<u64>(), any::<bool>()).prop_map(
+        |(input, depth, width, outputs, seed, recurrent)| NetworkConfig {
+            input_size: input,
+            hidden_sizes: vec![width; depth],
+            output_size: outputs,
+            recurrent,
+            lif: LifConfig::default(),
+            readout: ReadoutConfig::default(),
+            seed,
+        },
+    )
+}
+
+/// Strategy: a raster matching `neurons`, with moderate density.
+fn raster_for(neurons: usize, steps: usize, seed: u64) -> SpikeRaster {
+    let mut rng = Rng::seed_from_u64(seed);
+    SpikeRaster::from_fn(neurons, steps, |_, _| rng.bernoulli(0.35))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_is_deterministic_and_finite(config in config_strategy(), seed in any::<u64>()) {
+        let net = Network::new(config.clone()).unwrap();
+        let input = raster_for(config.input_size, 12, seed);
+        let a = net.forward(&input).unwrap();
+        let b = net.forward(&input).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), config.output_size);
+        prop_assert!(a.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn stage_split_equals_full_forward(config in config_strategy(), seed in any::<u64>()) {
+        let net = Network::new(config.clone()).unwrap();
+        let input = raster_for(config.input_size, 10, seed);
+        let full = net.forward(&input).unwrap();
+        for stage in 0..=config.hidden_sizes.len() {
+            let act = net.activations_at(stage, &input).unwrap();
+            let split = net.forward_from(stage, &act, None).unwrap();
+            for (a, b) in full.iter().zip(split.iter()) {
+                prop_assert!((a - b).abs() < 1e-4,
+                    "stage {stage}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_are_finite(config in config_strategy(), seed in any::<u64>()) {
+        let net = Network::new(config.clone()).unwrap();
+        let input = raster_for(config.input_size, 10, seed);
+        let history = net.record_from(0, &input, None).unwrap();
+        let (loss, grads) = bptt::backward(&net, &history, 0).unwrap();
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        let mut all_finite = true;
+        grads.visit(|s| all_finite &= s.iter().all(|v| v.is_finite()));
+        prop_assert!(all_finite);
+    }
+
+    #[test]
+    fn serialize_round_trips_any_config(config in config_strategy()) {
+        let net = Network::new(config).unwrap();
+        let restored = serialize::from_bytes(&serialize::to_bytes(&net)).unwrap();
+        prop_assert_eq!(net, restored);
+    }
+
+    #[test]
+    fn adaptive_schedule_is_bounded(
+        steps in 1usize..80,
+        density in 0.0f64..0.9,
+        seed in any::<u64>()
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let raster = SpikeRaster::from_fn(8, steps, |_, _| rng.bernoulli(density));
+        let policy = AdaptivePolicy::default();
+        let schedule = ThresholdSchedule::adaptive(&raster, &policy).unwrap();
+        prop_assert_eq!(schedule.len(), steps);
+        for t in 0..steps {
+            let v = schedule.value_at(t);
+            // Lower bound: sigmoid decay floor (~0.5); upper bound: the
+            // Alg. 1 boost formula at mean spike time 0.
+            prop_assert!(v >= 0.49, "t={t}: {v}");
+            prop_assert!(v <= policy.base + policy.timing_coef * steps as f32 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn lower_threshold_never_fires_less(seed in any::<u64>()) {
+        let config = NetworkConfig::tiny(10, 3);
+        let net = Network::new(config).unwrap();
+        let input = raster_for(10, 15, seed);
+        let low = ThresholdSchedule::constant(0.4, 15);
+        let high = ThresholdSchedule::constant(1.2, 15);
+        let (_, a_low) = net.forward_from_traced(0, &input, Some(&low)).unwrap();
+        let (_, a_high) = net.forward_from_traced(0, &input, Some(&high)).unwrap();
+        // First hidden layer sees the same input spikes either way; its
+        // output can only shrink with a higher threshold.
+        prop_assert!(a_low.stages[0].out_spikes >= a_high.stages[0].out_spikes);
+    }
+
+    #[test]
+    fn trainable_param_count_matches_visitation(config in config_strategy()) {
+        let mut net = Network::new(config.clone()).unwrap();
+        for stage in 0..=config.hidden_sizes.len() {
+            let declared = net.trainable_params(stage).unwrap();
+            let mut visited = 0usize;
+            net.visit_trainable_mut(stage, |s| visited += s.len()).unwrap();
+            prop_assert_eq!(declared, visited);
+        }
+    }
+}

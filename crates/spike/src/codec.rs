@@ -1,0 +1,290 @@
+//! The latent-replay compression codec of the paper (Fig. 7).
+//!
+//! The mechanism — adopted by both SpikingLR and Replay4NCL — is temporal
+//! **frame decimation**: compression keeps every `c`-th timestep frame of
+//! the raster (`compressed[t] = original[c*t]`), and decompression
+//! re-expands by inserting `c − 1` zero frames after every stored frame.
+//! The paper's Fig. 7 bit pattern
+//! (`1101 0100 1011 10 → 1000 111 → 1000 0000 1010 10`) is exactly this
+//! scheme with `c = 2`; a unit test below checks that pattern verbatim.
+//!
+//! Decimation is lossy (odd frames are discarded) — that information loss
+//! is precisely what the paper's parameter adjustments (Section III-B)
+//! compensate for.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SpikeError;
+use crate::raster::SpikeRaster;
+
+/// A validated compression factor (`>= 1`); `1` means "store verbatim".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CompressionFactor(u32);
+
+impl CompressionFactor {
+    /// Identity compression (factor 1).
+    pub const IDENTITY: CompressionFactor = CompressionFactor(1);
+
+    /// Creates a compression factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpikeError::InvalidParameter`] if `factor == 0`.
+    pub fn new(factor: u32) -> Result<Self, SpikeError> {
+        if factor == 0 {
+            return Err(SpikeError::InvalidParameter {
+                what: "compression factor",
+                detail: "must be at least 1".into(),
+            });
+        }
+        Ok(CompressionFactor(factor))
+    }
+
+    /// The raw factor value.
+    #[must_use]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for CompressionFactor {
+    fn default() -> Self {
+        CompressionFactor::IDENTITY
+    }
+}
+
+/// A compressed latent-replay raster: decimated frames plus the metadata
+/// needed to re-expand it.
+///
+/// # Example
+///
+/// ```
+/// use ncl_spike::{SpikeRaster, codec::{self, CompressionFactor}};
+///
+/// # fn main() -> Result<(), ncl_spike::SpikeError> {
+/// let raster = SpikeRaster::from_fn(2, 8, |n, t| t % 2 == 0 && n == 0);
+/// let c = codec::compress(&raster, CompressionFactor::new(2)?);
+/// assert_eq!(c.stored_steps(), 4);
+/// assert_eq!(c.payload_bits(), 8); // 2 neurons x 4 frames
+/// let back = c.decompress();
+/// assert_eq!(back.steps(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressedRaster {
+    frames: SpikeRaster,
+    original_steps: usize,
+    factor: CompressionFactor,
+}
+
+impl CompressedRaster {
+    /// Reassembles a compressed raster from stored parts (frames that were
+    /// produced by [`compress`], the original step count and the factor) —
+    /// used by replay buffers that persist the three fields separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpikeError::InvalidParameter`] if the frame count does not
+    /// equal `ceil(original_steps / factor)`.
+    pub fn from_parts(
+        frames: SpikeRaster,
+        original_steps: usize,
+        factor: CompressionFactor,
+    ) -> Result<Self, SpikeError> {
+        let expected = original_steps.div_ceil(factor.get() as usize);
+        if frames.steps() != expected {
+            return Err(SpikeError::InvalidParameter {
+                what: "compressed frame count",
+                detail: format!(
+                    "expected {expected} frames for {original_steps} steps at factor {}, got {}",
+                    factor.get(),
+                    frames.steps()
+                ),
+            });
+        }
+        Ok(CompressedRaster { frames, original_steps, factor })
+    }
+
+    /// Number of neurons.
+    #[must_use]
+    pub fn neurons(&self) -> usize {
+        self.frames.neurons()
+    }
+
+    /// Number of stored (decimated) frames.
+    #[must_use]
+    pub fn stored_steps(&self) -> usize {
+        self.frames.steps()
+    }
+
+    /// Timestep count of the original raster.
+    #[must_use]
+    pub fn original_steps(&self) -> usize {
+        self.original_steps
+    }
+
+    /// The compression factor used.
+    #[must_use]
+    pub fn factor(&self) -> CompressionFactor {
+        self.factor
+    }
+
+    /// Borrow of the stored frames (the decimated raster itself).
+    ///
+    /// Replay4NCL feeds these frames to the network *directly* — replaying
+    /// at the reduced timestep — while SpikingLR decompresses back to the
+    /// original length first.
+    #[must_use]
+    pub fn frames(&self) -> &SpikeRaster {
+        &self.frames
+    }
+
+    /// Consumes the compressed raster, returning the stored frames.
+    #[must_use]
+    pub fn into_frames(self) -> SpikeRaster {
+        self.frames
+    }
+
+    /// Exact payload size in bits (`neurons * stored_steps`) — the quantity
+    /// the paper's latent-memory comparison (Fig. 12) measures.
+    #[must_use]
+    pub fn payload_bits(&self) -> u64 {
+        self.frames.payload_bits()
+    }
+
+    /// Re-expands to `original_steps` by inserting zero frames
+    /// (the Fig. 7 decompression).
+    #[must_use]
+    pub fn decompress(&self) -> SpikeRaster {
+        let mut out = SpikeRaster::new(self.frames.neurons(), self.original_steps);
+        let c = self.factor.get() as usize;
+        for f in 0..self.frames.steps() {
+            let t = f * c;
+            if t < self.original_steps {
+                out.copy_step_from(t, &self.frames, f).expect("shapes match by construction");
+            }
+        }
+        out
+    }
+}
+
+/// Compresses a raster by keeping every `factor`-th frame.
+///
+/// The number of stored frames is `ceil(steps / factor)`, so every raster —
+/// including lengths not divisible by the factor — round-trips to its
+/// original step count through [`CompressedRaster::decompress`].
+#[must_use]
+pub fn compress(raster: &SpikeRaster, factor: CompressionFactor) -> CompressedRaster {
+    let c = factor.get() as usize;
+    let stored = raster.steps().div_ceil(c);
+    let mut frames = SpikeRaster::new(raster.neurons(), stored);
+    for f in 0..stored {
+        frames.copy_step_from(f, raster, f * c).expect("shapes match by construction");
+    }
+    CompressedRaster { frames, original_steps: raster.steps(), factor }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a 1-neuron raster from a bit string.
+    fn train(bits: &[u8]) -> SpikeRaster {
+        SpikeRaster::from_fn(1, bits.len(), |_, t| bits[t] == 1)
+    }
+
+    fn bits(r: &SpikeRaster) -> Vec<u8> {
+        (0..r.steps()).map(|t| u8::from(r.get(0, t))) .collect()
+    }
+
+    #[test]
+    fn paper_fig7_bit_pattern() {
+        // Original data from Fig. 7 of the paper:
+        let original = train(&[1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 1, 1, 0]);
+        let c = compress(&original, CompressionFactor::new(2).unwrap());
+        // Compressed data from Fig. 7:
+        assert_eq!(bits(c.frames()), vec![1, 0, 0, 0, 1, 1, 1]);
+        // Decompressed data from Fig. 7:
+        let d = c.decompress();
+        assert_eq!(bits(&d), vec![1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn identity_factor_is_lossless() {
+        let original = train(&[1, 0, 1, 1, 0]);
+        let c = compress(&original, CompressionFactor::IDENTITY);
+        assert_eq!(c.stored_steps(), 5);
+        assert_eq!(c.decompress(), original);
+    }
+
+    #[test]
+    fn non_divisible_length_round_trips_shape() {
+        let original = train(&[1, 0, 0, 1, 1]); // 5 steps, factor 2
+        let c = compress(&original, CompressionFactor::new(2).unwrap());
+        assert_eq!(c.stored_steps(), 3); // frames 0, 2, 4
+        assert_eq!(bits(c.frames()), vec![1, 0, 1]);
+        let d = c.decompress();
+        assert_eq!(d.steps(), 5);
+        assert_eq!(bits(&d), vec![1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn compression_reduces_payload_bits() {
+        let r = SpikeRaster::from_fn(50, 100, |n, t| (n + t) % 7 == 0);
+        let c = compress(&r, CompressionFactor::new(2).unwrap());
+        assert_eq!(c.payload_bits(), 50 * 50);
+        assert_eq!(r.payload_bits(), 50 * 100);
+        assert_eq!(c.neurons(), 50);
+        assert_eq!(c.original_steps(), 100);
+        assert_eq!(c.factor().get(), 2);
+    }
+
+    #[test]
+    fn zero_factor_rejected() {
+        assert!(CompressionFactor::new(0).is_err());
+        assert_eq!(CompressionFactor::default(), CompressionFactor::IDENTITY);
+    }
+
+    #[test]
+    fn decompressed_spikes_subset_of_original() {
+        let r = SpikeRaster::from_fn(10, 30, |n, t| (n * 13 + t * 7) % 5 == 0);
+        let c = compress(&r, CompressionFactor::new(3).unwrap());
+        let d = c.decompress();
+        for t in 0..30 {
+            for n in 0..10 {
+                if d.get(n, t) {
+                    assert!(r.get(n, t), "decompression may only keep original spikes");
+                }
+            }
+        }
+        assert!(d.total_spikes() <= r.total_spikes());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let r = SpikeRaster::from_fn(6, 11, |n, t| (n + t) % 4 == 0);
+        let c = compress(&r, CompressionFactor::new(3).unwrap());
+        let parts = CompressedRaster::from_parts(
+            c.frames().clone(),
+            c.original_steps(),
+            c.factor(),
+        )
+        .unwrap();
+        assert_eq!(parts, c);
+        assert_eq!(parts.decompress(), c.decompress());
+        // Wrong frame count rejected.
+        let bad = SpikeRaster::new(6, 2);
+        assert!(CompressedRaster::from_parts(bad, 11, CompressionFactor::new(3).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn into_frames_returns_stored_raster() {
+        let r = train(&[1, 0, 1, 0]);
+        let c = compress(&r, CompressionFactor::new(2).unwrap());
+        let frames = c.into_frames();
+        assert_eq!(frames.steps(), 2);
+        assert_eq!(bits(&frames), vec![1, 1]);
+    }
+}

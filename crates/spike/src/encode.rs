@@ -1,0 +1,129 @@
+//! Encoders that turn analog feature vectors into spike rasters.
+//!
+//! The synthetic SHD-like generator produces event data directly, but a
+//! released SNN library also needs standard encoders for non-event inputs;
+//! both classic schemes are provided:
+//!
+//! * [`poisson_encode`] — rate coding: each feature value becomes a firing
+//!   probability per timestep;
+//! * [`latency_encode`] — time-to-first-spike coding: larger values fire
+//!   earlier, once.
+
+use ncl_tensor::Rng;
+
+use crate::error::SpikeError;
+use crate::raster::SpikeRaster;
+
+/// Poisson rate encoding: neuron `i` fires at each timestep with
+/// probability `values[i] * max_rate` (clamped to `[0, 1]`).
+///
+/// # Errors
+///
+/// Returns [`SpikeError::InvalidParameter`] if `steps == 0` or `max_rate`
+/// is not in `(0, 1]`.
+pub fn poisson_encode(
+    values: &[f32],
+    steps: usize,
+    max_rate: f64,
+    rng: &mut Rng,
+) -> Result<SpikeRaster, SpikeError> {
+    if steps == 0 {
+        return Err(SpikeError::InvalidParameter {
+            what: "steps",
+            detail: "must be at least 1".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&max_rate) || max_rate == 0.0 {
+        return Err(SpikeError::InvalidParameter {
+            what: "max_rate",
+            detail: format!("must be in (0, 1], got {max_rate}"),
+        });
+    }
+    let mut raster = SpikeRaster::new(values.len(), steps);
+    for (n, &v) in values.iter().enumerate() {
+        let p = (f64::from(v) * max_rate).clamp(0.0, 1.0);
+        if p == 0.0 {
+            continue;
+        }
+        for t in 0..steps {
+            if rng.bernoulli(p) {
+                raster.set(n, t, true);
+            }
+        }
+    }
+    Ok(raster)
+}
+
+/// Time-to-first-spike (latency) encoding: neuron `i` fires exactly once at
+/// timestep `round((1 - clamp(values[i])) * (steps - 1))`; zero-valued
+/// features stay silent.
+///
+/// # Errors
+///
+/// Returns [`SpikeError::InvalidParameter`] if `steps == 0`.
+pub fn latency_encode(values: &[f32], steps: usize) -> Result<SpikeRaster, SpikeError> {
+    if steps == 0 {
+        return Err(SpikeError::InvalidParameter {
+            what: "steps",
+            detail: "must be at least 1".into(),
+        });
+    }
+    let mut raster = SpikeRaster::new(values.len(), steps);
+    for (n, &v) in values.iter().enumerate() {
+        let v = v.clamp(0.0, 1.0);
+        if v <= 0.0 {
+            continue;
+        }
+        let t = ((1.0 - v) * (steps - 1) as f32).round() as usize;
+        raster.set(n, t.min(steps - 1), true);
+    }
+    Ok(raster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_tracks_value() {
+        let mut rng = Rng::seed_from_u64(42);
+        let r = poisson_encode(&[1.0, 0.5, 0.0], 4000, 0.5, &mut rng).unwrap();
+        let rates = crate::metrics::firing_rates(&r);
+        assert!((rates[0] - 0.5).abs() < 0.03, "rate was {}", rates[0]);
+        assert!((rates[1] - 0.25).abs() < 0.03, "rate was {}", rates[1]);
+        assert_eq!(rates[2], 0.0);
+    }
+
+    #[test]
+    fn poisson_rejects_bad_parameters() {
+        let mut rng = Rng::seed_from_u64(0);
+        assert!(poisson_encode(&[0.5], 0, 0.5, &mut rng).is_err());
+        assert!(poisson_encode(&[0.5], 10, 0.0, &mut rng).is_err());
+        assert!(poisson_encode(&[0.5], 10, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn latency_larger_values_fire_earlier() {
+        let r = latency_encode(&[1.0, 0.5, 0.1], 11).unwrap();
+        let t_of = |n: usize| (0..11).find(|&t| r.get(n, t)).unwrap();
+        assert_eq!(t_of(0), 0);
+        assert_eq!(t_of(1), 5);
+        assert_eq!(t_of(2), 9);
+        // One spike per active neuron.
+        assert_eq!(r.total_spikes(), 3);
+    }
+
+    #[test]
+    fn latency_zero_value_is_silent() {
+        let r = latency_encode(&[0.0, -1.0], 5).unwrap();
+        assert_eq!(r.total_spikes(), 0);
+        assert!(latency_encode(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn latency_clamps_above_one() {
+        let r = latency_encode(&[5.0], 10).unwrap();
+        assert!(r.get(0, 0));
+        assert_eq!(r.total_spikes(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for spike-raster operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible spike-train operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpikeError {
+    /// An index was outside the raster's `neurons x steps` bounds.
+    IndexOutOfBounds {
+        /// Offending neuron index.
+        neuron: usize,
+        /// Offending timestep index.
+        step: usize,
+        /// Raster neuron count.
+        neurons: usize,
+        /// Raster step count.
+        steps: usize,
+    },
+    /// Two rasters that must agree in shape did not.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Expected `neurons x steps`.
+        expected: (usize, usize),
+        /// Actual `neurons x steps`.
+        actual: (usize, usize),
+    },
+    /// A parameter (compression factor, bin width, …) was invalid.
+    InvalidParameter {
+        /// Name of the parameter.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SpikeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpikeError::IndexOutOfBounds { neuron, step, neurons, steps } => write!(
+                f,
+                "index ({neuron}, {step}) out of bounds for {neurons}x{steps} raster"
+            ),
+            SpikeError::ShapeMismatch { op, expected, actual } => write!(
+                f,
+                "{op}: raster shape mismatch (expected {}x{}, got {}x{})",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            SpikeError::InvalidParameter { what, detail } => {
+                write!(f, "invalid {what}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for SpikeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SpikeError::IndexOutOfBounds { neuron: 9, step: 3, neurons: 4, steps: 2 };
+        assert!(e.to_string().contains("(9, 3)"));
+        let e = SpikeError::ShapeMismatch { op: "or", expected: (2, 2), actual: (3, 2) };
+        assert!(e.to_string().contains("2x2"));
+        let e = SpikeError::InvalidParameter { what: "factor", detail: "zero".into() };
+        assert!(e.to_string().contains("factor"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SpikeError>();
+    }
+}

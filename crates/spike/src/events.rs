@@ -1,0 +1,102 @@
+//! Event-list view of spike data.
+//!
+//! Event-based sensors (and the SHD dataset the paper uses) deliver spikes
+//! as `(neuron, time)` events; rasters are the binned view. This module
+//! converts between the two.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SpikeError;
+use crate::raster::SpikeRaster;
+
+/// A single spike event: neuron `neuron` fired at timestep `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpikeEvent {
+    /// Timestep of the event (ordered first so derived `Ord` sorts by time).
+    pub t: u32,
+    /// Index of the neuron that fired.
+    pub neuron: u32,
+}
+
+impl SpikeEvent {
+    /// Creates an event.
+    #[must_use]
+    pub fn new(neuron: u32, t: u32) -> Self {
+        SpikeEvent { t, neuron }
+    }
+}
+
+/// Converts a raster into a time-sorted event list.
+#[must_use]
+pub fn raster_to_events(raster: &SpikeRaster) -> Vec<SpikeEvent> {
+    let mut events = Vec::with_capacity(raster.total_spikes());
+    for t in 0..raster.steps() {
+        for n in raster.active_at(t) {
+            events.push(SpikeEvent::new(n as u32, t as u32));
+        }
+    }
+    events
+}
+
+/// Builds a raster from an event list.
+///
+/// # Errors
+///
+/// Returns [`SpikeError::IndexOutOfBounds`] if any event lies outside
+/// `neurons x steps`.
+pub fn events_to_raster(
+    events: &[SpikeEvent],
+    neurons: usize,
+    steps: usize,
+) -> Result<SpikeRaster, SpikeError> {
+    let mut raster = SpikeRaster::new(neurons, steps);
+    for e in events {
+        let (n, t) = (e.neuron as usize, e.t as usize);
+        if n >= neurons || t >= steps {
+            return Err(SpikeError::IndexOutOfBounds { neuron: n, step: t, neurons, steps });
+        }
+        raster.set(n, t, true);
+    }
+    Ok(raster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_events() {
+        let mut r = SpikeRaster::new(8, 6);
+        r.set(1, 0, true);
+        r.set(7, 5, true);
+        r.set(3, 2, true);
+        let events = raster_to_events(&r);
+        assert_eq!(events.len(), 3);
+        // Sorted by time first.
+        assert!(events.windows(2).all(|w| w[0] <= w[1]));
+        let back = events_to_raster(&events, 8, 6).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn events_out_of_bounds_rejected() {
+        let events = [SpikeEvent::new(9, 0)];
+        assert!(events_to_raster(&events, 8, 6).is_err());
+        let events = [SpikeEvent::new(0, 6)];
+        assert!(events_to_raster(&events, 8, 6).is_err());
+    }
+
+    #[test]
+    fn duplicate_events_collapse() {
+        let events = [SpikeEvent::new(2, 3), SpikeEvent::new(2, 3)];
+        let r = events_to_raster(&events, 4, 4).unwrap();
+        assert_eq!(r.total_spikes(), 1);
+    }
+
+    #[test]
+    fn ordering_is_time_major() {
+        let a = SpikeEvent::new(5, 1);
+        let b = SpikeEvent::new(0, 2);
+        assert!(a < b);
+    }
+}

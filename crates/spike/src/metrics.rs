@@ -1,0 +1,168 @@
+//! Spike statistics: counts, rates and spike-timing summaries.
+//!
+//! [`mean_spike_time`] is the quantity driving the paper's adaptive
+//! threshold (Alg. 1 lines 12–13 and 26–27): `V_thr = 1 + 0.01·(T − t̄)`
+//! where `t̄` is the mean spike time of the observed window.
+
+use crate::raster::SpikeRaster;
+
+/// Per-layer spike activity summary of one forward pass; consumed by the
+/// hardware cost models (`ncl-hw`) to count synaptic operations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpikeStats {
+    /// Total spike count.
+    pub total_spikes: u64,
+    /// Number of neuron-timesteps observed (`neurons * steps`).
+    pub cells: u64,
+    /// Mean spike time (timestep index), if any spikes occurred.
+    pub mean_spike_time: Option<f64>,
+}
+
+impl SpikeStats {
+    /// Computes the summary of a raster.
+    #[must_use]
+    pub fn of(raster: &SpikeRaster) -> Self {
+        let mut total = 0u64;
+        let mut time_sum = 0u64;
+        for t in 0..raster.steps() {
+            let c = raster.spikes_at(t) as u64;
+            total += c;
+            time_sum += c * t as u64;
+        }
+        SpikeStats {
+            total_spikes: total,
+            cells: raster.payload_bits(),
+            mean_spike_time: if total > 0 { Some(time_sum as f64 / total as f64) } else { None },
+        }
+    }
+
+    /// Mean firing probability per neuron per timestep.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.total_spikes as f64 / self.cells as f64
+        }
+    }
+
+    /// Merges another summary into this one (weighted by spike counts).
+    pub fn merge(&mut self, other: &SpikeStats) {
+        let combined_spikes = self.total_spikes + other.total_spikes;
+        self.mean_spike_time = match (self.mean_spike_time, other.mean_spike_time) {
+            (Some(a), Some(b)) if combined_spikes > 0 => Some(
+                (a * self.total_spikes as f64 + b * other.total_spikes as f64)
+                    / combined_spikes as f64,
+            ),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            _ => None,
+        };
+        self.total_spikes = combined_spikes;
+        self.cells += other.cells;
+    }
+}
+
+/// Mean spike time over a window `[start, end)` of the raster; `None` when
+/// the window is silent. This is Alg. 1's `mean(spike_timing)` restricted
+/// to the adjustment interval.
+#[must_use]
+pub fn mean_spike_time(raster: &SpikeRaster, start: usize, end: usize) -> Option<f64> {
+    let end = end.min(raster.steps());
+    let mut total = 0u64;
+    let mut time_sum = 0u64;
+    for t in start..end {
+        let c = raster.spikes_at(t) as u64;
+        total += c;
+        time_sum += c * t as u64;
+    }
+    if total == 0 {
+        None
+    } else {
+        Some(time_sum as f64 / total as f64)
+    }
+}
+
+/// Per-neuron firing rates (spikes per timestep).
+#[must_use]
+pub fn firing_rates(raster: &SpikeRaster) -> Vec<f32> {
+    let mut counts = vec![0u32; raster.neurons()];
+    for t in 0..raster.steps() {
+        for n in raster.active_at(t) {
+            counts[n] += 1;
+        }
+    }
+    let steps = raster.steps().max(1) as f32;
+    counts.into_iter().map(|c| c as f32 / steps).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_empty_raster() {
+        let s = SpikeStats::of(&SpikeRaster::new(10, 10));
+        assert_eq!(s.total_spikes, 0);
+        assert_eq!(s.mean_spike_time, None);
+        assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn stats_mean_time_known() {
+        let mut r = SpikeRaster::new(2, 10);
+        r.set(0, 2, true);
+        r.set(1, 8, true);
+        let s = SpikeStats::of(&r);
+        assert_eq!(s.total_spikes, 2);
+        assert_eq!(s.mean_spike_time, Some(5.0));
+        assert!((s.density() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_weighted() {
+        let mut r1 = SpikeRaster::new(1, 10);
+        r1.set(0, 2, true); // mean 2, 1 spike
+        let mut r2 = SpikeRaster::new(1, 10);
+        r2.set(0, 5, true);
+        r2.set(0, 9, true); // mean 7, 2 spikes
+        let mut a = SpikeStats::of(&r1);
+        let b = SpikeStats::of(&r2);
+        a.merge(&b);
+        assert_eq!(a.total_spikes, 3);
+        assert!((a.mean_spike_time.unwrap() - 16.0 / 3.0).abs() < 1e-9);
+        // Merging an empty summary keeps the mean.
+        let mut c = SpikeStats::of(&r1);
+        c.merge(&SpikeStats::default());
+        assert_eq!(c.mean_spike_time, Some(2.0));
+        let mut d = SpikeStats::default();
+        d.merge(&SpikeStats::of(&r1));
+        assert_eq!(d.mean_spike_time, Some(2.0));
+    }
+
+    #[test]
+    fn window_mean_spike_time() {
+        let mut r = SpikeRaster::new(1, 20);
+        r.set(0, 3, true);
+        r.set(0, 15, true);
+        assert_eq!(mean_spike_time(&r, 0, 10), Some(3.0));
+        assert_eq!(mean_spike_time(&r, 10, 20), Some(15.0));
+        assert_eq!(mean_spike_time(&r, 0, 20), Some(9.0));
+        assert_eq!(mean_spike_time(&r, 4, 10), None);
+        // End clamps to raster length.
+        assert_eq!(mean_spike_time(&r, 10, 999), Some(15.0));
+    }
+
+    #[test]
+    fn firing_rates_per_neuron() {
+        let r = SpikeRaster::from_fn(3, 10, |n, t| match n {
+            0 => true,
+            1 => t % 2 == 0,
+            _ => false,
+        });
+        let rates = firing_rates(&r);
+        assert!((rates[0] - 1.0).abs() < 1e-6);
+        assert!((rates[1] - 0.5).abs() < 1e-6);
+        assert_eq!(rates[2], 0.0);
+    }
+}

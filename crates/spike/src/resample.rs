@@ -1,0 +1,188 @@
+//! Temporal re-binning of spike rasters.
+//!
+//! The paper's timestep optimization (Section III-A) runs the network at a
+//! reduced timestep count T* < T. Event data recorded at T timesteps must
+//! then be re-binned to T* bins. How bins aggregate matters:
+//!
+//! * [`ResampleStrategy::Decimate`] keeps one frame per bin (what the
+//!   Fig. 7 codec does) — lossy, drops most spikes at high ratios;
+//! * [`ResampleStrategy::OrBins`] ORs all frames of a bin — preserves
+//!   *whether* a neuron fired but saturates counts;
+//! * [`ResampleStrategy::CountAtLeast`] fires when a bin contains at least
+//!   `m` spikes — a denoising middle ground.
+//!
+//! The accuracy degradation the paper observes under aggressive timestep
+//! reduction (Fig. 2(b), Fig. 8) is the information loss this module makes
+//! explicit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SpikeError;
+use crate::raster::SpikeRaster;
+
+/// How the frames falling into one target bin are aggregated.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResampleStrategy {
+    /// Keep only the first frame of each bin (frame decimation).
+    Decimate,
+    /// OR all frames of each bin.
+    #[default]
+    OrBins,
+    /// Fire if the bin contains at least this many spikes of the neuron.
+    CountAtLeast(u32),
+}
+
+/// Re-bins `raster` to `target_steps` timesteps.
+///
+/// Source frames are partitioned into `target_steps` contiguous bins of
+/// near-equal width (`ceil`/`floor` mix, covering every source frame
+/// exactly once).
+///
+/// # Errors
+///
+/// Returns [`SpikeError::InvalidParameter`] if `target_steps == 0`, or if
+/// `target_steps > raster.steps()` (upsampling is not meaningful for
+/// event data), or if a `CountAtLeast` threshold of `0` is given.
+pub fn resample(
+    raster: &SpikeRaster,
+    target_steps: usize,
+    strategy: ResampleStrategy,
+) -> Result<SpikeRaster, SpikeError> {
+    if target_steps == 0 {
+        return Err(SpikeError::InvalidParameter {
+            what: "target_steps",
+            detail: "must be at least 1".into(),
+        });
+    }
+    if target_steps > raster.steps() {
+        return Err(SpikeError::InvalidParameter {
+            what: "target_steps",
+            detail: format!(
+                "cannot upsample: target {} exceeds source {}",
+                target_steps,
+                raster.steps()
+            ),
+        });
+    }
+    if let ResampleStrategy::CountAtLeast(0) = strategy {
+        return Err(SpikeError::InvalidParameter {
+            what: "count threshold",
+            detail: "must be at least 1".into(),
+        });
+    }
+
+    let src_steps = raster.steps();
+    let mut out = SpikeRaster::new(raster.neurons(), target_steps);
+    for bin in 0..target_steps {
+        // Proportional partition: bin b covers [b*S/T, (b+1)*S/T).
+        let start = bin * src_steps / target_steps;
+        let end = ((bin + 1) * src_steps / target_steps).max(start + 1);
+        match strategy {
+            ResampleStrategy::Decimate => {
+                out.copy_step_from(bin, raster, start)?;
+            }
+            ResampleStrategy::OrBins => {
+                for t in start..end {
+                    out.or_step_from(bin, raster, t)?;
+                }
+            }
+            ResampleStrategy::CountAtLeast(m) => {
+                let mut counts = vec![0u32; raster.neurons()];
+                for t in start..end {
+                    for n in raster.active_at(t) {
+                        counts[n] += 1;
+                    }
+                }
+                for (n, &c) in counts.iter().enumerate() {
+                    if c >= m {
+                        out.set(n, bin, true);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(neurons: usize, steps: usize) -> SpikeRaster {
+        SpikeRaster::from_fn(neurons, steps, |n, t| (n + t) % 2 == 0)
+    }
+
+    #[test]
+    fn decimate_keeps_first_of_bin() {
+        let r = SpikeRaster::from_fn(1, 10, |_, t| t % 2 == 0); // spikes at even t
+        let d = resample(&r, 5, ResampleStrategy::Decimate).unwrap();
+        // Bins [0,2),[2,4)... first frame of each bin is even => all fire.
+        assert_eq!(d.total_spikes(), 5);
+        let r2 = SpikeRaster::from_fn(1, 10, |_, t| t % 2 == 1); // odd t only
+        let d2 = resample(&r2, 5, ResampleStrategy::Decimate).unwrap();
+        assert_eq!(d2.total_spikes(), 0, "decimation drops off-grid spikes");
+    }
+
+    #[test]
+    fn or_bins_preserves_any_activity() {
+        let r = SpikeRaster::from_fn(1, 10, |_, t| t == 3);
+        let d = resample(&r, 5, ResampleStrategy::OrBins).unwrap();
+        assert_eq!(d.total_spikes(), 1);
+        assert!(d.get(0, 1)); // t=3 falls in bin [2,4)
+    }
+
+    #[test]
+    fn count_at_least_filters_sparse_bins() {
+        // Two spikes in bin 0, one in bin 1.
+        let mut r = SpikeRaster::new(1, 10);
+        r.set(0, 0, true);
+        r.set(0, 1, true);
+        r.set(0, 7, true);
+        let d = resample(&r, 2, ResampleStrategy::CountAtLeast(2)).unwrap();
+        assert!(d.get(0, 0));
+        assert!(!d.get(0, 1));
+    }
+
+    #[test]
+    fn identity_resample_with_or_is_lossless() {
+        let r = checker(6, 12);
+        let d = resample(&r, 12, ResampleStrategy::OrBins).unwrap();
+        assert_eq!(d, r);
+        let d = resample(&r, 12, ResampleStrategy::Decimate).unwrap();
+        assert_eq!(d, r);
+    }
+
+    #[test]
+    fn non_divisible_ratio_covers_all_frames() {
+        let r = SpikeRaster::from_fn(2, 10, |_, _| true);
+        let d = resample(&r, 3, ResampleStrategy::OrBins).unwrap();
+        assert_eq!(d.steps(), 3);
+        assert_eq!(d.total_spikes(), 6, "all bins see activity");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let r = checker(2, 8);
+        assert!(resample(&r, 0, ResampleStrategy::OrBins).is_err());
+        assert!(resample(&r, 9, ResampleStrategy::OrBins).is_err());
+        assert!(resample(&r, 4, ResampleStrategy::CountAtLeast(0)).is_err());
+    }
+
+    #[test]
+    fn information_loss_ordering() {
+        // Dense raster: decimation to 1/5 keeps at most 1/5 of frames,
+        // OR keeps per-bin activity. So OR retains >= spikes of decimate.
+        let r = checker(20, 100);
+        let dec = resample(&r, 20, ResampleStrategy::Decimate).unwrap();
+        let orr = resample(&r, 20, ResampleStrategy::OrBins).unwrap();
+        assert!(orr.total_spikes() >= dec.total_spikes());
+        // And aggressive reduction loses more than mild reduction (decimate).
+        let mild = resample(&r, 50, ResampleStrategy::Decimate).unwrap();
+        assert!(mild.total_spikes() >= dec.total_spikes());
+    }
+
+    #[test]
+    fn default_strategy_is_or() {
+        assert_eq!(ResampleStrategy::default(), ResampleStrategy::OrBins);
+    }
+}

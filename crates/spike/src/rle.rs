@@ -1,0 +1,237 @@
+//! Lossless run-length coding of spike trains — the natural comparison
+//! point for the paper's lossy decimation codec.
+//!
+//! Sparse spike rasters compress well losslessly: per neuron, the gaps
+//! between consecutive spikes are stored as variable-length integers.
+//! This module exists to quantify the trade the paper makes: decimation
+//! ([`crate::codec`]) achieves a *fixed, predictable* memory budget
+//! (essential for embedded latent stores) at the cost of dropped frames,
+//! while RLE is exact but content-dependent — a dense raster can even
+//! expand. The `fig12` reproduction can be re-run against this codec to
+//! see why the paper chose decimation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SpikeError;
+use crate::raster::SpikeRaster;
+
+/// A losslessly run-length-coded raster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RleRaster {
+    neurons: usize,
+    steps: usize,
+    /// Concatenated per-neuron gap streams, LEB128-style varints.
+    payload: Vec<u8>,
+    /// Byte offset of each neuron's stream in `payload`.
+    offsets: Vec<u32>,
+}
+
+/// Encodes a value as a LEB128-style varint.
+fn push_varint(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes a varint; returns `(value, bytes_consumed)`.
+fn read_varint(buf: &[u8]) -> Result<(u32, usize), SpikeError> {
+    let mut value = 0u32;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 32 {
+            break;
+        }
+        value |= u32::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(SpikeError::InvalidParameter {
+        what: "rle payload",
+        detail: "truncated or overlong varint".into(),
+    })
+}
+
+impl RleRaster {
+    /// Losslessly encodes a raster.
+    #[must_use]
+    pub fn encode(raster: &SpikeRaster) -> Self {
+        let mut payload = Vec::new();
+        let mut offsets = Vec::with_capacity(raster.neurons());
+        for n in 0..raster.neurons() {
+            offsets.push(payload.len() as u32);
+            let mut last = 0usize; // gap is measured from the previous spike + 1
+            let mut first = true;
+            for t in 0..raster.steps() {
+                if raster.get(n, t) {
+                    let gap = if first { t } else { t - last - 1 };
+                    push_varint(&mut payload, gap as u32);
+                    last = t;
+                    first = false;
+                }
+            }
+            // Terminator: a gap that runs past the end marks stream end.
+            push_varint(&mut payload, (raster.steps() - if first { 0 } else { last + 1 }) as u32 + 1);
+        }
+        RleRaster { neurons: raster.neurons(), steps: raster.steps(), payload, offsets }
+    }
+
+    /// Number of neurons.
+    #[must_use]
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// Number of timesteps of the original raster.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Encoded payload size in bits (the latent-memory cost of this
+    /// codec), including the per-neuron offset table.
+    #[must_use]
+    pub fn payload_bits(&self) -> u64 {
+        (self.payload.len() as u64 + 4 * self.offsets.len() as u64) * 8
+    }
+
+    /// Losslessly decodes back to the original raster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpikeError::InvalidParameter`] if the payload is
+    /// corrupted.
+    pub fn decode(&self) -> Result<SpikeRaster, SpikeError> {
+        let mut raster = SpikeRaster::new(self.neurons, self.steps);
+        for n in 0..self.neurons {
+            let start = self.offsets[n] as usize;
+            let end = self
+                .offsets
+                .get(n + 1)
+                .map_or(self.payload.len(), |&o| o as usize);
+            let mut stream = &self.payload[start..end];
+            let mut t = 0usize;
+            let mut first = true;
+            loop {
+                let (gap, used) = read_varint(stream)?;
+                stream = &stream[used..];
+                let next = if first { gap as usize } else { t + 1 + gap as usize };
+                if next >= self.steps {
+                    break; // terminator
+                }
+                raster.set(n, next, true);
+                t = next;
+                first = false;
+                if stream.is_empty() {
+                    break;
+                }
+            }
+        }
+        Ok(raster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_tensor::Rng;
+
+    fn random_raster(neurons: usize, steps: usize, density: f64, seed: u64) -> SpikeRaster {
+        let mut rng = Rng::seed_from_u64(seed);
+        SpikeRaster::from_fn(neurons, steps, |_, _| rng.bernoulli(density))
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        for (density, seed) in [(0.0, 1), (0.02, 2), (0.2, 3), (0.9, 4), (1.0, 5)] {
+            let r = random_raster(37, 53, density, seed);
+            let decoded = RleRaster::encode(&r).decode().unwrap();
+            assert_eq!(decoded, r, "density {density}");
+        }
+    }
+
+    #[test]
+    fn edge_patterns_round_trip() {
+        // Spike at the very first and very last step.
+        let mut r = SpikeRaster::new(3, 10);
+        r.set(0, 0, true);
+        r.set(1, 9, true);
+        r.set(2, 0, true);
+        r.set(2, 9, true);
+        assert_eq!(RleRaster::encode(&r).decode().unwrap(), r);
+        // All spikes.
+        let full = SpikeRaster::from_fn(2, 8, |_, _| true);
+        assert_eq!(RleRaster::encode(&full).decode().unwrap(), full);
+        // Empty.
+        let empty = SpikeRaster::new(4, 6);
+        assert_eq!(RleRaster::encode(&empty).decode().unwrap(), empty);
+    }
+
+    #[test]
+    fn sparse_rasters_compress_dense_rasters_expand() {
+        let sparse = random_raster(100, 100, 0.01, 7);
+        let rle = RleRaster::encode(&sparse);
+        assert!(
+            rle.payload_bits() < sparse.payload_bits(),
+            "1% density must compress: {} vs {}",
+            rle.payload_bits(),
+            sparse.payload_bits()
+        );
+
+        let dense = random_raster(100, 100, 0.6, 8);
+        let rle = RleRaster::encode(&dense);
+        assert!(
+            rle.payload_bits() > dense.payload_bits(),
+            "60% density must expand: {} vs {}",
+            rle.payload_bits(),
+            dense.payload_bits()
+        );
+    }
+
+    #[test]
+    fn rle_is_content_dependent_decimation_is_not() {
+        // The property that justifies the paper's choice: decimation's
+        // footprint depends only on shape, RLE's on content.
+        let a = random_raster(50, 100, 0.02, 9);
+        let b = random_raster(50, 100, 0.3, 10);
+        let dec = |r: &SpikeRaster| {
+            crate::codec::compress(r, crate::codec::CompressionFactor::new(2).unwrap())
+                .payload_bits()
+        };
+        assert_eq!(dec(&a), dec(&b), "decimation: fixed budget");
+        assert_ne!(
+            RleRaster::encode(&a).payload_bits(),
+            RleRaster::encode(&b).payload_bits(),
+            "rle: content-dependent"
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected() {
+        let r = random_raster(4, 20, 0.3, 11);
+        let mut rle = RleRaster::encode(&r);
+        // Make every byte a continuation byte: the varint never terminates.
+        rle.payload.iter_mut().for_each(|b| *b |= 0x80);
+        assert!(rle.decode().is_err());
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        for v in [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX] {
+            buf.clear();
+            push_varint(&mut buf, v);
+            let (back, used) = read_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+        assert!(read_varint(&[0x80]).is_err(), "truncated varint");
+    }
+}

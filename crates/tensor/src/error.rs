@@ -1,0 +1,75 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by shape-checked tensor operations.
+///
+/// # Example
+///
+/// ```
+/// use ncl_tensor::{Matrix, ops, TensorError};
+///
+/// let a = Matrix::zeros(2, 3);
+/// let x = vec![0.0; 4]; // wrong length: gemv needs 3
+/// let mut y = vec![0.0; 2];
+/// let err = ops::gemv(&a, &x, &mut y).unwrap_err();
+/// assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape the operation expected, in free-form `rows x cols` notation.
+        expected: String,
+        /// Shape it actually received.
+        actual: String,
+    },
+    /// A dimension argument was zero where a positive size is required.
+    ZeroDimension {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, expected, actual } => {
+                write!(f, "{op}: shape mismatch (expected {expected}, got {actual})")
+            }
+            TensorError::ZeroDimension { op } => {
+                write!(f, "{op}: zero-sized dimension is not allowed")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let e = TensorError::ShapeMismatch {
+            op: "gemv",
+            expected: "2x3".into(),
+            actual: "2x4".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gemv"));
+        assert!(s.contains("2x3"));
+        let z = TensorError::ZeroDimension { op: "matrix::new" };
+        assert!(z.to_string().contains("matrix::new"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

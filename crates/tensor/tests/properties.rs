@@ -1,0 +1,120 @@
+//! Property-based tests for the dense kernels and the RNG.
+
+use ncl_tensor::{ops, Matrix, Rng};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of bounded size with values in [-10, 10].
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized to fit"))
+    })
+}
+
+fn vec_for(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #[test]
+    fn gemv_is_linear(a in matrix_strategy(12), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let x: Vec<f32> = (0..a.cols()).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let y: Vec<f32> = (0..a.cols()).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(u, v)| u + v).collect();
+
+        let mut ax = vec![0.0; a.rows()];
+        let mut ay = vec![0.0; a.rows()];
+        let mut asum = vec![0.0; a.rows()];
+        ops::gemv(&a, &x, &mut ax).unwrap();
+        ops::gemv(&a, &y, &mut ay).unwrap();
+        ops::gemv(&a, &sum, &mut asum).unwrap();
+        for i in 0..a.rows() {
+            prop_assert!((asum[i] - (ax[i] + ay[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gemv_t_agrees_with_materialized_transpose(a in matrix_strategy(12)) {
+        let x: Vec<f32> = (0..a.rows()).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut fast = vec![0.0; a.cols()];
+        ops::gemv_t(&a, &x, &mut fast).unwrap();
+        let t = a.transposed();
+        let mut slow = vec![0.0; a.cols()];
+        ops::gemv(&t, &x, &mut slow).unwrap();
+        for (u, v) in fast.iter().zip(slow.iter()) {
+            prop_assert!((u - v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity(a in matrix_strategy(10)) {
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in vec_for(8)) {
+        let mut out = vec![0.0; logits.len()];
+        ops::softmax(&logits, &mut out).unwrap();
+        let sum: f32 = out.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(out.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(logits in vec_for(6), shift in -50.0f32..50.0) {
+        let shifted: Vec<f32> = logits.iter().map(|l| l + shift).collect();
+        let mut a = vec![0.0; logits.len()];
+        let mut b = vec![0.0; logits.len()];
+        ops::softmax(&logits, &mut a).unwrap();
+        ops::softmax(&shifted, &mut b).unwrap();
+        for (u, v) in a.iter().zip(b.iter()) {
+            prop_assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sparse_outer_matches_dense(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let d: Vec<f32> = (0..rows).map(|_| rng.uniform_range(-2.0, 2.0)).collect();
+        let active: Vec<usize> =
+            (0..cols).filter(|_| rng.bernoulli(0.4)).collect();
+        let mut x = vec![0.0; cols];
+        for &j in &active { x[j] = 1.0; }
+
+        let mut dense = Matrix::zeros(rows, cols);
+        let mut sparse = Matrix::zeros(rows, cols);
+        ops::outer_acc(&mut dense, &d, &x, 1.5).unwrap();
+        ops::outer_acc_sparse(&mut sparse, &d, &active, 1.5).unwrap();
+        prop_assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn rng_below_is_bounded(seed in any::<u64>(), n in 1u64..1000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), len in 0usize..40) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_always_distinct(seed in any::<u64>(), n in 0usize..60, k in 0usize..80) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let idx = rng.sample_indices(n, k);
+        prop_assert_eq!(idx.len(), k.min(n));
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k.min(n));
+    }
+}

@@ -1,0 +1,72 @@
+//! Embedded deployment planning: given latent-memory and energy budgets of
+//! a tightly-constrained device (the paper's motivating use case), sweep
+//! the Replay4NCL design space (insertion layer × T*) and pick the most
+//! accurate configuration that fits.
+//!
+//! ```sh
+//! cargo run --release --example embedded_budget
+//! ```
+
+use ncl_hw::HardwareProfile;
+use replay4ncl::{cache, methods::MethodSpec, report, scenario, NclError, ScenarioConfig};
+
+/// The device's budgets: latent memory in KiB and CL energy in microjoule.
+const MEMORY_BUDGET_KIB: f64 = 4.0;
+const ENERGY_BUDGET_UJ: f64 = 120.0;
+
+fn main() -> Result<(), NclError> {
+    let mut base = ScenarioConfig::smoke();
+    base.cl_epochs = 20;
+    base.profile = HardwareProfile::embedded();
+    println!(
+        "device budgets: latent memory <= {MEMORY_BUDGET_KIB} KiB, CL energy <= {ENERGY_BUDGET_UJ} uJ"
+    );
+
+    let t = base.data.steps;
+    let mut rows = Vec::new();
+    let mut best: Option<(f64, String)> = None;
+
+    for insertion in 1..=base.network.layers() {
+        for &t_star in &[t * 3 / 5, t * 2 / 5, t / 5] {
+            let mut config = base.clone();
+            config.insertion_layer = insertion;
+            let (network, pretrain_acc) = cache::pretrained_network(&config)?;
+            let method = MethodSpec::replay4ncl(6, t_star).with_lr_divisor(2.0);
+            let result = scenario::run_method(&config, &method, &network, pretrain_acc)?;
+
+            let memory_kib = result.memory.kib();
+            let energy_uj = result.total_cost().energy.microjoules();
+            let fits = memory_kib <= MEMORY_BUDGET_KIB && energy_uj <= ENERGY_BUDGET_UJ;
+            let avg_acc = (result.final_old_acc() + result.final_new_acc()) / 2.0;
+            let label = format!("insertion {insertion}, T*={t_star}");
+            if fits && best.as_ref().is_none_or(|(a, _)| avg_acc > *a) {
+                best = Some((avg_acc, label.clone()));
+            }
+            rows.push(vec![
+                label,
+                report::pct(result.final_old_acc()),
+                report::pct(result.final_new_acc()),
+                format!("{memory_kib:.2} KiB"),
+                format!("{energy_uj:.1} uJ"),
+                if fits { "yes".into() } else { "no".into() },
+            ]);
+        }
+    }
+
+    println!(
+        "{}",
+        report::render_table(
+            &["configuration", "old acc", "new acc", "latent memory", "CL energy", "fits budget"],
+            &rows
+        )
+    );
+    println!();
+    match best {
+        Some((acc, label)) => println!(
+            "selected configuration: {label} (average accuracy {})",
+            report::pct(acc)
+        ),
+        None => println!("no configuration fits the budgets; relax them or shrink the model"),
+    }
+    Ok(())
+}

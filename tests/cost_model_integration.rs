@@ -1,0 +1,124 @@
+//! Integration tests of the cost-model stack: simulated activity feeding
+//! op counts, latency/energy evaluation, and the orderings every paper
+//! figure relies on.
+
+use ncl_hw::{CostReport, HardwareProfile, OpCounts};
+use ncl_snn::{Network, NetworkConfig};
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+use replay4ncl::{cache, methods::MethodSpec, scenario, ScenarioConfig};
+
+fn traced_ops(steps: usize, density: f64) -> OpCounts {
+    let net = Network::new(NetworkConfig::tiny(12, 3)).unwrap();
+    let mut rng = Rng::seed_from_u64(31);
+    let input = SpikeRaster::from_fn(12, steps, |_, _| rng.bernoulli(density));
+    let (_, activity) = net.forward_from_traced(0, &input, None).unwrap();
+    OpCounts::forward(&activity, true)
+}
+
+#[test]
+fn more_timesteps_cost_more() {
+    let short = traced_ops(20, 0.3);
+    let long = traced_ops(80, 0.3);
+    assert!(long.synaptic_ops > short.synaptic_ops);
+    assert_eq!(long.neuron_updates, 4 * short.neuron_updates);
+    let profile = HardwareProfile::embedded();
+    assert!(CostReport::of(&long, &profile).latency > CostReport::of(&short, &profile).latency);
+    assert!(CostReport::of(&long, &profile).energy > CostReport::of(&short, &profile).energy);
+}
+
+#[test]
+fn denser_spikes_cost_more_energy() {
+    let sparse = traced_ops(40, 0.05);
+    let dense = traced_ops(40, 0.5);
+    assert!(dense.synaptic_ops > sparse.synaptic_ops);
+    // Neuron updates are density-independent (dense membrane updates).
+    assert_eq!(dense.neuron_updates, sparse.neuron_updates);
+}
+
+#[test]
+fn orderings_are_profile_invariant() {
+    let a = traced_ops(20, 0.2);
+    let b = traced_ops(60, 0.2);
+    for profile in
+        [HardwareProfile::embedded(), HardwareProfile::loihi_like(), HardwareProfile::edge_gpu_like()]
+    {
+        let ca = CostReport::of(&a, &profile);
+        let cb = CostReport::of(&b, &profile);
+        assert!(cb.latency > ca.latency, "profile {}", profile.name);
+        assert!(cb.energy > ca.energy, "profile {}", profile.name);
+    }
+}
+
+#[test]
+fn scenario_costs_decompose_into_prep_plus_epochs() {
+    let mut config = ScenarioConfig::smoke();
+    config.seed = 777;
+    config.pretrain_epochs = 4;
+    config.cl_epochs = 3;
+    let (network, acc) = cache::pretrained_network(&config).expect("pretrain");
+    let r = scenario::run_method(
+        &config,
+        &MethodSpec::spiking_lr(2),
+        &network,
+        acc,
+    )
+    .unwrap();
+
+    let mut manual = r.prep_ops;
+    for e in &r.epochs {
+        manual += e.ops;
+    }
+    assert_eq!(manual, r.total_ops());
+
+    // The replay read traffic appears every epoch.
+    for e in &r.epochs {
+        assert!(e.ops.mem_read_bits >= r.memory.payload_bits_per_sample);
+    }
+    // Preparation wrote the latent store.
+    assert!(r.prep_ops.mem_write_bits > 0);
+}
+
+#[test]
+fn spiking_lr_pays_decompression_replay4ncl_does_not() {
+    let mut config = ScenarioConfig::smoke();
+    config.seed = 778;
+    config.pretrain_epochs = 4;
+    config.cl_epochs = 3;
+    let (network, acc) = cache::pretrained_network(&config).expect("pretrain");
+
+    let sota =
+        scenario::run_method(&config, &MethodSpec::spiking_lr(2), &network, acc).unwrap();
+    let ours = scenario::run_method(
+        &config,
+        &MethodSpec::replay4ncl(2, config.data.steps * 2 / 5).with_lr_divisor(2.0),
+        &network,
+        acc,
+    )
+    .unwrap();
+
+    let sota_epoch_codec = sota.epochs[0].ops.codec_frames;
+    let ours_epoch_codec = ours.epochs[0].ops.codec_frames;
+    assert!(
+        sota_epoch_codec > ours_epoch_codec,
+        "SpikingLR re-expands per epoch: {sota_epoch_codec} vs {ours_epoch_codec}"
+    );
+}
+
+#[test]
+fn baseline_is_cheaper_than_replay_methods() {
+    // Fig. 2(a): replay costs a multiple of the no-NCL baseline.
+    let mut config = ScenarioConfig::smoke();
+    config.seed = 779;
+    config.pretrain_epochs = 4;
+    config.cl_epochs = 3;
+    let (network, acc) = cache::pretrained_network(&config).expect("pretrain");
+    let baseline =
+        scenario::run_method(&config, &MethodSpec::baseline(), &network, acc).unwrap();
+    let sota =
+        scenario::run_method(&config, &MethodSpec::spiking_lr(3), &network, acc).unwrap();
+    let b = baseline.total_cost();
+    let s = sota.total_cost();
+    assert!(s.normalized_latency(&b) > 1.0);
+    assert!(s.normalized_energy(&b) > 1.0);
+}
