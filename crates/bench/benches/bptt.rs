@@ -18,9 +18,14 @@ fn bench_bptt(c: &mut Criterion) {
     let history3 = net.record_from(3, &act3, None).expect("record");
 
     let mut group = c.benchmark_group("bptt");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     group.bench_function("record_full_t100", |b| {
-        b.iter(|| net.record_from(0, std::hint::black_box(&input), None).unwrap())
+        b.iter(|| {
+            net.record_from(0, std::hint::black_box(&input), None)
+                .unwrap()
+        })
     });
     group.bench_function("backward_full_t100", |b| {
         b.iter(|| bptt::backward(&net, std::hint::black_box(&history), 5).unwrap())

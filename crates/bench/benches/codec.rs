@@ -16,7 +16,9 @@ fn bench_codec(c: &mut Criterion) {
     let compressed = codec::compress(&raster, factor);
 
     let mut group = c.benchmark_group("codec");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     group.bench_function("compress_200x100_x2", |b| {
         b.iter(|| codec::compress(std::hint::black_box(&raster), factor))
     });
@@ -24,7 +26,14 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(&compressed).decompress())
     });
     group.bench_function("decimate_200x100_to_40", |b| {
-        b.iter(|| resample(std::hint::black_box(&raster), 40, ResampleStrategy::Decimate).unwrap())
+        b.iter(|| {
+            resample(
+                std::hint::black_box(&raster),
+                40,
+                ResampleStrategy::Decimate,
+            )
+            .unwrap()
+        })
     });
     group.bench_function("orbins_200x100_to_40", |b| {
         b.iter(|| resample(std::hint::black_box(&raster), 40, ResampleStrategy::OrBins).unwrap())

@@ -17,7 +17,9 @@ fn bench_cost_model(c: &mut Criterion) {
     let ops = OpCounts::forward(&activity, true);
 
     let mut group = c.benchmark_group("cost_model");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     group.bench_function("ops_from_activity", |b| {
         b.iter(|| OpCounts::forward(std::hint::black_box(&activity), true))
     });
@@ -25,7 +27,10 @@ fn bench_cost_model(c: &mut Criterion) {
         b.iter(|| CostReport::of(std::hint::black_box(&ops), &profile))
     });
     group.bench_function("traced_forward_overhead", |b| {
-        b.iter(|| net.forward_from_traced(0, std::hint::black_box(&input), None).unwrap())
+        b.iter(|| {
+            net.forward_from_traced(0, std::hint::black_box(&input), None)
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -10,7 +10,9 @@ fn bench_dataset(c: &mut Criterion) {
     let proto = ClassPrototype::derive(&config, 0);
 
     let mut group = c.benchmark_group("dataset");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     group.bench_function("draw_one_paper_sample", |b| {
         let mut rng = Rng::seed_from_u64(1);
         b.iter(|| generator::draw_sample(&config, &proto, &mut rng))

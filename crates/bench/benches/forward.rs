@@ -19,7 +19,9 @@ fn bench_forward(c: &mut Criterion) {
     let short = paper_input(0.02, 40);
 
     let mut group = c.benchmark_group("forward");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     group.bench_function("paper_net_t100_d2pct", |b| {
         b.iter(|| net.forward(std::hint::black_box(&input)).unwrap())
     });

@@ -24,7 +24,9 @@ fn bench_buffer(c: &mut Criterion) {
     let buffer = filled_buffer(152); // paper scale: 19 classes x 8
 
     let mut group = c.benchmark_group("replay_buffer");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     group.bench_function("fill_152_entries", |b| b.iter(|| filled_buffer(152)));
     group.bench_function("footprint", |b| {
         b.iter(|| std::hint::black_box(&buffer).footprint())

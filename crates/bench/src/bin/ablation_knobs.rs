@@ -13,10 +13,14 @@ fn main() {
     let mut args = RunArgs::from_env();
     args.insertion.get_or_insert(1); // hidden layers train: all knobs active
     let config = args.config();
-    print_header("Ablation", "contribution of each Replay4NCL knob", &args, &config);
+    print_header(
+        "Ablation",
+        "contribution of each Replay4NCL knob",
+        &args,
+        &config,
+    );
 
-    let (network, pretrain_acc) =
-        cache::pretrained_network(&config).expect("pre-training failed");
+    let (network, pretrain_acc) = cache::pretrained_network(&config).expect("pre-training failed");
     let per_class = replay_per_class(&config);
     let divisor = cl_lr_divisor(args.scale);
     let t = config.data.steps;
@@ -37,7 +41,10 @@ fn main() {
     let mut rows = Vec::new();
     for &t_star in &[t * 2 / 5, t / 5] {
         let variants: Vec<(&str, MethodSpec)> = vec![
-            ("naive reduction", MethodSpec::spiking_lr_reduced(per_class, t_star)),
+            (
+                "naive reduction",
+                MethodSpec::spiking_lr_reduced(per_class, t_star),
+            ),
             (
                 "+ adaptive threshold",
                 MethodSpec::replay4ncl_ablation(per_class, t_star, true, false),
@@ -52,8 +59,7 @@ fn main() {
                 MethodSpec::replay4ncl(per_class, t_star).with_lr_divisor(divisor),
             ),
             ("literal Alg.1 threshold", {
-                let mut m =
-                    MethodSpec::replay4ncl(per_class, t_star).with_lr_divisor(divisor);
+                let mut m = MethodSpec::replay4ncl(per_class, t_star).with_lr_divisor(divisor);
                 m.threshold_mode = ThresholdMode::Adaptive(AdaptivePolicy::literal());
                 m.name = "Replay4NCL-literal".into();
                 m
@@ -77,7 +83,14 @@ fn main() {
     println!(
         "{}",
         report::render_table(
-            &["T*", "variant", "old acc", "new acc", "speed-up", "energy saving"],
+            &[
+                "T*",
+                "variant",
+                "old acc",
+                "new acc",
+                "speed-up",
+                "energy saving"
+            ],
             &rows
         )
     );

@@ -27,11 +27,9 @@ fn main() {
         // network config, so each shape trains its own model).
         let (network, pretrain_acc) =
             cache::pretrained_network(&config).expect("pre-training failed");
-        let method = MethodSpec::replay4ncl(
-            replay_per_class(&config),
-            t_star_of(config.data.steps),
-        )
-        .with_lr_divisor(cl_lr_divisor(args.scale));
+        let method =
+            MethodSpec::replay4ncl(replay_per_class(&config), t_star_of(config.data.steps))
+                .with_lr_divisor(cl_lr_divisor(args.scale));
         let r = scenario::run_method(&config, &method, &network, pretrain_acc)
             .expect("scenario failed");
         rows.push(vec![
@@ -45,7 +43,12 @@ fn main() {
     println!(
         "{}",
         report::render_table(
-            &["surrogate", "pretrain acc", "old acc after CL", "new acc after CL"],
+            &[
+                "surrogate",
+                "pretrain acc",
+                "old acc after CL",
+                "new acc after CL"
+            ],
             &rows
         )
     );

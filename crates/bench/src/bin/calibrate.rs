@@ -17,7 +17,11 @@ fn main() {
     config.insertion_layer = args.insertion.unwrap_or(3);
 
     let (network, pretrain_acc) = cache::pretrained_network(&config).expect("pretrain");
-    println!("pretrain acc {} | insertion {}", report::pct(pretrain_acc), config.insertion_layer);
+    println!(
+        "pretrain acc {} | insertion {}",
+        report::pct(pretrain_acc),
+        config.insertion_layer
+    );
 
     let per_class = 6;
     let t = config.data.steps;
@@ -28,8 +32,7 @@ fn main() {
         MethodSpec::replay4ncl(per_class, t * 2 / 5).with_lr_divisor(2.0),
         MethodSpec::replay4ncl(per_class, t * 2 / 5).with_lr_divisor(3.0),
         MethodSpec::replay4ncl(per_class, t * 2 / 5).with_lr_divisor(5.0),
-        MethodSpec::replay4ncl_ablation(per_class, t * 2 / 5, false, true)
-            .with_lr_divisor(3.0),
+        MethodSpec::replay4ncl_ablation(per_class, t * 2 / 5, false, true).with_lr_divisor(3.0),
         MethodSpec::replay4ncl_ablation(per_class, t * 2 / 5, true, false),
         {
             let mut m = MethodSpec::replay4ncl(per_class, t * 2 / 5).with_lr_divisor(3.0);
@@ -51,8 +54,9 @@ fn main() {
         if spec.name == "SpikingLR" {
             sota_cost = Some(cost);
         }
-        let speedup = sota_cost.map_or(0.0, |s| cost.speedup_vs(&s).recip().recip());
-        let speed_str = sota_cost.map_or("-".to_string(), |s| format!("{:.2}x", s.latency.ratio_to(cost.latency)));
+        let speed_str = sota_cost.map_or("-".to_string(), |s| {
+            format!("{:.2}x", s.latency.ratio_to(cost.latency))
+        });
         rows.push(vec![
             spec.name.clone(),
             format!("{}", r.operating_steps),
@@ -62,7 +66,6 @@ fn main() {
             speed_str,
             format!("{:.1}s", start.elapsed().as_secs_f32()),
         ]);
-        let _ = speedup;
     }
     println!(
         "{}",

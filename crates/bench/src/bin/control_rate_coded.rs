@@ -27,7 +27,10 @@ fn train_network(train: &Dataset, epochs: usize, seed: u64) -> Network {
     config.seed = seed;
     let mut net = Network::new(config).expect("valid config");
     let mut opt = Optimizer::adam(2e-3);
-    let options = TrainOptions { batch_size: 4, ..TrainOptions::default() };
+    let options = TrainOptions {
+        batch_size: 4,
+        ..TrainOptions::default()
+    };
     let mut rng = Rng::seed_from_u64(seed ^ 0xAB);
     let refs: Vec<(&SpikeRaster, u16)> = train.iter().map(|s| (&s.raster, s.label)).collect();
     for _ in 0..epochs {
@@ -49,7 +52,9 @@ fn accuracy_at(net: &Network, test: &Dataset, steps: usize) -> f64 {
         })
         .collect();
     let refs: Vec<(&SpikeRaster, u16)> = reduced.iter().map(|(r, l)| (r, *l)).collect();
-    trainer::evaluate(net, &refs, 0, ThresholdMode::Constant).expect("evaluate").top1()
+    trainer::evaluate(net, &refs, 0, ThresholdMode::Constant)
+        .expect("evaluate")
+        .top1()
 }
 
 fn main() {
@@ -94,7 +99,11 @@ fn main() {
     println!(
         "{}",
         report::render_table(
-            &["eval timesteps", "temporal (SHD-like) acc", "rate-coded acc"],
+            &[
+                "eval timesteps",
+                "temporal (SHD-like) acc",
+                "rate-coded acc"
+            ],
             &rows
         )
     );

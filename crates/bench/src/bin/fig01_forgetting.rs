@@ -13,11 +13,18 @@ fn main() {
     // Fig. 1's baseline retrains the full network.
     args.insertion.get_or_insert(0);
     let config = args.config();
-    print_header("Fig. 1(a)", "catastrophic forgetting of the baseline", &args, &config);
+    print_header(
+        "Fig. 1(a)",
+        "catastrophic forgetting of the baseline",
+        &args,
+        &config,
+    );
 
-    let (network, pretrain_acc) =
-        cache::pretrained_network(&config).expect("pre-training failed");
-    println!("pre-trained old-class accuracy: {}", report::pct(pretrain_acc));
+    let (network, pretrain_acc) = cache::pretrained_network(&config).expect("pre-training failed");
+    println!(
+        "pre-trained old-class accuracy: {}",
+        report::pct(pretrain_acc)
+    );
 
     let result = scenario::run_method(&config, &MethodSpec::baseline(), &network, pretrain_acc)
         .expect("scenario failed");
@@ -37,7 +44,12 @@ fn main() {
     println!(
         "{}",
         report::render_table(
-            &["epoch", "old-task acc (pre-trained)", "new-task acc", "train loss"],
+            &[
+                "epoch",
+                "old-task acc (pre-trained)",
+                "new-task acc",
+                "train loss"
+            ],
             &rows
         )
     );
@@ -49,7 +61,5 @@ fn main() {
         report::pct(result.pretrain_acc),
         report::pct(result.final_old_acc()),
     );
-    println!(
-        "paper shape: old-task accuracy drops sharply as the new task is learned (Fig. 1(a))"
-    );
+    println!("paper shape: old-task accuracy drops sharply as the new task is learned (Fig. 1(a))");
 }

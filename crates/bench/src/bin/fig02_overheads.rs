@@ -12,7 +12,12 @@ use replay4ncl::{cache, methods::MethodSpec, report, scenario};
 fn main() {
     let args = RunArgs::from_env();
     let base_config = args.config();
-    print_header("Fig. 2(a)", "SpikingLR overheads vs the no-NCL baseline", &args, &base_config);
+    print_header(
+        "Fig. 2(a)",
+        "SpikingLR overheads vs the no-NCL baseline",
+        &args,
+        &base_config,
+    );
 
     let layers = base_config.network.layers();
     let mut rows = Vec::new();

@@ -11,10 +11,14 @@ use replay4ncl::{cache, methods::MethodSpec, report, scenario};
 fn main() {
     let args = RunArgs::from_env();
     let config = args.config();
-    print_header("Fig. 2(b)", "accuracy under aggressive timestep reduction", &args, &config);
+    print_header(
+        "Fig. 2(b)",
+        "accuracy under aggressive timestep reduction",
+        &args,
+        &config,
+    );
 
-    let (network, pretrain_acc) =
-        cache::pretrained_network(&config).expect("pre-training failed");
+    let (network, pretrain_acc) = cache::pretrained_network(&config).expect("pre-training failed");
     let per_class = replay_per_class(&config);
     let t = config.data.steps;
 

@@ -13,13 +13,22 @@ use replay4ncl::{cache, methods::MethodSpec, report, scenario, ScenarioResult};
 fn main() {
     let args = RunArgs::from_env();
     let config = args.config();
-    print_header("Fig. 8", "accuracy & latency across timestep settings", &args, &config);
+    print_header(
+        "Fig. 8",
+        "accuracy & latency across timestep settings",
+        &args,
+        &config,
+    );
 
-    let (network, pretrain_acc) =
-        cache::pretrained_network(&config).expect("pre-training failed");
+    let (network, pretrain_acc) = cache::pretrained_network(&config).expect("pre-training failed");
     let per_class = replay_per_class(&config);
     let t = config.data.steps;
-    let fractions = [(1.0f64, t), (0.6, t * 3 / 5), (0.4, t * 2 / 5), (0.2, t / 5)];
+    let fractions = [
+        (1.0f64, t),
+        (0.6, t * 3 / 5),
+        (0.4, t * 2 / 5),
+        (0.2, t / 5),
+    ];
 
     let mut results: Vec<(usize, ScenarioResult)> = Vec::new();
     for &(_, steps) in &fractions {
@@ -44,8 +53,16 @@ fn main() {
     let rows: Vec<Vec<String>> = (0..epochs)
         .map(|e| {
             let mut row = vec![format!("{e}")];
-            row.extend(results.iter().map(|(_, r)| report::pct(r.epochs[e].old_acc)));
-            row.extend(results.iter().map(|(_, r)| report::pct(r.epochs[e].new_acc)));
+            row.extend(
+                results
+                    .iter()
+                    .map(|(_, r)| report::pct(r.epochs[e].old_acc)),
+            );
+            row.extend(
+                results
+                    .iter()
+                    .map(|(_, r)| report::pct(r.epochs[e].new_acc)),
+            );
             row
         })
         .collect();
@@ -71,7 +88,13 @@ fn main() {
     println!(
         "{}",
         report::render_table(
-            &["timesteps", "normalized time", "absolute time", "final old acc", "final new acc"],
+            &[
+                "timesteps",
+                "normalized time",
+                "absolute time",
+                "final old acc",
+                "final new acc"
+            ],
             &rows
         )
     );

@@ -13,7 +13,12 @@ use replay4ncl::{cache, report, scenario, ScenarioResult};
 fn main() {
     let args = RunArgs::from_env();
     let base_config = args.config();
-    print_header("Fig. 10", "accuracy/time/energy across insertion layers", &args, &base_config);
+    print_header(
+        "Fig. 10",
+        "accuracy/time/energy across insertion layers",
+        &args,
+        &base_config,
+    );
 
     let layers = base_config.network.layers();
     let mut sota_results: Vec<ScenarioResult> = Vec::new();
@@ -54,7 +59,13 @@ fn main() {
     println!(
         "{}",
         report::render_table(
-            &["insertion", "SpikingLR old", "Replay4NCL old", "SpikingLR new", "Replay4NCL new"],
+            &[
+                "insertion",
+                "SpikingLR old",
+                "Replay4NCL old",
+                "SpikingLR new",
+                "Replay4NCL new"
+            ],
             &rows
         )
     );

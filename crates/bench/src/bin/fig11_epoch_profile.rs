@@ -10,10 +10,14 @@ fn main() {
     let mut args = RunArgs::from_env();
     args.insertion.get_or_insert(3);
     let config = args.config();
-    print_header("Fig. 11", "epoch profiles at the headline insertion layer", &args, &config);
+    print_header(
+        "Fig. 11",
+        "epoch profiles at the headline insertion layer",
+        &args,
+        &config,
+    );
 
-    let (network, pretrain_acc) =
-        cache::pretrained_network(&config).expect("pre-training failed");
+    let (network, pretrain_acc) = cache::pretrained_network(&config).expect("pre-training failed");
     let sota = scenario::run_method(&config, &spiking_lr_spec(&config), &network, pretrain_acc)
         .expect("spikinglr failed");
     let ours = scenario::run_method(
@@ -31,7 +35,11 @@ fn main() {
         .iter()
         .zip(ours.epochs.iter())
         .map(|(s, o)| {
-            vec![format!("{}", s.epoch), report::pct(s.old_acc), report::pct(o.old_acc)]
+            vec![
+                format!("{}", s.epoch),
+                report::pct(s.old_acc),
+                report::pct(o.old_acc),
+            ]
         })
         .collect();
     println!(

@@ -12,7 +12,12 @@ use replay4ncl::{cache, phases, report};
 fn main() {
     let args = RunArgs::from_env();
     let base_config = args.config();
-    print_header("Fig. 12", "latent memory across insertion layers", &args, &base_config);
+    print_header(
+        "Fig. 12",
+        "latent memory across insertion layers",
+        &args,
+        &base_config,
+    );
 
     let mut rows = Vec::new();
     let mut reference_bits: Option<u64> = None;

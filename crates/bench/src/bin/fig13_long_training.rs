@@ -16,10 +16,14 @@ fn main() {
         Scale::Paper => 150,
         Scale::Demo => 3 * config.cl_epochs,
     };
-    print_header("Fig. 13", "long-training convergence comparison", &args, &config);
+    print_header(
+        "Fig. 13",
+        "long-training convergence comparison",
+        &args,
+        &config,
+    );
 
-    let (network, pretrain_acc) =
-        cache::pretrained_network(&config).expect("pre-training failed");
+    let (network, pretrain_acc) = cache::pretrained_network(&config).expect("pre-training failed");
     let sota = scenario::run_method(&config, &spiking_lr_spec(&config), &network, pretrain_acc)
         .expect("spikinglr failed");
     let ours = scenario::run_method(
@@ -36,7 +40,11 @@ fn main() {
         .iter()
         .zip(ours.epochs.iter())
         .map(|(s, o)| {
-            vec![format!("{}", s.epoch), report::pct(s.new_acc), report::pct(o.new_acc)]
+            vec![
+                format!("{}", s.epoch),
+                report::pct(s.new_acc),
+                report::pct(o.new_acc),
+            ]
         })
         .collect();
     println!(

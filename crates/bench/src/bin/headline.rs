@@ -15,9 +15,11 @@ fn main() {
     let config = args.config();
     print_header("Headline", "abstract numbers of the paper", &args, &config);
 
-    let (network, pretrain_acc) =
-        cache::pretrained_network(&config).expect("pre-training failed");
-    println!("pre-training done: old-class test accuracy {}", report::pct(pretrain_acc));
+    let (network, pretrain_acc) = cache::pretrained_network(&config).expect("pre-training failed");
+    println!(
+        "pre-training done: old-class test accuracy {}",
+        report::pct(pretrain_acc)
+    );
 
     let methods = [
         MethodSpec::baseline(),
@@ -27,8 +29,8 @@ fn main() {
 
     let mut results = Vec::new();
     for method in &methods {
-        let result = scenario::run_method(&config, method, &network, pretrain_acc)
-            .expect("scenario failed");
+        let result =
+            scenario::run_method(&config, method, &network, pretrain_acc).expect("scenario failed");
         println!("{}", report::summarize(&result));
         results.push(result);
     }
@@ -43,7 +45,14 @@ fn main() {
     println!(
         "{}",
         report::render_table(
-            &["method", "old top-1", "new top-1", "speed-up vs SOTA", "energy saving", "memory saving"],
+            &[
+                "method",
+                "old top-1",
+                "new top-1",
+                "speed-up vs SOTA",
+                "energy saving",
+                "memory saving"
+            ],
             &rows,
         )
     );

@@ -40,7 +40,11 @@ impl RunArgs {
     /// Parses `std::env::args()`. Unknown flags abort with usage help.
     #[must_use]
     pub fn from_env() -> Self {
-        let mut args = RunArgs { scale: Scale::Demo, seed: None, insertion: None };
+        let mut args = RunArgs {
+            scale: Scale::Demo,
+            seed: None,
+            insertion: None,
+        };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -50,9 +54,13 @@ impl RunArgs {
                     args.seed = Some(v.parse().unwrap_or_else(|_| usage("--seed must be a u64")));
                 }
                 "--insertion" => {
-                    let v = iter.next().unwrap_or_else(|| usage("--insertion needs a value"));
-                    args.insertion =
-                        Some(v.parse().unwrap_or_else(|_| usage("--insertion must be a usize")));
+                    let v = iter
+                        .next()
+                        .unwrap_or_else(|| usage("--insertion needs a value"));
+                    args.insertion = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| usage("--insertion must be a usize")),
+                    );
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -184,7 +192,11 @@ mod tests {
     fn demo_config_is_valid_and_structured_like_paper() {
         let c = demo_config();
         assert!(c.validate().is_ok());
-        assert_eq!(c.network.hidden_sizes.len(), 3, "needs insertion layers 0..=3");
+        assert_eq!(
+            c.network.hidden_sizes.len(),
+            3,
+            "needs insertion layers 0..=3"
+        );
         assert!(c.data.classes >= 2);
     }
 
@@ -197,11 +209,20 @@ mod tests {
 
     #[test]
     fn args_config_applies_overrides() {
-        let args = RunArgs { scale: Scale::Demo, seed: Some(99), insertion: Some(2) };
+        let args = RunArgs {
+            scale: Scale::Demo,
+            seed: Some(99),
+            insertion: Some(2),
+        };
         let c = args.config();
         assert_eq!(c.seed, 99);
         assert_eq!(c.insertion_layer, 2);
-        let paper = RunArgs { scale: Scale::Paper, seed: None, insertion: None }.config();
+        let paper = RunArgs {
+            scale: Scale::Paper,
+            seed: None,
+            insertion: None,
+        }
+        .config();
         assert_eq!(paper.data.channels, 700);
     }
 

@@ -36,7 +36,12 @@ impl LatentEntry {
     /// at the reduced step count and are replayed verbatim.
     #[must_use]
     pub fn reduced(frames: SpikeRaster, original_steps: usize, label: u16) -> Self {
-        LatentEntry { frames, original_steps, codec_factor: None, label }
+        LatentEntry {
+            frames,
+            original_steps,
+            codec_factor: None,
+            label,
+        }
     }
 
     /// Class label of the stored sample.
@@ -77,11 +82,8 @@ impl LatentEntry {
     pub fn replay_raster(&self, decompress: bool) -> Result<SpikeRaster, NclError> {
         match (decompress, self.codec_factor) {
             (true, Some(factor)) => {
-                let c = CompressedRaster::from_parts(
-                    self.frames.clone(),
-                    self.original_steps,
-                    factor,
-                )?;
+                let c =
+                    CompressedRaster::from_parts(self.frames.clone(), self.original_steps, factor)?;
                 Ok(c.decompress())
             }
             _ => Ok(self.frames.clone()),
@@ -116,7 +118,11 @@ impl LatentReplayBuffer {
     /// capacity bound.
     #[must_use]
     pub fn new(alignment: Alignment) -> Self {
-        LatentReplayBuffer { entries: Vec::new(), alignment, capacity_bits: None }
+        LatentReplayBuffer {
+            entries: Vec::new(),
+            alignment,
+            capacity_bits: None,
+        }
     }
 
     /// Creates a buffer bounded to `capacity_bits` of (aligned) latent
@@ -126,7 +132,11 @@ impl LatentReplayBuffer {
     /// correctness depends on).
     #[must_use]
     pub fn with_capacity_bits(alignment: Alignment, capacity_bits: u64) -> Self {
-        LatentReplayBuffer { entries: Vec::new(), alignment, capacity_bits: Some(capacity_bits) }
+        LatentReplayBuffer {
+            entries: Vec::new(),
+            alignment,
+            capacity_bits: Some(capacity_bits),
+        }
     }
 
     /// The configured capacity bound, if any.
@@ -220,7 +230,10 @@ impl LatentReplayBuffer {
     ///
     /// Propagates [`LatentEntry::replay_raster`] failures.
     pub fn replay_samples(&self, decompress: bool) -> Result<Vec<(SpikeRaster, u16)>, NclError> {
-        self.entries.iter().map(|e| Ok((e.replay_raster(decompress)?, e.label()))).collect()
+        self.entries
+            .iter()
+            .map(|e| Ok((e.replay_raster(decompress)?, e.label())))
+            .collect()
     }
 }
 
@@ -293,7 +306,10 @@ mod tests {
         }
         assert_eq!(sota.len(), 19);
         let saving = 1.0 - ours.payload_bits() as f64 / sota.payload_bits() as f64;
-        assert!((saving - 0.20).abs() < 1e-12, "paper's 20% latent memory saving");
+        assert!(
+            (saving - 0.20).abs() < 1e-12,
+            "paper's 20% latent memory saving"
+        );
         // Aligned footprints keep the saving close to 20 %.
         let fp_saving = ours.footprint().saving_vs(&sota.footprint());
         assert!((0.18..=0.22).contains(&fp_saving));
@@ -327,7 +343,10 @@ mod tests {
     fn unbounded_buffer_never_evicts() {
         let mut buffer = LatentReplayBuffer::new(Alignment::Byte);
         for i in 0..20 {
-            assert_eq!(buffer.push(LatentEntry::reduced(activation(10, 20), 40, i % 3)), 0);
+            assert_eq!(
+                buffer.push(LatentEntry::reduced(activation(10, 20), 40, i % 3)),
+                0
+            );
         }
         assert_eq!(buffer.len(), 20);
     }

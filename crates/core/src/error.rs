@@ -82,17 +82,27 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        let e: NclError = SnnError::InvalidStage { stage: 1, layers: 0 }.into();
+        let e: NclError = SnnError::InvalidStage {
+            stage: 1,
+            layers: 0,
+        }
+        .into();
         assert!(e.to_string().contains("snn"));
         assert!(e.source().is_some());
         let e: NclError = DataError::EmptySelection { op: "x" }.into();
         assert!(e.to_string().contains("dataset"));
-        let e: NclError =
-            SpikeError::InvalidParameter { what: "f", detail: "d".into() }.into();
+        let e: NclError = SpikeError::InvalidParameter {
+            what: "f",
+            detail: "d".into(),
+        }
+        .into();
         assert!(e.to_string().contains("spike"));
         let e: NclError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(e.to_string().contains("cache"));
-        let e = NclError::InvalidConfig { what: "epochs", detail: "zero".into() };
+        let e = NclError::InvalidConfig {
+            what: "epochs",
+            detail: "zero".into(),
+        };
         assert!(e.source().is_none());
         assert!(e.to_string().contains("epochs"));
     }

@@ -142,7 +142,11 @@ impl MethodSpec {
         let mut spec = MethodSpec::replay4ncl(replay_per_class, t_star);
         spec.name = format!(
             "Replay4NCL[thr={},lr={}]",
-            if adaptive_threshold { "adaptive" } else { "const" },
+            if adaptive_threshold {
+                "adaptive"
+            } else {
+                "const"
+            },
             if reduced_lr { "low" } else { "full" }
         );
         if !adaptive_threshold {
@@ -178,9 +182,11 @@ impl MethodSpec {
     #[must_use]
     pub fn operating_steps(&self, native_steps: usize) -> usize {
         match &self.replay {
-            Some(ReplaySpec { storage: StoragePolicy::Reduced(t_star), decompress: false, .. }) => {
-                (*t_star).min(native_steps)
-            }
+            Some(ReplaySpec {
+                storage: StoragePolicy::Reduced(t_star),
+                decompress: false,
+                ..
+            }) => (*t_star).min(native_steps),
             _ => native_steps,
         }
     }
@@ -233,7 +239,9 @@ mod tests {
         assert!(MethodSpec::replay4ncl(10, 40).validate().is_ok());
         assert!(MethodSpec::spiking_lr_reduced(10, 20).validate().is_ok());
         for (thr, lr) in [(true, true), (true, false), (false, true), (false, false)] {
-            assert!(MethodSpec::replay4ncl_ablation(10, 40, thr, lr).validate().is_ok());
+            assert!(MethodSpec::replay4ncl_ablation(10, 40, thr, lr)
+                .validate()
+                .is_ok());
         }
     }
 
@@ -260,8 +268,16 @@ mod tests {
     #[test]
     fn paper_memory_saving_from_storage_policies() {
         // 50 frames (SpikingLR) vs 40 frames (Replay4NCL) = 20 % saving.
-        let sota = MethodSpec::spiking_lr(10).replay.unwrap().storage.stored_steps(100);
-        let ours = MethodSpec::replay4ncl(10, 40).replay.unwrap().storage.stored_steps(100);
+        let sota = MethodSpec::spiking_lr(10)
+            .replay
+            .unwrap()
+            .storage
+            .stored_steps(100);
+        let ours = MethodSpec::replay4ncl(10, 40)
+            .replay
+            .unwrap()
+            .storage
+            .stored_steps(100);
         assert!((1.0 - ours as f64 / sota as f64 - 0.20).abs() < 1e-12);
     }
 
@@ -270,7 +286,11 @@ mod tests {
         assert_eq!(MethodSpec::baseline().operating_steps(100), 100);
         assert_eq!(MethodSpec::spiking_lr(5).operating_steps(100), 100);
         assert_eq!(MethodSpec::replay4ncl(5, 40).operating_steps(100), 40);
-        assert_eq!(MethodSpec::replay4ncl(5, 400).operating_steps(100), 100, "clamped");
+        assert_eq!(
+            MethodSpec::replay4ncl(5, 400).operating_steps(100),
+            100,
+            "clamped"
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ mod tests {
                 },
             ],
             prep_ops: OpCounts::default(),
-            memory: MemoryFootprint { samples: 0, payload_bits_per_sample: 0, total_bits: 0 },
+            memory: MemoryFootprint {
+                samples: 0,
+                payload_bits_per_sample: 0,
+                total_bits: 0,
+            },
             profile: HardwareProfile::embedded(),
         }
     }

@@ -114,7 +114,11 @@ pub fn pretrain(config: &ScenarioConfig) -> Result<PretrainOutcome, NclError> {
 
     let test_refs = sample_refs(&test);
     let acc = trainer::evaluate(&network, &test_refs, 0, ThresholdMode::Constant)?;
-    Ok(PretrainOutcome { network, test_acc: acc.top1(), epoch_losses })
+    Ok(PretrainOutcome {
+        network,
+        test_acc: acc.top1(),
+        epoch_losses,
+    })
 }
 
 /// Latent-replay generation (Alg. 1 lines 6–20): runs the frozen stages on
@@ -151,11 +155,8 @@ pub fn prepare_buffer(
         // Alg. 1 lines 8-19: the latent activations are generated with the
         // method's threshold policy applied to the frozen stages.
         let schedule = method.threshold_mode.schedule_for(&input, base)?;
-        let (activation, activity) = network.activations_at_traced(
-            config.insertion_layer,
-            &input,
-            Some(&schedule),
-        )?;
+        let (activation, activity) =
+            network.activations_at_traced(config.insertion_layer, &input, Some(&schedule))?;
         ops += OpCounts::forward(&activity, config.network.recurrent);
 
         let entry = match replay.storage {
@@ -170,11 +171,8 @@ pub fn prepare_buffer(
             }
             StoragePolicy::Reduced(_) => {
                 // The activation already lives at T*; store it verbatim.
-                ops += OpCounts::codec(
-                    activation.steps() as u64,
-                    activation.neurons() as u64,
-                    true,
-                );
+                ops +=
+                    OpCounts::codec(activation.steps() as u64, activation.neurons() as u64, true);
                 LatentEntry::reduced(activation, config.data.steps, sample.label)
             }
         };
@@ -205,11 +203,8 @@ pub fn new_task_activations(
         let (input, input_ops) = method_input(&s.raster, method, config)?;
         ops += input_ops;
         let schedule = method.threshold_mode.schedule_for(&input, base)?;
-        let (activation, activity) = network.activations_at_traced(
-            config.insertion_layer,
-            &input,
-            Some(&schedule),
-        )?;
+        let (activation, activity) =
+            network.activations_at_traced(config.insertion_layer, &input, Some(&schedule))?;
         ops += OpCounts::forward(&activity, config.network.recurrent);
         samples.push((activation, s.label));
     }
@@ -235,11 +230,8 @@ pub fn eval_activations(
     for s in eval_data {
         let (input, _) = method_input(&s.raster, method, config)?;
         let schedule = method.threshold_mode.schedule_for(&input, base)?;
-        let activation = network.activations_at_scheduled(
-            config.insertion_layer,
-            &input,
-            Some(&schedule),
-        )?;
+        let activation =
+            network.activations_at_scheduled(config.insertion_layer, &input, Some(&schedule))?;
         out.push((activation, s.label));
     }
     Ok(out)
@@ -307,9 +299,14 @@ mod tests {
         }
 
         // Baseline: nothing stored, nothing spent.
-        let (buf, ops) =
-            prepare_buffer(&network, &config, &MethodSpec::baseline(), &data.train, &split)
-                .unwrap();
+        let (buf, ops) = prepare_buffer(
+            &network,
+            &config,
+            &MethodSpec::baseline(),
+            &data.train,
+            &split,
+        )
+        .unwrap();
         assert!(buf.is_empty());
         assert!(ops.is_zero());
     }
@@ -320,9 +317,14 @@ mod tests {
         let data = scenario_data(&config).unwrap();
         let split = scenario_split(&config).unwrap();
         let network = Network::new(config.network.clone()).unwrap();
-        let (buf, _) =
-            prepare_buffer(&network, &config, &MethodSpec::spiking_lr(3), &data.train, &split)
-                .unwrap();
+        let (buf, _) = prepare_buffer(
+            &network,
+            &config,
+            &MethodSpec::spiking_lr(3),
+            &data.train,
+            &split,
+        )
+        .unwrap();
         let new_class = config.data.classes - 1;
         assert!(buf.iter().all(|e| e.label() != new_class));
     }
@@ -337,8 +339,7 @@ mod tests {
 
         let native = config.data.steps;
         let (sota_acts, sota_ops) =
-            new_task_activations(&network, &config, &MethodSpec::spiking_lr(2), &cl_train)
-                .unwrap();
+            new_task_activations(&network, &config, &MethodSpec::spiking_lr(2), &cl_train).unwrap();
         assert!(sota_acts.iter().all(|(r, _)| r.steps() == native));
 
         let (our_acts, our_ops) = new_task_activations(

@@ -45,7 +45,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     out.push_str(&sep(&widths));
     out.push('\n');
-    out.push_str(&render_row(&headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>()));
+    out.push_str(&render_row(
+        &headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&sep(&widths));
     out.push('\n');
@@ -166,7 +168,10 @@ mod tests {
                 mean_loss: 0.4,
                 old_acc: 0.9,
                 new_acc: 0.8,
-                ops: OpCounts { synaptic_ops: 1000 * ops_scale, ..OpCounts::default() },
+                ops: OpCounts {
+                    synaptic_ops: 1000 * ops_scale,
+                    ..OpCounts::default()
+                },
             }],
             prep_ops: OpCounts::default(),
             memory: MemoryFootprint {
@@ -182,12 +187,18 @@ mod tests {
     fn table_is_aligned() {
         let t = render_table(
             &["a", "long header"],
-            &[vec!["x".into(), "y".into()], vec!["wide cell".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["wide cell".into(), "z".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert!(lines.len() >= 5);
         let width = lines[0].len();
-        assert!(lines.iter().all(|l| l.len() == width), "all rows same width");
+        assert!(
+            lines.iter().all(|l| l.len() == width),
+            "all rows same width"
+        );
     }
 
     #[test]

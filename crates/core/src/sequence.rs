@@ -90,10 +90,8 @@ pub fn run_sequence(
 
     // --- pre-train on classes 0..first_new ------------------------------
     let data = phases::scenario_data(config)?;
-    let pre_split = ClassIncrementalSplit::new(
-        (0..first_new).collect(),
-        (first_new..classes).collect(),
-    )?;
+    let pre_split =
+        ClassIncrementalSplit::new((0..first_new).collect(), (first_new..classes).collect())?;
     let pre_train_set = pre_split.pretrain_subset(&data.train);
     let pre_test_set = pre_split.pretrain_subset(&data.test);
 
@@ -122,8 +120,11 @@ pub fn run_sequence(
     let mut total_ops = OpCounts::default();
     let mut increments = Vec::with_capacity(new_classes);
     let mut seen: Vec<u16> = (0..first_new).collect();
-    let mut final_memory =
-        MemoryFootprint { samples: 0, payload_bits_per_sample: 0, total_bits: 0 };
+    let mut final_memory = MemoryFootprint {
+        samples: 0,
+        payload_bits_per_sample: 0,
+        total_bits: 0,
+    };
 
     for class in first_new..classes {
         let split = ClassIncrementalSplit::new(seen.clone(), vec![class])?;
@@ -163,17 +164,11 @@ pub fn run_sequence(
 
         let trained_params = network.trainable_params(config.insertion_layer)? as u64;
         for _ in 0..config.cl_epochs {
-            let report = trainer::train_epoch(
-                &mut network,
-                &train_set,
-                &mut optimizer,
-                &options,
-                &mut rng,
-            )?;
+            let report =
+                trainer::train_epoch(&mut network, &train_set, &mut optimizer, &options, &mut rng)?;
             total_ops += anew_ops;
             if let Some(activity) = &report.activity {
-                total_ops +=
-                    OpCounts::training(activity, config.network.recurrent, trained_params);
+                total_ops += OpCounts::training(activity, config.network.recurrent, trained_params);
             }
         }
 

@@ -90,7 +90,7 @@ proptest! {
                 (i % 3) as u16,
             ));
         }
-        prop_assert!(buffer.len() >= 1);
+        prop_assert!(!buffer.is_empty());
         prop_assert!(
             buffer.footprint().total_bits <= budget || buffer.len() == 1,
             "capacity respected unless a single entry exceeds it"

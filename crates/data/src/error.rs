@@ -51,13 +51,23 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DataError::InvalidConfig { what: "channels", detail: "zero".into() }
-            .to_string()
-            .contains("channels"));
-        assert!(DataError::UnknownClass { label: 25, classes: 20 }.to_string().contains("25"));
-        assert!(DataError::EmptySelection { op: "replay_subset" }
-            .to_string()
-            .contains("replay_subset"));
+        assert!(DataError::InvalidConfig {
+            what: "channels",
+            detail: "zero".into()
+        }
+        .to_string()
+        .contains("channels"));
+        assert!(DataError::UnknownClass {
+            label: 25,
+            classes: 20
+        }
+        .to_string()
+        .contains("25"));
+        assert!(DataError::EmptySelection {
+            op: "replay_subset"
+        }
+        .to_string()
+        .contains("replay_subset"));
     }
 
     #[test]

@@ -163,7 +163,9 @@ impl ClassPrototype {
         );
         let lo = 0.1 * config.channels as f32;
         let hi = 0.9 * config.channels as f32;
-        let waypoints = (0..config.waypoints).map(|_| rng.uniform_range(lo, hi)).collect();
+        let waypoints = (0..config.waypoints)
+            .map(|_| rng.uniform_range(lo, hi))
+            .collect();
         ClassPrototype { waypoints }
     }
 
@@ -215,7 +217,8 @@ pub fn draw_sample(
                 continue;
             }
             let dist = ch as f32 - center;
-            let p = config.peak_rate * rate_scale
+            let p = config.peak_rate
+                * rate_scale
                 * f64::from((-0.5 * (dist / sigma) * (dist / sigma)).exp());
             if p > 0.0 && rng.bernoulli(p) {
                 raster.set(ch as usize, t, true);
@@ -265,8 +268,9 @@ pub fn generate(config: &ShdLikeConfig) -> Result<Dataset, DataError> {
 /// Returns [`DataError::InvalidConfig`] if the config fails validation.
 pub fn generate_pair(config: &ShdLikeConfig) -> Result<GeneratedData, DataError> {
     config.validate()?;
-    let prototypes: Vec<ClassPrototype> =
-        (0..config.classes).map(|k| ClassPrototype::derive(config, k)).collect();
+    let prototypes: Vec<ClassPrototype> = (0..config.classes)
+        .map(|k| ClassPrototype::derive(config, k))
+        .collect();
 
     let mut master = Rng::seed_from_u64(config.seed);
     let mut train_rng = master.fork(1);
@@ -339,12 +343,21 @@ mod tests {
     fn shapes_and_counts() {
         let config = ShdLikeConfig::smoke_test();
         let data = generate_pair(&config).unwrap();
-        assert_eq!(data.train.len(), config.train_per_class * config.classes as usize);
-        assert_eq!(data.test.len(), config.test_per_class * config.classes as usize);
+        assert_eq!(
+            data.train.len(),
+            config.train_per_class * config.classes as usize
+        );
+        assert_eq!(
+            data.test.len(),
+            config.test_per_class * config.classes as usize
+        );
         assert_eq!(data.train.channels(), config.channels);
         assert_eq!(data.train.steps(), config.steps);
         for class in 0..config.classes {
-            assert_eq!(data.train.indices_of_class(class).len(), config.train_per_class);
+            assert_eq!(
+                data.train.indices_of_class(class).len(),
+                config.train_per_class
+            );
         }
     }
 
@@ -374,7 +387,9 @@ mod tests {
 
     #[test]
     fn center_at_interpolates_between_waypoints() {
-        let p = ClassPrototype { waypoints: vec![0.0, 10.0, 20.0] };
+        let p = ClassPrototype {
+            waypoints: vec![0.0, 10.0, 20.0],
+        };
         assert_eq!(p.center_at(0.0), 0.0);
         assert!((p.center_at(0.25) - 5.0).abs() < 1e-5);
         assert!((p.center_at(0.5) - 10.0).abs() < 1e-5);
@@ -420,8 +435,7 @@ mod tests {
             d / n.max(1) as f32
         };
 
-        let traces: Vec<(u16, Vec<f32>)> =
-            data.iter().map(|s| (s.label, com(&s.raster))).collect();
+        let traces: Vec<(u16, Vec<f32>)> = data.iter().map(|s| (s.label, com(&s.raster))).collect();
         let (mut within, mut wn, mut between, mut bn) = (0.0f32, 0, 0.0f32, 0);
         for i in 0..traces.len() {
             for j in (i + 1)..traces.len() {

@@ -59,7 +59,12 @@ impl BatchLoader {
     pub fn epoch<'d>(&mut self, dataset: &'d Dataset, rng: &mut Rng) -> Batches<'d> {
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         rng.shuffle(&mut order);
-        Batches { dataset, order, batch_size: self.batch_size, cursor: 0 }
+        Batches {
+            dataset,
+            order,
+            batch_size: self.batch_size,
+            cursor: 0,
+        }
     }
 }
 
@@ -96,8 +101,9 @@ mod tests {
     use ncl_spike::SpikeRaster;
 
     fn dataset(n: usize) -> Dataset {
-        let samples =
-            (0..n).map(|i| LabeledSample::new(SpikeRaster::new(2, 2), (i % 3) as u16)).collect();
+        let samples = (0..n)
+            .map(|i| LabeledSample::new(SpikeRaster::new(2, 2), (i % 3) as u16))
+            .collect();
         Dataset::new(samples, 3, 2, 2).unwrap()
     }
 
@@ -124,10 +130,20 @@ mod tests {
         let ds = dataset(20);
         let mut loader = BatchLoader::new(20).unwrap();
         let mut rng = Rng::seed_from_u64(5);
-        let first: Vec<*const LabeledSample> =
-            loader.epoch(&ds, &mut rng).next().unwrap().iter().map(|s| *s as *const _).collect();
-        let second: Vec<*const LabeledSample> =
-            loader.epoch(&ds, &mut rng).next().unwrap().iter().map(|s| *s as *const _).collect();
+        let first: Vec<*const LabeledSample> = loader
+            .epoch(&ds, &mut rng)
+            .next()
+            .unwrap()
+            .iter()
+            .map(|s| *s as *const _)
+            .collect();
+        let second: Vec<*const LabeledSample> = loader
+            .epoch(&ds, &mut rng)
+            .next()
+            .unwrap()
+            .iter()
+            .map(|s| *s as *const _)
+            .collect();
         assert_ne!(first, second, "two epochs should visit in different orders");
     }
 
@@ -145,7 +161,11 @@ mod tests {
         let collect = |seed: u64| -> Vec<u16> {
             let mut loader = BatchLoader::new(5).unwrap();
             let mut rng = Rng::seed_from_u64(seed);
-            loader.epoch(&ds, &mut rng).flatten().map(|s| s.label).collect()
+            loader
+                .epoch(&ds, &mut rng)
+                .flatten()
+                .map(|s| s.label)
+                .collect()
         };
         assert_eq!(collect(3), collect(3));
     }

@@ -90,9 +90,8 @@ impl RateCodedConfig {
     /// per-channel intensities in `[0, 1]`.
     #[must_use]
     pub fn prototype(&self, class: u16) -> Vec<f32> {
-        let mut rng = Rng::seed_from_u64(
-            self.seed ^ RATE_SALT ^ u64::from(class).wrapping_mul(0x9E37_79B9),
-        );
+        let mut rng =
+            Rng::seed_from_u64(self.seed ^ RATE_SALT ^ u64::from(class).wrapping_mul(0x9E37_79B9));
         (0..self.channels).map(|_| rng.uniform_f32()).collect()
     }
 }
@@ -115,8 +114,9 @@ pub struct RateCodedData {
 /// Returns [`DataError::InvalidConfig`] if the config fails validation.
 pub fn generate(config: &RateCodedConfig) -> Result<RateCodedData, DataError> {
     config.validate()?;
-    let prototypes: Vec<Vec<f32>> =
-        (0..config.classes).map(|k| prototype_of(config, k)).collect();
+    let prototypes: Vec<Vec<f32>> = (0..config.classes)
+        .map(|k| prototype_of(config, k))
+        .collect();
     let mut master = Rng::seed_from_u64(config.seed);
     let mut train_rng = master.fork(1);
     let mut test_rng = master.fork(2);
@@ -126,8 +126,10 @@ pub fn generate(config: &RateCodedConfig) -> Result<RateCodedData, DataError> {
         for class in 0..config.classes {
             for _ in 0..per_class {
                 let jitter = (1.0 + rng.normal_f32(0.0, config.rate_jitter)).clamp(0.3, 1.7);
-                let values: Vec<f32> =
-                    prototypes[class as usize].iter().map(|v| (v * jitter).clamp(0.0, 1.0)).collect();
+                let values: Vec<f32> = prototypes[class as usize]
+                    .iter()
+                    .map(|v| (v * jitter).clamp(0.0, 1.0))
+                    .collect();
                 let raster = encode::poisson_encode(&values, config.steps, config.max_rate, rng)
                     .map_err(|e| DataError::InvalidConfig {
                         what: "poisson encoding",
@@ -148,9 +150,8 @@ pub fn generate(config: &RateCodedConfig) -> Result<RateCodedData, DataError> {
 /// The analog rate prototype of `class` (free function used by both the
 /// config method and the generator).
 fn prototype_of(config: &RateCodedConfig, class: u16) -> Vec<f32> {
-    let mut rng = Rng::seed_from_u64(
-        config.seed ^ RATE_SALT ^ u64::from(class).wrapping_mul(0x9E37_79B9),
-    );
+    let mut rng =
+        Rng::seed_from_u64(config.seed ^ RATE_SALT ^ u64::from(class).wrapping_mul(0x9E37_79B9));
     (0..config.channels).map(|_| rng.uniform_f32()).collect()
 }
 
@@ -204,15 +205,11 @@ mod tests {
             let sample = &data.train.samples()[idx[0]];
             let rates = firing_rates(&sample.raster);
             // Channels with high prototype intensity fire more.
-            let hi: Vec<usize> =
-                (0..config.channels).filter(|&c| proto[c] > 0.7).collect();
-            let lo: Vec<usize> =
-                (0..config.channels).filter(|&c| proto[c] < 0.3).collect();
+            let hi: Vec<usize> = (0..config.channels).filter(|&c| proto[c] > 0.7).collect();
+            let lo: Vec<usize> = (0..config.channels).filter(|&c| proto[c] < 0.3).collect();
             if !hi.is_empty() && !lo.is_empty() {
-                let hi_mean: f32 =
-                    hi.iter().map(|&c| rates[c]).sum::<f32>() / hi.len() as f32;
-                let lo_mean: f32 =
-                    lo.iter().map(|&c| rates[c]).sum::<f32>() / lo.len() as f32;
+                let hi_mean: f32 = hi.iter().map(|&c| rates[c]).sum::<f32>() / hi.len() as f32;
+                let lo_mean: f32 = lo.iter().map(|&c| rates[c]).sum::<f32>() / lo.len() as f32;
                 assert!(hi_mean > lo_mean, "class {class}: {hi_mean} vs {lo_mean}");
             }
         }
@@ -239,6 +236,9 @@ mod tests {
         let mut sorted: Vec<usize> = (0..reduced_rates.len()).collect();
         sorted.sort_by(|&a, &b| reduced_rates[b].total_cmp(&reduced_rates[a]));
         let rank = sorted.iter().position(|&c| c == top_full).unwrap();
-        assert!(rank < 10, "top channel fell to rank {rank} after decimation");
+        assert!(
+            rank < 10,
+            "top channel fell to rank {rank} after decimation"
+        );
     }
 }

@@ -74,10 +74,18 @@ impl Dataset {
                 });
             }
             if s.label >= classes {
-                return Err(DataError::UnknownClass { label: s.label, classes });
+                return Err(DataError::UnknownClass {
+                    label: s.label,
+                    classes,
+                });
             }
         }
-        Ok(Dataset { samples, classes, channels, steps })
+        Ok(Dataset {
+            samples,
+            classes,
+            channels,
+            steps,
+        })
     }
 
     /// Number of samples.
@@ -132,8 +140,18 @@ impl Dataset {
     /// global meaning, as the class-incremental protocol requires).
     #[must_use]
     pub fn filter_classes(&self, keep: impl Fn(u16) -> bool) -> Dataset {
-        let samples = self.samples.iter().filter(|s| keep(s.label)).cloned().collect();
-        Dataset { samples, classes: self.classes, channels: self.channels, steps: self.steps }
+        let samples = self
+            .samples
+            .iter()
+            .filter(|s| keep(s.label))
+            .cloned()
+            .collect();
+        Dataset {
+            samples,
+            classes: self.classes,
+            channels: self.channels,
+            steps: self.steps,
+        }
     }
 
     /// Indices of samples with the given label.
@@ -150,7 +168,12 @@ impl Dataset {
     /// metadata (used for subset selection).
     #[must_use]
     pub fn with_samples(&self, samples: Vec<LabeledSample>) -> Dataset {
-        Dataset { samples, classes: self.classes, channels: self.channels, steps: self.steps }
+        Dataset {
+            samples,
+            classes: self.classes,
+            channels: self.channels,
+            steps: self.steps,
+        }
     }
 
     /// A new dataset with every raster transformed by `f` (e.g. temporal
@@ -209,7 +232,10 @@ mod tests {
     #[test]
     fn construction_validates_labels() {
         let bad = vec![LabeledSample::new(SpikeRaster::new(4, 8), 7)];
-        assert!(matches!(Dataset::new(bad, 3, 4, 8), Err(DataError::UnknownClass { .. })));
+        assert!(matches!(
+            Dataset::new(bad, 3, 4, 8),
+            Err(DataError::UnknownClass { .. })
+        ));
     }
 
     #[test]

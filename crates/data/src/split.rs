@@ -58,7 +58,10 @@ impl ClassIncrementalSplit {
                 detail: "pretrain and continual class sets overlap".into(),
             });
         }
-        Ok(ClassIncrementalSplit { pretrain, continual })
+        Ok(ClassIncrementalSplit {
+            pretrain,
+            continual,
+        })
     }
 
     /// Labels of the pre-training classes (the paper's "old tasks").
@@ -124,7 +127,9 @@ pub fn replay_subset(
         }
     }
     if picked.is_empty() {
-        return Err(DataError::EmptySelection { op: "replay_subset" });
+        return Err(DataError::EmptySelection {
+            op: "replay_subset",
+        });
     }
     Ok(dataset.with_samples(picked))
 }
@@ -185,7 +190,10 @@ mod tests {
         for c in 0..3 {
             assert_eq!(replay.indices_of_class(c).len(), 2);
         }
-        assert!(replay.indices_of_class(3).is_empty(), "no new-class leakage");
+        assert!(
+            replay.indices_of_class(3).is_empty(),
+            "no new-class leakage"
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn known_value() {
         let profile = HardwareProfile::embedded();
-        let ops = OpCounts { synaptic_ops: 1000, ..OpCounts::default() };
+        let ops = OpCounts {
+            synaptic_ops: 1000,
+            ..OpCounts::default()
+        };
         let e = energy_of(&ops, &profile);
         assert!((e.joules() - 1000.0 * profile.e_synop_pj * 1e-12).abs() < 1e-18);
     }
@@ -105,7 +108,10 @@ mod tests {
     #[test]
     fn all_counters_contribute() {
         let profile = HardwareProfile::embedded();
-        let base = OpCounts { synaptic_ops: 10, ..OpCounts::default() };
+        let base = OpCounts {
+            synaptic_ops: 10,
+            ..OpCounts::default()
+        };
         let e0 = energy_of(&base, &profile);
         for f in [
             |o: &mut OpCounts| o.neuron_updates = 5,

@@ -87,8 +87,7 @@ pub fn latency_of(ops: &OpCounts, profile: &HardwareProfile) -> Latency {
         + ops.weight_updates as f64 * profile.cycles_per_weight_update
         + ops.codec_frames as f64 * profile.cycles_per_codec_frame)
         / profile.lanes;
-    let mem_cycles =
-        (ops.mem_read_bits + ops.mem_write_bits) as f64 / profile.mem_bits_per_cycle;
+    let mem_cycles = (ops.mem_read_bits + ops.mem_write_bits) as f64 / profile.mem_bits_per_cycle;
     Latency((compute_cycles + mem_cycles) / profile.clock_hz)
 }
 
@@ -105,7 +104,10 @@ mod tests {
     #[test]
     fn known_value() {
         let p = HardwareProfile::embedded();
-        let ops = OpCounts { synaptic_ops: 1600, ..OpCounts::default() };
+        let ops = OpCounts {
+            synaptic_ops: 1600,
+            ..OpCounts::default()
+        };
         // 1600 synops * 1 cycle / 8 lanes = 200 cycles @ 200 MHz = 1 us.
         let l = latency_of(&ops, &p);
         assert!((l.seconds() - 1e-6).abs() < 1e-12);
@@ -114,7 +116,11 @@ mod tests {
     #[test]
     fn latency_scales_linearly_in_work() {
         let p = HardwareProfile::embedded();
-        let one = OpCounts { synaptic_ops: 1000, neuron_updates: 100, ..OpCounts::default() };
+        let one = OpCounts {
+            synaptic_ops: 1000,
+            neuron_updates: 100,
+            ..OpCounts::default()
+        };
         let two = one + one;
         let l1 = latency_of(&one, &p);
         let l2 = latency_of(&two, &p);
@@ -124,8 +130,14 @@ mod tests {
     #[test]
     fn memory_traffic_adds_latency() {
         let p = HardwareProfile::embedded();
-        let compute = OpCounts { synaptic_ops: 1000, ..OpCounts::default() };
-        let with_mem = OpCounts { mem_read_bits: 100_000, ..compute };
+        let compute = OpCounts {
+            synaptic_ops: 1000,
+            ..OpCounts::default()
+        };
+        let with_mem = OpCounts {
+            mem_read_bits: 100_000,
+            ..compute
+        };
         assert!(latency_of(&with_mem, &p) > latency_of(&compute, &p));
     }
 
@@ -134,7 +146,10 @@ mod tests {
         let slow = HardwareProfile::embedded();
         let mut fast = HardwareProfile::embedded();
         fast.lanes *= 4.0;
-        let ops = OpCounts { synaptic_ops: 10_000, ..OpCounts::default() };
+        let ops = OpCounts {
+            synaptic_ops: 10_000,
+            ..OpCounts::default()
+        };
         assert!(latency_of(&ops, &fast) < latency_of(&ops, &slow));
     }
 

@@ -134,8 +134,15 @@ mod tests {
         let (a40, _) = traced_activity(40);
         let f10 = OpCounts::forward(&a10, true);
         let f40 = OpCounts::forward(&a40, true);
-        assert!(f40.synaptic_ops > 2 * f10.synaptic_ops, "more steps, more spikes");
-        assert_eq!(f40.neuron_updates, 4 * f10.neuron_updates, "dense updates scale linearly");
+        assert!(
+            f40.synaptic_ops > 2 * f10.synaptic_ops,
+            "more steps, more spikes"
+        );
+        assert_eq!(
+            f40.neuron_updates,
+            4 * f10.neuron_updates,
+            "dense updates scale linearly"
+        );
     }
 
     #[test]

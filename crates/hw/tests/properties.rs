@@ -5,7 +5,14 @@ use ncl_hw::{energy, latency, CostReport, HardwareProfile, OpCounts};
 use proptest::prelude::*;
 
 fn ops_strategy() -> impl Strategy<Value = OpCounts> {
-    (0u64..1_000_000, 0u64..100_000, 0u64..50_000, 0u64..10_000, 0u64..500_000, 0u64..500_000)
+    (
+        0u64..1_000_000,
+        0u64..100_000,
+        0u64..50_000,
+        0u64..10_000,
+        0u64..500_000,
+        0u64..500_000,
+    )
         .prop_map(|(s, n, w, c, r, wr)| OpCounts {
             synaptic_ops: s,
             neuron_updates: n,
@@ -17,7 +24,11 @@ fn ops_strategy() -> impl Strategy<Value = OpCounts> {
 }
 
 fn profiles() -> [HardwareProfile; 3] {
-    [HardwareProfile::embedded(), HardwareProfile::loihi_like(), HardwareProfile::edge_gpu_like()]
+    [
+        HardwareProfile::embedded(),
+        HardwareProfile::loihi_like(),
+        HardwareProfile::edge_gpu_like(),
+    ]
 }
 
 proptest! {

@@ -81,7 +81,10 @@ impl AdaptivePolicy {
     /// The literal-pseudocode variant of the default policy.
     #[must_use]
     pub fn literal() -> Self {
-        AdaptivePolicy { variant: AdaptiveVariant::LiteralAlg1, ..AdaptivePolicy::default() }
+        AdaptivePolicy {
+            variant: AdaptiveVariant::LiteralAlg1,
+            ..AdaptivePolicy::default()
+        }
     }
 }
 
@@ -139,7 +142,9 @@ impl ThresholdSchedule {
     /// A constant schedule (the pre-training / SpikingLR setting).
     #[must_use]
     pub fn constant(v_threshold: f32, steps: usize) -> Self {
-        ThresholdSchedule { values: vec![v_threshold; steps] }
+        ThresholdSchedule {
+            values: vec![v_threshold; steps],
+        }
     }
 
     /// The Alg. 1 adaptive schedule derived from the spike timing of
@@ -266,12 +271,20 @@ mod tests {
 
     #[test]
     fn policy_validation() {
-        let mut p = AdaptivePolicy::default();
-        p.adjust_interval = 0;
+        let p = AdaptivePolicy {
+            adjust_interval: 0,
+            ..AdaptivePolicy::default()
+        };
         assert!(p.validate().is_err());
-        let p = AdaptivePolicy { base: 0.0, ..AdaptivePolicy::default() };
+        let p = AdaptivePolicy {
+            base: 0.0,
+            ..AdaptivePolicy::default()
+        };
         assert!(p.validate().is_err());
-        let p = AdaptivePolicy { decay_rate: -0.1, ..AdaptivePolicy::default() };
+        let p = AdaptivePolicy {
+            decay_rate: -0.1,
+            ..AdaptivePolicy::default()
+        };
         assert!(p.validate().is_err());
     }
 
@@ -322,7 +335,10 @@ mod tests {
         // Interval [5,10) is silent: the decayed value (picked at t=5)
         // holds.
         for t in 5..10 {
-            assert!((s.value_at(t) - p.decayed_threshold(5)).abs() < 1e-6, "t={t}");
+            assert!(
+                (s.value_at(t) - p.decayed_threshold(5)).abs() < 1e-6,
+                "t={t}"
+            );
         }
     }
 
@@ -371,10 +387,14 @@ mod tests {
         let r = SpikeRaster::new(2, 8);
         let s = ThresholdMode::Constant.schedule_for(&r, 0.9).unwrap();
         assert_eq!(s.value_at(3), 0.9);
-        let s =
-            ThresholdMode::Adaptive(AdaptivePolicy::default()).schedule_for(&r, 1.0).unwrap();
+        let s = ThresholdMode::Adaptive(AdaptivePolicy::default())
+            .schedule_for(&r, 1.0)
+            .unwrap();
         assert_eq!(s.len(), 8);
-        let bad = AdaptivePolicy { adjust_interval: 0, ..AdaptivePolicy::default() };
+        let bad = AdaptivePolicy {
+            adjust_interval: 0,
+            ..AdaptivePolicy::default()
+        };
         assert!(ThresholdMode::Adaptive(bad).schedule_for(&r, 1.0).is_err());
     }
 

@@ -99,7 +99,11 @@ impl Gradients {
             }
             ops::axpy(1.0, &b.bias, &mut a.bias)?;
         }
-        ops::axpy(1.0, other.readout_w.as_slice(), self.readout_w.as_mut_slice())?;
+        ops::axpy(
+            1.0,
+            other.readout_w.as_slice(),
+            self.readout_w.as_mut_slice(),
+        )?;
         ops::axpy(1.0, &other.readout_bias, &mut self.readout_bias)?;
         Ok(())
     }
@@ -147,7 +151,11 @@ impl Gradients {
 ///
 /// Returns [`SnnError::ShapeMismatch`] if `target` is out of range or the
 /// history does not match the network.
-pub fn backward(net: &Network, history: &History, target: usize) -> Result<(f32, Gradients), SnnError> {
+pub fn backward(
+    net: &Network,
+    history: &History,
+    target: usize,
+) -> Result<(f32, Gradients), SnnError> {
     let from_stage = history.from_stage;
     let exec_layers = net.layers() - from_stage;
     if history.layer_spikes.len() != exec_layers {
@@ -201,8 +209,11 @@ pub fn backward(net: &Network, history: &History, target: usize) -> Result<(f32,
     for li in (0..exec_layers).rev() {
         let layer = net.layer(from_stage + li);
         let n = layer.neurons();
-        let pre_raster: &ncl_spike::SpikeRaster =
-            if li == 0 { &history.input } else { &history.layer_spikes[li - 1] };
+        let pre_raster: &ncl_spike::SpikeRaster = if li == 0 {
+            &history.input
+        } else {
+            &history.layer_spikes[li - 1]
+        };
         let pre_n = pre_raster.neurons();
         let spikes = &history.layer_spikes[li];
         let membranes = &history.layer_membranes[li];
@@ -212,7 +223,11 @@ pub fn backward(net: &Network, history: &History, target: usize) -> Result<(f32,
 
         // g_s of the layer below, filled while walking backward.
         let need_below = li > 0;
-        let mut gs_below = if need_below { vec![0.0f32; pre_n * steps] } else { Vec::new() };
+        let mut gs_below = if need_below {
+            vec![0.0f32; pre_n * steps]
+        } else {
+            Vec::new()
+        };
 
         let mut gv_next = vec![0.0f32; n];
         let mut di = vec![0.0f32; n];
@@ -277,7 +292,11 @@ mod tests {
             recurrent: true,
             // A soft surrogate makes the finite-difference check of the
             // *smoothed* objective meaningful.
-            lif: LifConfig { beta: 0.9, surrogate_scale: 10.0, ..LifConfig::default() },
+            lif: LifConfig {
+                beta: 0.9,
+                surrogate_scale: 10.0,
+                ..LifConfig::default()
+            },
             readout: crate::config::ReadoutConfig { beta: 0.85 },
             seed: 11,
         }
@@ -456,7 +475,10 @@ mod tests {
             .unwrap();
         let logits = stepped.forward_from(2, &act, Some(&schedule)).unwrap();
         let (loss1, _) = loss::cross_entropy(&logits, target).unwrap();
-        assert!(loss1 < loss0, "readout-only step must descend ({loss0} -> {loss1})");
+        assert!(
+            loss1 < loss0,
+            "readout-only step must descend ({loss0} -> {loss1})"
+        );
     }
 
     /// Repeated gradient steps on a single sample must drive the loss to

@@ -166,7 +166,10 @@ impl NetworkConfig {
         } else if stage <= self.hidden_sizes.len() {
             Ok(self.hidden_sizes[stage - 1])
         } else {
-            Err(SnnError::InvalidStage { stage, layers: self.hidden_sizes.len() })
+            Err(SnnError::InvalidStage {
+                stage,
+                layers: self.hidden_sizes.len(),
+            })
         }
     }
 
@@ -235,17 +238,28 @@ mod tests {
         assert_eq!(c.stage_width(0).unwrap(), 700);
         assert_eq!(c.stage_width(1).unwrap(), 200);
         assert_eq!(c.stage_width(3).unwrap(), 50);
-        assert!(matches!(c.stage_width(4), Err(SnnError::InvalidStage { .. })));
+        assert!(matches!(
+            c.stage_width(4),
+            Err(SnnError::InvalidStage { .. })
+        ));
     }
 
     #[test]
     fn lif_validation() {
-        let mut c = LifConfig::default();
-        c.beta = 1.0;
+        let mut c = LifConfig {
+            beta: 1.0,
+            ..LifConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = LifConfig { v_threshold: 0.0, ..LifConfig::default() };
+        c = LifConfig {
+            v_threshold: 0.0,
+            ..LifConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = LifConfig { surrogate_scale: -1.0, ..LifConfig::default() };
+        c = LifConfig {
+            surrogate_scale: -1.0,
+            ..LifConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

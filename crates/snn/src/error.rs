@@ -47,11 +47,18 @@ impl fmt::Display for SnnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnnError::InvalidConfig { what, detail } => write!(f, "invalid {what}: {detail}"),
-            SnnError::ShapeMismatch { op, expected, actual } => {
+            SnnError::ShapeMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op}: expected size {expected}, got {actual}")
             }
             SnnError::InvalidStage { stage, layers } => {
-                write!(f, "stage {stage} out of range for a network with {layers} hidden layers")
+                write!(
+                    f,
+                    "stage {stage} out of range for a network with {layers} hidden layers"
+                )
             }
             SnnError::Tensor(e) => write!(f, "tensor kernel failed: {e}"),
             SnnError::Spike(e) => write!(f, "spike operation failed: {e}"),
@@ -88,13 +95,24 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SnnError::InvalidStage { stage: 9, layers: 3 };
+        let e = SnnError::InvalidStage {
+            stage: 9,
+            layers: 3,
+        };
         assert!(e.to_string().contains("stage 9"));
         let t: SnnError = TensorError::ZeroDimension { op: "gemv" }.into();
         assert!(t.source().is_some());
-        let s: SnnError = SpikeError::InvalidParameter { what: "x", detail: "y".into() }.into();
+        let s: SnnError = SpikeError::InvalidParameter {
+            what: "x",
+            detail: "y".into(),
+        }
+        .into();
         assert!(s.to_string().contains("spike"));
-        assert!(SnnError::Deserialize { detail: "short".into() }.to_string().contains("short"));
+        assert!(SnnError::Deserialize {
+            detail: "short".into()
+        }
+        .to_string()
+        .contains("short"));
     }
 
     #[test]

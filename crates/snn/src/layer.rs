@@ -198,8 +198,7 @@ mod tests {
 
     fn layer(inputs: usize, neurons: usize, recurrent: bool) -> RecurrentLifLayer {
         let mut rng = Rng::seed_from_u64(1);
-        RecurrentLifLayer::new(inputs, neurons, recurrent, LifConfig::default(), &mut rng)
-            .unwrap()
+        RecurrentLifLayer::new(inputs, neurons, recurrent, LifConfig::default(), &mut rng).unwrap()
     }
 
     #[test]
@@ -222,7 +221,10 @@ mod tests {
         let mut rng = Rng::seed_from_u64(1);
         assert!(RecurrentLifLayer::new(0, 4, true, LifConfig::default(), &mut rng).is_err());
         assert!(RecurrentLifLayer::new(4, 0, true, LifConfig::default(), &mut rng).is_err());
-        let bad = LifConfig { beta: 1.5, ..LifConfig::default() };
+        let bad = LifConfig {
+            beta: 1.5,
+            ..LifConfig::default()
+        };
         assert!(RecurrentLifLayer::new(4, 4, true, bad, &mut rng).is_err());
     }
 

@@ -25,7 +25,11 @@ use crate::error::SnnError;
 /// ```
 pub fn cross_entropy(logits: &[f32], target: usize) -> Result<(f32, Vec<f32>), SnnError> {
     if logits.is_empty() {
-        return Err(SnnError::ShapeMismatch { op: "cross_entropy", expected: 1, actual: 0 });
+        return Err(SnnError::ShapeMismatch {
+            op: "cross_entropy",
+            expected: 1,
+            actual: 0,
+        });
     }
     if target >= logits.len() {
         return Err(SnnError::ShapeMismatch {
@@ -89,7 +93,11 @@ mod tests {
             let (lp, _) = cross_entropy(&plus, target).unwrap();
             let (lm, _) = cross_entropy(&minus, target).unwrap();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - grad[i]).abs() < 1e-3, "logit {i}: fd={fd}, grad={}", grad[i]);
+            assert!(
+                (fd - grad[i]).abs() < 1e-3,
+                "logit {i}: fd={fd}, grad={}",
+                grad[i]
+            );
         }
     }
 }

@@ -89,7 +89,11 @@ impl ForwardActivity {
     /// readout integrators).
     #[must_use]
     pub fn neuron_updates(&self) -> u64 {
-        let hidden: u64 = self.stages.iter().map(|s| (s.neurons * self.steps) as u64).sum();
+        let hidden: u64 = self
+            .stages
+            .iter()
+            .map(|s| (s.neurons * self.steps) as u64)
+            .sum();
         hidden + (self.outputs * self.steps) as u64
     }
 }
@@ -163,7 +167,11 @@ impl Network {
             prev = width;
         }
         let readout = LiReadout::new(prev, config.output_size, config.readout, &mut rng)?;
-        Ok(Network { config, layers, readout })
+        Ok(Network {
+            config,
+            layers,
+            readout,
+        })
     }
 
     /// The architecture configuration.
@@ -218,7 +226,11 @@ impl Network {
             });
         }
         if input.steps() == 0 {
-            return Err(SnnError::ShapeMismatch { op: "forward_from", expected: 1, actual: 0 });
+            return Err(SnnError::ShapeMismatch {
+                op: "forward_from",
+                expected: 1,
+                actual: 0,
+            });
         }
         Ok(())
     }
@@ -302,7 +314,9 @@ impl Network {
             return Ok(input.clone());
         }
         let mut rasters = self.run_frozen(stage, input, schedule)?;
-        Ok(rasters.pop().expect("stage >= 1 executed at least one layer"))
+        Ok(rasters
+            .pop()
+            .expect("stage >= 1 executed at least one layer"))
     }
 
     /// Runs stages `1..=stage`, returning every intermediate stage raster.
@@ -316,14 +330,23 @@ impl Network {
         self.config.stage_width(stage)?;
         debug_assert!(stage >= 1);
         let steps = input.steps();
-        let mut rasters: Vec<SpikeRaster> =
-            (0..stage).map(|l| SpikeRaster::new(self.layers[l].neurons(), steps)).collect();
+        let mut rasters: Vec<SpikeRaster> = (0..stage)
+            .map(|l| SpikeRaster::new(self.layers[l].neurons(), steps))
+            .collect();
 
-        let mut v: Vec<Vec<f32>> =
-            (0..stage).map(|l| vec![0.0; self.layers[l].neurons()]).collect();
+        let mut v: Vec<Vec<f32>> = (0..stage)
+            .map(|l| vec![0.0; self.layers[l].neurons()])
+            .collect();
         let mut prev_active: Vec<Vec<usize>> = (0..stage).map(|_| Vec::new()).collect();
         let mut spikes_scratch: Vec<usize> = Vec::new();
-        let mut current = vec![0.0f32; self.layers[..stage].iter().map(|l| l.neurons()).max().unwrap_or(0)];
+        let mut current = vec![
+            0.0f32;
+            self.layers[..stage]
+                .iter()
+                .map(|l| l.neurons())
+                .max()
+                .unwrap_or(0)
+        ];
 
         for t in 0..steps {
             let threshold = schedule.map_or(self.config.lif.v_threshold, |s| s.value_at(t));
@@ -408,10 +431,17 @@ impl Network {
             });
             in_spikes = out_spikes;
         }
-        let raster = rasters.pop().expect("stage >= 1 executed at least one layer");
+        let raster = rasters
+            .pop()
+            .expect("stage >= 1 executed at least one layer");
         Ok((
             raster,
-            ForwardActivity { stages, readout_in_spikes: 0, steps, outputs: 0 },
+            ForwardActivity {
+                stages,
+                readout_in_spikes: 0,
+                steps,
+                outputs: 0,
+            },
         ))
     }
 
@@ -468,7 +498,10 @@ impl Network {
                     .iter()
                     .map(|l| SpikeRaster::new(l.neurons(), steps))
                     .collect(),
-                layer_membranes: exec.iter().map(|l| vec![0.0f32; l.neurons() * steps]).collect(),
+                layer_membranes: exec
+                    .iter()
+                    .map(|l| vec![0.0f32; l.neurons() * steps])
+                    .collect(),
                 thresholds: Vec::with_capacity(steps),
                 logits: Vec::new(),
                 activity: ForwardActivity {
@@ -621,7 +654,10 @@ mod tests {
     fn forward_rejects_bad_shapes() {
         let net = tiny_net();
         let wrong_width = SpikeRaster::new(9, 10);
-        assert!(matches!(net.forward(&wrong_width), Err(SnnError::ShapeMismatch { .. })));
+        assert!(matches!(
+            net.forward(&wrong_width),
+            Err(SnnError::ShapeMismatch { .. })
+        ));
         let zero_steps = SpikeRaster::new(8, 0);
         assert!(net.forward(&zero_steps).is_err());
         assert!(matches!(
@@ -668,7 +704,10 @@ mod tests {
         let from1 = net.forward_from(1, &act, None).unwrap();
         let full = net.forward(&input).unwrap();
         for (a, b) in from1.iter().zip(full.iter()) {
-            assert!((a - b).abs() < 1e-5, "stage-split forward equals full forward");
+            assert!(
+                (a - b).abs() < 1e-5,
+                "stage-split forward equals full forward"
+            );
         }
     }
 
@@ -730,7 +769,10 @@ mod tests {
         let net = tiny_net();
         // Stage 0: everything. 8*16 + 16*16 + 16 + 16*12 + 12*12 + 12 + 12*3 + 3
         let full = net.trainable_params(0).unwrap();
-        assert_eq!(full, 8 * 16 + 16 * 16 + 16 + 16 * 12 + 12 * 12 + 12 + 12 * 3 + 3);
+        assert_eq!(
+            full,
+            8 * 16 + 16 * 16 + 16 + 16 * 12 + 12 * 12 + 12 + 12 * 3 + 3
+        );
         // Stage 2: readout only.
         let ro = net.trainable_params(2).unwrap();
         assert_eq!(ro, 12 * 3 + 3);

@@ -55,13 +55,21 @@ impl Optimizer {
     /// Plain SGD.
     #[must_use]
     pub fn sgd(learning_rate: f32) -> Self {
-        Optimizer::Sgd(Sgd { learning_rate, momentum: 0.0, velocity: Vec::new() })
+        Optimizer::Sgd(Sgd {
+            learning_rate,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        })
     }
 
     /// SGD with momentum.
     #[must_use]
     pub fn sgd_with_momentum(learning_rate: f32, momentum: f32) -> Self {
-        Optimizer::Sgd(Sgd { learning_rate, momentum, velocity: Vec::new() })
+        Optimizer::Sgd(Sgd {
+            learning_rate,
+            momentum,
+            velocity: Vec::new(),
+        })
     }
 
     /// Adam with the standard hyper-parameters (β₁ = 0.9, β₂ = 0.999).
@@ -258,7 +266,11 @@ mod tests {
         let mut opt = Optimizer::sgd(0.1);
         opt.step(&mut net, &grads).unwrap();
         let after = net.readout().w().as_slice();
-        for ((b, a), g) in before.iter().zip(after.iter()).zip(grads.readout_w.as_slice()) {
+        for ((b, a), g) in before
+            .iter()
+            .zip(after.iter())
+            .zip(grads.readout_w.as_slice())
+        {
             assert!((a - (b - 0.1 * g)).abs() < 1e-6);
         }
     }
@@ -298,7 +310,10 @@ mod tests {
             last = l;
             opt.step(&mut net, &g).unwrap();
         }
-        assert!(last < first.unwrap(), "Adam should reduce loss: {first:?} -> {last}");
+        assert!(
+            last < first.unwrap(),
+            "Adam should reduce loss: {first:?} -> {last}"
+        );
     }
 
     #[test]

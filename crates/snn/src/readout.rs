@@ -42,7 +42,11 @@ impl LiReadout {
             });
         }
         config.validate()?;
-        Ok(LiReadout { w: Matrix::xavier_uniform(inputs, outputs, rng), bias: vec![0.0; outputs], config })
+        Ok(LiReadout {
+            w: Matrix::xavier_uniform(inputs, outputs, rng),
+            bias: vec![0.0; outputs],
+            config,
+        })
     }
 
     /// Number of pre-synaptic inputs.

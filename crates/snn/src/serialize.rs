@@ -93,7 +93,9 @@ pub fn to_bytes(net: &Network) -> Vec<u8> {
 pub fn from_bytes(mut bytes: &[u8]) -> Result<Network, SnnError> {
     let need = |buf: &&[u8], n: usize, what: &str| -> Result<(), SnnError> {
         if buf.remaining() < n {
-            return Err(SnnError::Deserialize { detail: format!("truncated while reading {what}") });
+            return Err(SnnError::Deserialize {
+                detail: format!("truncated while reading {what}"),
+            });
         }
         Ok(())
     };
@@ -102,7 +104,9 @@ pub fn from_bytes(mut bytes: &[u8]) -> Result<Network, SnnError> {
     let mut magic = [0u8; 8];
     bytes.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(SnnError::Deserialize { detail: "bad magic (not an NCLSNN02 model)".into() });
+        return Err(SnnError::Deserialize {
+            detail: "bad magic (not an NCLSNN02 model)".into(),
+        });
     }
 
     need(&bytes, 8, "input size")?;
@@ -126,8 +130,15 @@ pub fn from_bytes(mut bytes: &[u8]) -> Result<Network, SnnError> {
     let v_threshold = bytes.get_f32_le();
     let surrogate_scale = bytes.get_f32_le();
     let surrogate_kind = surrogate_kind_from_tag(bytes.get_u8())?;
-    let lif = LifConfig { beta, v_threshold, surrogate_scale, surrogate_kind };
-    let readout = ReadoutConfig { beta: bytes.get_f32_le() };
+    let lif = LifConfig {
+        beta,
+        v_threshold,
+        surrogate_scale,
+        surrogate_kind,
+    };
+    let readout = ReadoutConfig {
+        beta: bytes.get_f32_le(),
+    };
     let seed = bytes.get_u64_le();
 
     let config = NetworkConfig {
@@ -186,7 +197,10 @@ mod tests {
         let net = Network::new(NetworkConfig::tiny(4, 2)).unwrap();
         let mut bytes = to_bytes(&net);
         bytes[0] = b'X';
-        assert!(matches!(from_bytes(&bytes), Err(SnnError::Deserialize { .. })));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(SnnError::Deserialize { .. })
+        ));
     }
 
     #[test]
@@ -195,7 +209,10 @@ mod tests {
         let bytes = to_bytes(&net);
         // Any strict prefix must fail cleanly, never panic.
         for cut in [0, 4, 8, 12, 20, 40, bytes.len() - 1] {
-            assert!(from_bytes(&bytes[..cut]).is_err(), "prefix of {cut} bytes accepted");
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
         }
     }
 

@@ -214,9 +214,11 @@ mod tests {
     fn triangular_has_compact_support_others_do_not() {
         let tri = Surrogate::new(SurrogateKind::Triangular, 10.0);
         assert_eq!(tri.grad(0.2), 0.0, "outside the window");
-        for kind in
-            [SurrogateKind::FastSigmoid, SurrogateKind::ArcTan, SurrogateKind::Gaussian]
-        {
+        for kind in [
+            SurrogateKind::FastSigmoid,
+            SurrogateKind::ArcTan,
+            SurrogateKind::Gaussian,
+        ] {
             assert!(Surrogate::new(kind, 10.0).grad(0.2) > 0.0);
         }
     }

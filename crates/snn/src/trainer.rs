@@ -164,7 +164,10 @@ fn batch_gradient(
                 Ok((loss_sum, total, activity))
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
     })
     .expect("crossbeam scope panicked");
 
@@ -200,7 +203,11 @@ pub fn train_epoch(
 ) -> Result<EpochReport, SnnError> {
     options.validate()?;
     if samples.is_empty() {
-        return Ok(EpochReport { mean_loss: 0.0, samples: 0, activity: None });
+        return Ok(EpochReport {
+            mean_loss: 0.0,
+            samples: 0,
+            activity: None,
+        });
     }
     let mut order: Vec<usize> = (0..samples.len()).collect();
     rng.shuffle(&mut order);
@@ -279,15 +286,24 @@ mod tests {
         assert!(o.validate().is_ok());
         o.batch_size = 0;
         assert!(o.validate().is_err());
-        let o = TrainOptions { parallelism: 0, ..TrainOptions::default() };
+        let o = TrainOptions {
+            parallelism: 0,
+            ..TrainOptions::default()
+        };
         assert!(o.validate().is_err());
     }
 
     #[test]
     fn accuracy_counter() {
-        let mut a = Accuracy { correct: 3, total: 4 };
+        let mut a = Accuracy {
+            correct: 3,
+            total: 4,
+        };
         assert!((a.top1() - 0.75).abs() < 1e-12);
-        a.merge(Accuracy { correct: 1, total: 4 });
+        a.merge(Accuracy {
+            correct: 1,
+            total: 4,
+        });
         assert_eq!(a.correct, 4);
         assert_eq!(a.total, 8);
         assert_eq!(Accuracy::default().top1(), 0.0);
@@ -309,7 +325,10 @@ mod tests {
         let data = toy_problem(10, 15);
         let refs: Vec<(&SpikeRaster, u16)> = data.iter().map(|(r, l)| (r, *l)).collect();
         let mut opt = Optimizer::adam(2e-3);
-        let options = TrainOptions { batch_size: 4, ..TrainOptions::default() };
+        let options = TrainOptions {
+            batch_size: 4,
+            ..TrainOptions::default()
+        };
         let mut rng = Rng::seed_from_u64(7);
 
         let before = evaluate(&net, &refs, 0, ThresholdMode::Constant).unwrap();
@@ -336,8 +355,14 @@ mod tests {
         let net = Network::new(NetworkConfig::tiny(8, 2)).unwrap();
         let data = toy_problem(6, 10);
         let refs: Vec<(&SpikeRaster, u16)> = data.iter().map(|(r, l)| (r, *l)).collect();
-        let serial = TrainOptions { parallelism: 1, ..TrainOptions::default() };
-        let parallel = TrainOptions { parallelism: 2, ..TrainOptions::default() };
+        let serial = TrainOptions {
+            parallelism: 1,
+            ..TrainOptions::default()
+        };
+        let parallel = TrainOptions {
+            parallelism: 2,
+            ..TrainOptions::default()
+        };
         let (l1, g1, a1) = batch_gradient(&net, &refs, &serial).unwrap();
         let (l2, g2, a2) = batch_gradient(&net, &refs, &parallel).unwrap();
         assert_eq!(a1, a2, "activity accounting is order-independent");
@@ -365,11 +390,18 @@ mod tests {
         let frozen_before = net.layer(0).w_ff().clone();
         let learn_before = net.layer(1).w_ff().clone();
         let mut opt = Optimizer::adam(1e-2);
-        let options = TrainOptions { from_stage: 1, ..TrainOptions::default() };
+        let options = TrainOptions {
+            from_stage: 1,
+            ..TrainOptions::default()
+        };
         let mut rng = Rng::seed_from_u64(9);
         train_epoch(&mut net, &refs, &mut opt, &options, &mut rng).unwrap();
 
-        assert_eq!(net.layer(0).w_ff(), &frozen_before, "frozen layer untouched");
+        assert_eq!(
+            net.layer(0).w_ff(),
+            &frozen_before,
+            "frozen layer untouched"
+        );
         assert_ne!(net.layer(1).w_ff(), &learn_before, "learning layer updated");
     }
 

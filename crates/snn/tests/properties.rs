@@ -10,17 +10,25 @@ use proptest::prelude::*;
 
 /// Strategy: a small random-but-valid network configuration.
 fn config_strategy() -> impl Strategy<Value = NetworkConfig> {
-    (2usize..10, 1usize..3, 2usize..8, 2usize..5, any::<u64>(), any::<bool>()).prop_map(
-        |(input, depth, width, outputs, seed, recurrent)| NetworkConfig {
-            input_size: input,
-            hidden_sizes: vec![width; depth],
-            output_size: outputs,
-            recurrent,
-            lif: LifConfig::default(),
-            readout: ReadoutConfig::default(),
-            seed,
-        },
+    (
+        2usize..10,
+        1usize..3,
+        2usize..8,
+        2usize..5,
+        any::<u64>(),
+        any::<bool>(),
     )
+        .prop_map(
+            |(input, depth, width, outputs, seed, recurrent)| NetworkConfig {
+                input_size: input,
+                hidden_sizes: vec![width; depth],
+                output_size: outputs,
+                recurrent,
+                lif: LifConfig::default(),
+                readout: ReadoutConfig::default(),
+                seed,
+            },
+        )
 }
 
 /// Strategy: a raster matching `neurons`, with moderate density.

@@ -103,7 +103,11 @@ impl CompressedRaster {
                 ),
             });
         }
-        Ok(CompressedRaster { frames, original_steps, factor })
+        Ok(CompressedRaster {
+            frames,
+            original_steps,
+            factor,
+        })
     }
 
     /// Number of neurons.
@@ -162,7 +166,8 @@ impl CompressedRaster {
         for f in 0..self.frames.steps() {
             let t = f * c;
             if t < self.original_steps {
-                out.copy_step_from(t, &self.frames, f).expect("shapes match by construction");
+                out.copy_step_from(t, &self.frames, f)
+                    .expect("shapes match by construction");
             }
         }
         out
@@ -180,9 +185,15 @@ pub fn compress(raster: &SpikeRaster, factor: CompressionFactor) -> CompressedRa
     let stored = raster.steps().div_ceil(c);
     let mut frames = SpikeRaster::new(raster.neurons(), stored);
     for f in 0..stored {
-        frames.copy_step_from(f, raster, f * c).expect("shapes match by construction");
+        frames
+            .copy_step_from(f, raster, f * c)
+            .expect("shapes match by construction");
     }
-    CompressedRaster { frames, original_steps: raster.steps(), factor }
+    CompressedRaster {
+        frames,
+        original_steps: raster.steps(),
+        factor,
+    }
 }
 
 #[cfg(test)]
@@ -195,7 +206,7 @@ mod tests {
     }
 
     fn bits(r: &SpikeRaster) -> Vec<u8> {
-        (0..r.steps()).map(|t| u8::from(r.get(0, t))) .collect()
+        (0..r.steps()).map(|t| u8::from(r.get(0, t))).collect()
     }
 
     #[test]
@@ -265,18 +276,14 @@ mod tests {
     fn from_parts_round_trips() {
         let r = SpikeRaster::from_fn(6, 11, |n, t| (n + t) % 4 == 0);
         let c = compress(&r, CompressionFactor::new(3).unwrap());
-        let parts = CompressedRaster::from_parts(
-            c.frames().clone(),
-            c.original_steps(),
-            c.factor(),
-        )
-        .unwrap();
+        let parts =
+            CompressedRaster::from_parts(c.frames().clone(), c.original_steps(), c.factor())
+                .unwrap();
         assert_eq!(parts, c);
         assert_eq!(parts.decompress(), c.decompress());
         // Wrong frame count rejected.
         let bad = SpikeRaster::new(6, 2);
-        assert!(CompressedRaster::from_parts(bad, 11, CompressionFactor::new(3).unwrap())
-            .is_err());
+        assert!(CompressedRaster::from_parts(bad, 11, CompressionFactor::new(3).unwrap()).is_err());
     }
 
     #[test]

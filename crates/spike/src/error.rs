@@ -38,11 +38,20 @@ pub enum SpikeError {
 impl fmt::Display for SpikeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SpikeError::IndexOutOfBounds { neuron, step, neurons, steps } => write!(
+            SpikeError::IndexOutOfBounds {
+                neuron,
+                step,
+                neurons,
+                steps,
+            } => write!(
                 f,
                 "index ({neuron}, {step}) out of bounds for {neurons}x{steps} raster"
             ),
-            SpikeError::ShapeMismatch { op, expected, actual } => write!(
+            SpikeError::ShapeMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "{op}: raster shape mismatch (expected {}x{}, got {}x{})",
                 expected.0, expected.1, actual.0, actual.1
@@ -62,11 +71,23 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = SpikeError::IndexOutOfBounds { neuron: 9, step: 3, neurons: 4, steps: 2 };
+        let e = SpikeError::IndexOutOfBounds {
+            neuron: 9,
+            step: 3,
+            neurons: 4,
+            steps: 2,
+        };
         assert!(e.to_string().contains("(9, 3)"));
-        let e = SpikeError::ShapeMismatch { op: "or", expected: (2, 2), actual: (3, 2) };
+        let e = SpikeError::ShapeMismatch {
+            op: "or",
+            expected: (2, 2),
+            actual: (3, 2),
+        };
         assert!(e.to_string().contains("2x2"));
-        let e = SpikeError::InvalidParameter { what: "factor", detail: "zero".into() };
+        let e = SpikeError::InvalidParameter {
+            what: "factor",
+            detail: "zero".into(),
+        };
         assert!(e.to_string().contains("factor"));
     }
 

@@ -53,7 +53,12 @@ pub fn events_to_raster(
     for e in events {
         let (n, t) = (e.neuron as usize, e.t as usize);
         if n >= neurons || t >= steps {
-            return Err(SpikeError::IndexOutOfBounds { neuron: n, step: t, neurons, steps });
+            return Err(SpikeError::IndexOutOfBounds {
+                neuron: n,
+                step: t,
+                neurons,
+                steps,
+            });
         }
         raster.set(n, t, true);
     }

@@ -44,7 +44,11 @@ pub fn sample_footprint(payload_bits: u64, alignment: Alignment) -> SampleFootpr
         Alignment::Byte => raw.div_ceil(8) * 8,
         Alignment::Word32 => raw.div_ceil(32) * 32,
     };
-    SampleFootprint { payload_bits, metadata_bits: METADATA_BITS, aligned_bits }
+    SampleFootprint {
+        payload_bits,
+        metadata_bits: METADATA_BITS,
+        aligned_bits,
+    }
 }
 
 /// Total store footprint in bits for `samples` identical latent entries.

@@ -32,7 +32,11 @@ impl SpikeStats {
         SpikeStats {
             total_spikes: total,
             cells: raster.payload_bits(),
-            mean_spike_time: if total > 0 { Some(time_sum as f64 / total as f64) } else { None },
+            mean_spike_time: if total > 0 {
+                Some(time_sum as f64 / total as f64)
+            } else {
+                None
+            },
         }
     }
 

@@ -35,7 +35,12 @@ impl SpikeRaster {
     #[must_use]
     pub fn new(neurons: usize, steps: usize) -> Self {
         let words_per_step = neurons.div_ceil(64);
-        SpikeRaster { neurons, steps, words_per_step, words: vec![0; words_per_step * steps] }
+        SpikeRaster {
+            neurons,
+            steps,
+            words_per_step,
+            words: vec![0; words_per_step * steps],
+        }
     }
 
     /// Builds a raster from a predicate over `(neuron, step)`.
@@ -75,7 +80,10 @@ impl SpikeRaster {
     #[inline]
     #[must_use]
     pub fn get(&self, neuron: usize, step: usize) -> bool {
-        assert!(neuron < self.neurons && step < self.steps, "raster index out of bounds");
+        assert!(
+            neuron < self.neurons && step < self.steps,
+            "raster index out of bounds"
+        );
         let w = self.words[step * self.words_per_step + neuron / 64];
         (w >> (neuron % 64)) & 1 == 1
     }
@@ -104,7 +112,10 @@ impl SpikeRaster {
     /// Panics if indices are out of bounds.
     #[inline]
     pub fn set(&mut self, neuron: usize, step: usize, value: bool) {
-        assert!(neuron < self.neurons && step < self.steps, "raster index out of bounds");
+        assert!(
+            neuron < self.neurons && step < self.steps,
+            "raster index out of bounds"
+        );
         let idx = step * self.words_per_step + neuron / 64;
         let bit = 1u64 << (neuron % 64);
         if value {
@@ -132,13 +143,20 @@ impl SpikeRaster {
     ///
     /// Panics if `step >= steps`.
     pub fn active_at(&self, step: usize) -> ActiveIter<'_> {
-        ActiveIter { words: self.step_words(step), word_idx: 0, current: None }
+        ActiveIter {
+            words: self.step_words(step),
+            word_idx: 0,
+            current: None,
+        }
     }
 
     /// Number of spikes at one timestep.
     #[must_use]
     pub fn spikes_at(&self, step: usize) -> usize {
-        self.step_words(step).iter().map(|w| w.count_ones() as usize).sum()
+        self.step_words(step)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// Total number of spikes in the raster.
@@ -339,8 +357,14 @@ mod tests {
     fn try_get_bounds() {
         let r = SpikeRaster::new(4, 4);
         assert!(r.try_get(3, 3).is_ok());
-        assert!(matches!(r.try_get(4, 0), Err(SpikeError::IndexOutOfBounds { .. })));
-        assert!(matches!(r.try_get(0, 4), Err(SpikeError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            r.try_get(4, 0),
+            Err(SpikeError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.try_get(0, 4),
+            Err(SpikeError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

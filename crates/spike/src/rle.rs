@@ -78,9 +78,17 @@ impl RleRaster {
                 }
             }
             // Terminator: a gap that runs past the end marks stream end.
-            push_varint(&mut payload, (raster.steps() - if first { 0 } else { last + 1 }) as u32 + 1);
+            push_varint(
+                &mut payload,
+                (raster.steps() - if first { 0 } else { last + 1 }) as u32 + 1,
+            );
         }
-        RleRaster { neurons: raster.neurons(), steps: raster.steps(), payload, offsets }
+        RleRaster {
+            neurons: raster.neurons(),
+            steps: raster.steps(),
+            payload,
+            offsets,
+        }
     }
 
     /// Number of neurons.
@@ -122,7 +130,11 @@ impl RleRaster {
             loop {
                 let (gap, used) = read_varint(stream)?;
                 stream = &stream[used..];
-                let next = if first { gap as usize } else { t + 1 + gap as usize };
+                let next = if first {
+                    gap as usize
+                } else {
+                    t + 1 + gap as usize
+                };
                 if next >= self.steps {
                     break; // terminator
                 }

@@ -9,10 +9,7 @@ use ncl_spike::SpikeRaster;
 use proptest::prelude::*;
 
 /// Strategy: a random raster with bounded dimensions and density.
-fn raster_strategy(
-    max_neurons: usize,
-    max_steps: usize,
-) -> impl Strategy<Value = SpikeRaster> {
+fn raster_strategy(max_neurons: usize, max_steps: usize) -> impl Strategy<Value = SpikeRaster> {
     (1..=max_neurons, 1..=max_steps, any::<u64>()).prop_map(|(n, s, seed)| {
         let mut rng = ncl_tensor::Rng::seed_from_u64(seed);
         SpikeRaster::from_fn(n, s, |_, _| rng.bernoulli(0.2))

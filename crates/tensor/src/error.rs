@@ -37,8 +37,15 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::ShapeMismatch { op, expected, actual } => {
-                write!(f, "{op}: shape mismatch (expected {expected}, got {actual})")
+            TensorError::ShapeMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{op}: shape mismatch (expected {expected}, got {actual})"
+                )
             }
             TensorError::ZeroDimension { op } => {
                 write!(f, "{op}: zero-sized dimension is not allowed")

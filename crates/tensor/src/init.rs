@@ -77,8 +77,7 @@ mod tests {
         let mut buf = vec![0.0f32; 20_000];
         fill_normal(&mut buf, 0.5, &mut rng);
         let mean: f32 = buf.iter().sum::<f32>() / buf.len() as f32;
-        let var: f32 =
-            buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / buf.len() as f32;
+        let var: f32 = buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / buf.len() as f32;
         assert!(mean.abs() < 0.02);
         assert!((var.sqrt() - 0.5).abs() < 0.02);
     }

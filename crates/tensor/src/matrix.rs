@@ -32,13 +32,21 @@ impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with a constant value.
     #[must_use]
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a generator function of `(row, col)`.
@@ -281,6 +289,6 @@ mod tests {
     fn default_is_empty() {
         let m = Matrix::default();
         assert!(m.is_empty());
-        assert_eq!(format!("{m:?}").is_empty(), false);
+        assert!(!format!("{m:?}").is_empty());
     }
 }

@@ -30,7 +30,12 @@ fn main() -> Result<(), NclError> {
 
     let mut results = Vec::new();
     for method in &methods {
-        results.push(scenario::run_method(&config, method, &network, pretrain_acc)?);
+        results.push(scenario::run_method(
+            &config,
+            method,
+            &network,
+            pretrain_acc,
+        )?);
     }
 
     let sota_cost = results[1].total_cost();
@@ -53,7 +58,16 @@ fn main() -> Result<(), NclError> {
     println!(
         "{}",
         report::render_table(
-            &["method", "old acc", "new acc", "forgetting", "latency", "energy", "memory", "vs SOTA"],
+            &[
+                "method",
+                "old acc",
+                "new acc",
+                "forgetting",
+                "latency",
+                "energy",
+                "memory",
+                "vs SOTA"
+            ],
             &rows
         )
     );

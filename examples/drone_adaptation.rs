@@ -31,8 +31,7 @@ fn main() -> Result<(), NclError> {
 
     println!();
     println!("== phase 3a: naive on-device fine-tuning ==");
-    let naive =
-        scenario::run_method(&config, &MethodSpec::baseline(), &network, pretrain_acc)?;
+    let naive = scenario::run_method(&config, &MethodSpec::baseline(), &network, pretrain_acc)?;
     println!(
         "new class learned to {}, but old classes collapse to {} (forgetting {})",
         report::pct(naive.final_new_acc()),

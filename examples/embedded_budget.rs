@@ -56,7 +56,14 @@ fn main() -> Result<(), NclError> {
     println!(
         "{}",
         report::render_table(
-            &["configuration", "old acc", "new acc", "latent memory", "CL energy", "fits budget"],
+            &[
+                "configuration",
+                "old acc",
+                "new acc",
+                "latent memory",
+                "CL energy",
+                "fits budget"
+            ],
             &rows
         )
     );

@@ -49,7 +49,13 @@ fn main() -> Result<(), NclError> {
         println!(
             "{}",
             report::render_table(
-                &["increment", "old-classes acc", "new-class acc", "all-seen acc", "latent store"],
+                &[
+                    "increment",
+                    "old-classes acc",
+                    "new-class acc",
+                    "all-seen acc",
+                    "latent store"
+                ],
                 &rows
             )
         );

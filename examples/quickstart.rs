@@ -14,13 +14,15 @@ fn main() -> Result<(), NclError> {
     config.cl_epochs = 20;
     println!(
         "scenario: {} channels, {} classes, T={}, network {:?}",
-        config.data.channels, config.data.classes, config.data.steps,
-        config.network.hidden_sizes
+        config.data.channels, config.data.classes, config.data.steps, config.network.hidden_sizes
     );
 
     // 2. Pre-train on all classes except the last (cached across runs).
     let (network, pretrain_acc) = cache::pretrained_network(&config)?;
-    println!("pre-trained old-class accuracy: {}", report::pct(pretrain_acc));
+    println!(
+        "pre-trained old-class accuracy: {}",
+        report::pct(pretrain_acc)
+    );
 
     // 3. Learn the held-out class with Replay4NCL: latent activations of
     //    old classes stored at a reduced timestep (T* = 2/5 T), adaptive

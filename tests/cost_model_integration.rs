@@ -40,9 +40,11 @@ fn denser_spikes_cost_more_energy() {
 fn orderings_are_profile_invariant() {
     let a = traced_ops(20, 0.2);
     let b = traced_ops(60, 0.2);
-    for profile in
-        [HardwareProfile::embedded(), HardwareProfile::loihi_like(), HardwareProfile::edge_gpu_like()]
-    {
+    for profile in [
+        HardwareProfile::embedded(),
+        HardwareProfile::loihi_like(),
+        HardwareProfile::edge_gpu_like(),
+    ] {
         let ca = CostReport::of(&a, &profile);
         let cb = CostReport::of(&b, &profile);
         assert!(cb.latency > ca.latency, "profile {}", profile.name);
@@ -57,13 +59,7 @@ fn scenario_costs_decompose_into_prep_plus_epochs() {
     config.pretrain_epochs = 4;
     config.cl_epochs = 3;
     let (network, acc) = cache::pretrained_network(&config).expect("pretrain");
-    let r = scenario::run_method(
-        &config,
-        &MethodSpec::spiking_lr(2),
-        &network,
-        acc,
-    )
-    .unwrap();
+    let r = scenario::run_method(&config, &MethodSpec::spiking_lr(2), &network, acc).unwrap();
 
     let mut manual = r.prep_ops;
     for e in &r.epochs {
@@ -87,8 +83,7 @@ fn spiking_lr_pays_decompression_replay4ncl_does_not() {
     config.cl_epochs = 3;
     let (network, acc) = cache::pretrained_network(&config).expect("pretrain");
 
-    let sota =
-        scenario::run_method(&config, &MethodSpec::spiking_lr(2), &network, acc).unwrap();
+    let sota = scenario::run_method(&config, &MethodSpec::spiking_lr(2), &network, acc).unwrap();
     let ours = scenario::run_method(
         &config,
         &MethodSpec::replay4ncl(2, config.data.steps * 2 / 5).with_lr_divisor(2.0),
@@ -113,10 +108,8 @@ fn baseline_is_cheaper_than_replay_methods() {
     config.pretrain_epochs = 4;
     config.cl_epochs = 3;
     let (network, acc) = cache::pretrained_network(&config).expect("pretrain");
-    let baseline =
-        scenario::run_method(&config, &MethodSpec::baseline(), &network, acc).unwrap();
-    let sota =
-        scenario::run_method(&config, &MethodSpec::spiking_lr(3), &network, acc).unwrap();
+    let baseline = scenario::run_method(&config, &MethodSpec::baseline(), &network, acc).unwrap();
+    let sota = scenario::run_method(&config, &MethodSpec::spiking_lr(3), &network, acc).unwrap();
     let b = baseline.total_cost();
     let s = sota.total_cost();
     assert!(s.normalized_latency(&b) > 1.0);

@@ -78,9 +78,10 @@ fn reduced_timestep_pipeline_preserves_labels_and_shapes() {
         // threshold derived from the decimated input.
         let reduced = resample(&s.raster, t_star, ResampleStrategy::Decimate).unwrap();
         assert_eq!(reduced.steps(), t_star);
-        let schedule =
-            ThresholdSchedule::adaptive(&reduced, &AdaptivePolicy::default()).unwrap();
-        let act = net.activations_at_scheduled(1, &reduced, Some(&schedule)).unwrap();
+        let schedule = ThresholdSchedule::adaptive(&reduced, &AdaptivePolicy::default()).unwrap();
+        let act = net
+            .activations_at_scheduled(1, &reduced, Some(&schedule))
+            .unwrap();
         assert_eq!(act.steps(), t_star);
         let logits = net.forward_from(1, &act, Some(&schedule)).unwrap();
         assert!(logits.iter().all(|l| l.is_finite()));

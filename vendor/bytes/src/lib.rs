@@ -1,0 +1,145 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Provides the [`Buf`]/[`BufMut`] trait surface the workspace's binary
+//! model format (`ncl_snn::serialize`) uses, implemented for `&[u8]`
+//! (reading advances the slice) and `Vec<u8>` (writing appends). Like the
+//! real crate, reads past the end of a buffer panic — callers are expected
+//! to check [`Buf::remaining`] first.
+
+/// Read side: a cursor over bytes. Implemented for `&[u8]`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes into `dst`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.get_u32_le().to_le_bytes())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {}, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write side: an append-only byte sink. Implemented for `Vec<u8>`.
+pub trait BufMut {
+    /// Appends all of `src`.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, value: f32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 3);
+        buf.put_f32_le(-1.5);
+        buf.put_slice(b"xyz");
+
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(cursor.remaining(), 1 + 4 + 8 + 4 + 3);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), u64::MAX - 3);
+        assert_eq!(cursor.get_f32_le(), -1.5);
+        let mut tail = [0u8; 3];
+        cursor.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u32_le();
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`] with `measurement_time`/
+//! `warm_up_time`/`bench_function`/`finish`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — as a plain
+//! wall-clock harness: warm up, then measure batches until the
+//! measurement budget is spent, and print mean/min ns per iteration.
+//! No statistical analysis, plots or HTML reports.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes everything after `--` to us;
+        // accept an optional substring filter and ignore harness flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_owned(),
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (warm_up, measurement) = (self.default_warm_up, self.default_measurement);
+        self.run_one(id, warm_up, measurement, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        warm_up: Duration,
+        measurement: Duration,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            warm_up,
+            measurement,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets the per-benchmark warm-up budget.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let (warm_up, measurement) = (self.warm_up, self.measurement);
+        self.criterion.run_one(&full, warm_up, measurement, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling batches until the
+    /// measurement budget is exhausted.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also estimates a batch size targeting ~10ms batches.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || iters == 0 {
+            std_black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
+        let batch = ((0.01 / per_iter.max(1e-12)) as u64).max(1);
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measurement {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.samples
+                .push(batch_start.elapsed() / u32::try_from(batch).unwrap_or(u32::MAX));
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {id:<40} no samples (routine never ran?)");
+            return;
+        }
+        let mean = self.samples.iter().sum::<Duration>().as_secs_f64() / self.samples.len() as f64;
+        let min = self.samples.iter().min().expect("non-empty").as_secs_f64();
+        println!(
+            "  {id:<40} mean {:>12.1} ns/iter   min {:>12.1} ns/iter   ({} samples)",
+            mean * 1e9,
+            min * 1e9,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups (for `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.default_warm_up = Duration::from_millis(1);
+        c.default_measurement = Duration::from_millis(2);
+        let mut group = c.benchmark_group("g");
+        group
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            default_warm_up: Duration::from_millis(1),
+            default_measurement: Duration::from_millis(1),
+        };
+        // Must return without ever invoking the routine.
+        c.bench_function("other", |_b| panic!("should be filtered out"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! This environment builds without network access, so the workspace
+//! vendors the exact API surface it uses: the `Serialize`/`Deserialize`
+//! traits as names that `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` resolve against. The traits are
+//! blanket-implemented markers and the derives emit nothing, which is
+//! sufficient while no code path performs actual serialization (binary
+//! model serialization is hand-rolled in `ncl_snn::serialize`). Swapping
+//! the workspace dependency for the real crates.io `serde` is a drop-in
+//! change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` stand-in implements `Serialize`/`Deserialize` as
+//! blanket marker traits, so these derives only need to *exist* for
+//! `#[derive(Serialize, Deserialize)]` attributes to compile; they emit no
+//! code. Swap the workspace `serde` dependency for the real crates.io
+//! package to get actual serialization.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! No workspace code calls `serde_json` yet (reports are plain text and
+//! model caching uses the hand-rolled binary format in
+//! `ncl_snn::serialize`), but the manifest slot is reserved for report
+//! emission. Until the real crate can be fetched, this stand-in offers a
+//! tree-building [`Value`] with a compact and a pretty JSON writer —
+//! enough to dump metrics/reports as JSON without derive support.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document tree (object keys are sorted, for deterministic output).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like `serde_json`'s lossy mode).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with deterministic (sorted) key order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Writes the value as compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Writes the value as two-space-indented JSON.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (open_pad, close_pad, item_sep): (String, String, &str) = match indent {
+            Some(w) => (
+                format!("\n{}", " ".repeat(w * (depth + 1))),
+                format!("\n{}", " ".repeat(w * depth)),
+                ",",
+            ),
+            None => (String::new(), String::new(), ","),
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(item_sep);
+                    }
+                    out.push_str(&open_pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(item_sep);
+                    }
+                    out.push_str(&open_pad);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(n: f32) -> Self {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Value {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<V: Into<Value>> FromIterator<(String, V)> for Value {
+    fn from_iter<I: IntoIterator<Item = (String, V)>>(iter: I) -> Self {
+        Value::Object(iter.into_iter().map(|(k, v)| (k, v.into())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_is_deterministic() {
+        let v: Value = vec![
+            ("b".to_owned(), Value::from(1.5)),
+            ("a".to_owned(), Value::from("x\"y")),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(v.to_json(), "{\"a\":\"x\\\"y\",\"b\":1.5}");
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v: Value = vec![1u64, 2].into_iter().collect();
+        assert_eq!(v.to_json_pretty(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Value::Number(f64::NAN).to_json(), "null");
+    }
+}
