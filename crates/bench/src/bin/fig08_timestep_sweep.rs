@@ -6,9 +6,14 @@
 //! Expected shapes (the paper's Observations A–C): aggressive reduction
 //! (0.2 T) hurts old-task accuracy most; ≥ 0.4 T stays acceptable;
 //! processing time falls roughly linearly with T.
+//!
+//! The grid itself is `ncl_runtime::suites::timestep_sweep`, executed on
+//! the parallel engine — the per-cell results are bit-identical to the
+//! former serial loop for any `--jobs` value.
 
 use ncl_bench::{print_header, replay_per_class, RunArgs};
-use replay4ncl::{cache, methods::MethodSpec, report, scenario, ScenarioResult};
+use ncl_runtime::{suites, Engine};
+use replay4ncl::{report, ScenarioResult};
 
 fn main() {
     let args = RunArgs::from_env();
@@ -20,27 +25,15 @@ fn main() {
         &config,
     );
 
-    let (network, pretrain_acc) = cache::pretrained_network(&config).expect("pre-training failed");
-    let per_class = replay_per_class(&config);
     let t = config.data.steps;
-    let fractions = [
-        (1.0f64, t),
-        (0.6, t * 3 / 5),
-        (0.4, t * 2 / 5),
-        (0.2, t / 5),
-    ];
+    let suite = suites::timestep_sweep(&config, replay_per_class(&config));
+    let suite_report = Engine::new(args.jobs()).run(&suite).expect("sweep failed");
 
-    let mut results: Vec<(usize, ScenarioResult)> = Vec::new();
-    for &(_, steps) in &fractions {
-        let method = if steps == t {
-            MethodSpec::spiking_lr(per_class)
-        } else {
-            MethodSpec::spiking_lr_reduced(per_class, steps.max(1))
-        };
-        let r = scenario::run_method(&config, &method, &network, pretrain_acc)
-            .expect("scenario failed");
-        results.push((steps.max(1), r));
-    }
+    let results: Vec<(usize, ScenarioResult)> = suites::timestep_fractions(t)
+        .into_iter()
+        .zip(suite_report.jobs)
+        .map(|((_, steps), job)| (steps, job.result))
+        .collect();
 
     // (a) accuracy profiles across epochs.
     println!("--- (a) accuracy per epoch (old task | new task) ---");

@@ -6,9 +6,14 @@
 //! accuracy dropping at the deepest insertion (readout-only adaptation);
 //! Replay4NCL consistently faster and lower-energy, with savings growing
 //! for earlier insertion layers.
+//!
+//! The grid itself is `ncl_runtime::suites::insertion_sweep`, executed on
+//! the parallel engine — the per-cell results are bit-identical to the
+//! former serial loop for any `--jobs` value.
 
 use ncl_bench::{print_header, replay4ncl_spec, spiking_lr_spec, RunArgs};
-use replay4ncl::{cache, report, scenario, ScenarioResult};
+use ncl_runtime::{suites, Engine};
+use replay4ncl::{report, ScenarioResult};
 
 fn main() {
     let args = RunArgs::from_env();
@@ -21,26 +26,20 @@ fn main() {
     );
 
     let layers = base_config.network.layers();
+    let methods = [
+        spiking_lr_spec(&base_config),
+        replay4ncl_spec(&base_config, args.scale),
+    ];
+    let suite = suites::insertion_sweep(&base_config, &methods);
+    let suite_report = Engine::new(args.jobs()).run(&suite).expect("sweep failed");
+
+    // Suite order is insertion-major with methods in the order above.
+    let mut jobs = suite_report.jobs.into_iter();
     let mut sota_results: Vec<ScenarioResult> = Vec::new();
     let mut ours_results: Vec<ScenarioResult> = Vec::new();
-    for insertion in 0..=layers {
-        let mut config = base_config.clone();
-        config.insertion_layer = insertion;
-        let (network, pretrain_acc) =
-            cache::pretrained_network(&config).expect("pre-training failed");
-        sota_results.push(
-            scenario::run_method(&config, &spiking_lr_spec(&config), &network, pretrain_acc)
-                .expect("spikinglr failed"),
-        );
-        ours_results.push(
-            scenario::run_method(
-                &config,
-                &replay4ncl_spec(&config, args.scale),
-                &network,
-                pretrain_acc,
-            )
-            .expect("replay4ncl failed"),
-        );
+    for _ in 0..=layers {
+        sota_results.push(jobs.next().expect("sota cell").result);
+        ours_results.push(jobs.next().expect("ours cell").result);
     }
 
     // (a) accuracy.

@@ -1,0 +1,154 @@
+//! `ncl-run` — the suite driver: loads (or presets) an experiment suite
+//! and executes it on the `ncl_runtime` engine.
+//!
+//! ```sh
+//! ncl-run [--demo | --paper | --suite <file.json>] [--jobs <n>]
+//!         [--seed <u64>] [--json] [--quiet]
+//! ```
+//!
+//! * `--demo` (default) — the demo-scale insertion grid: SpikingLR and
+//!   Replay4NCL at every insertion layer 0–3 (8 jobs).
+//! * `--paper` — the same grid at full paper scale. Slow on small machines.
+//! * `--suite <file.json>` — load a suite file (schema: see
+//!   `ncl_runtime::job`; base presets `smoke`, `demo`, `paper`).
+//! * `--jobs <n>` — worker threads (default: half the cores). The report
+//!   is bit-identical for any value.
+//! * `--seed <u64>` — override every job's scenario seed.
+//! * `--json` — print the report as JSON instead of tables.
+//! * `--quiet` — suppress streaming progress on stderr.
+
+use std::path::PathBuf;
+
+use ncl_bench::{default_jobs, demo_config, replay4ncl_spec, spiking_lr_spec, Scale};
+use ncl_runtime::{Engine, NullSink, StderrProgress, Suite};
+use replay4ncl::ScenarioConfig;
+
+struct Args {
+    suite_file: Option<PathBuf>,
+    scale: Scale,
+    jobs: usize,
+    seed: Option<u64>,
+    json: bool,
+    quiet: bool,
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: ncl-run [--demo | --paper | --suite <file.json>] [--jobs <n>] \
+         [--seed <u64>] [--json] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        suite_file: None,
+        scale: Scale::Demo,
+        jobs: default_jobs(),
+        seed: None,
+        json: false,
+        quiet: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--demo" => args.scale = Scale::Demo,
+            "--paper" => args.scale = Scale::Paper,
+            "--suite" => {
+                let v = iter.next().unwrap_or_else(|| usage("--suite needs a path"));
+                args.suite_file = Some(PathBuf::from(v));
+            }
+            "--jobs" => {
+                let v = iter.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                args.jobs = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => usage("--jobs must be a positive integer"),
+                };
+            }
+            "--seed" => {
+                let v = iter.next().unwrap_or_else(|| usage("--seed needs a value"));
+                args.seed = Some(v.parse().unwrap_or_else(|_| usage("--seed must be a u64")));
+            }
+            "--json" => args.json = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+/// Base-config resolver for suite files: the built-in `smoke`/`paper`
+/// presets plus the harness's `demo` scale.
+fn resolve_base(name: &str) -> Option<ScenarioConfig> {
+    match name {
+        "demo" => Some(demo_config()),
+        other => ncl_runtime::job::builtin_base(other),
+    }
+}
+
+/// The preset grid: both replay methods at every insertion layer — the
+/// Fig. 10 comparison as one suite (8 jobs at demo/paper scale).
+fn preset_suite(scale: Scale) -> Suite {
+    let base = match scale {
+        Scale::Demo => demo_config(),
+        Scale::Paper => ScenarioConfig::paper(),
+    };
+    let methods = [spiking_lr_spec(&base), replay4ncl_spec(&base, scale)];
+    let mut suite = ncl_runtime::suites::insertion_sweep(&base, &methods);
+    suite.name = match scale {
+        Scale::Demo => "demo-insertion-grid".into(),
+        Scale::Paper => "paper-insertion-grid".into(),
+    };
+    suite
+}
+
+fn main() {
+    let args = parse_args();
+    let mut suite = match &args.suite_file {
+        Some(path) => match Suite::from_json_file_with(path, &resolve_base) {
+            Ok(suite) => suite,
+            Err(e) => {
+                eprintln!("ncl-run: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => preset_suite(args.scale),
+    };
+    if let Some(seed) = args.seed {
+        for job in &mut suite.jobs {
+            job.config.seed = seed;
+        }
+    }
+
+    let engine = Engine::new(args.jobs);
+    let started = std::time::Instant::now();
+    let outcome = if args.quiet {
+        engine.run_with_events(&suite, &NullSink)
+    } else {
+        engine.run_with_events(&suite, &StderrProgress::default())
+    };
+    let report = match outcome {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("ncl-run: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !args.quiet {
+        eprintln!(
+            "wall clock: {:.2} s on {} workers",
+            started.elapsed().as_secs_f64(),
+            engine.workers()
+        );
+    }
+
+    if args.json {
+        println!("{}", report.to_json().to_json_pretty());
+    } else {
+        println!("{}", report.render());
+    }
+}

@@ -10,6 +10,10 @@
 //!   every qualitative shape.
 //! * `--seed <u64>` — override the scenario seed.
 //! * `--insertion <k>` — override the insertion layer where applicable.
+//! * `--jobs <n>` — worker threads for engine-driven sweeps (default: half
+//!   the available cores, since each job additionally runs
+//!   `config.parallelism` gradient workers). Results are bit-identical for
+//!   any worker count.
 //!
 //! Pre-trained models are cached under `target/ncl-cache` (see
 //! `replay4ncl::cache`), so sweeps re-use one pre-training run.
@@ -34,6 +38,8 @@ pub struct RunArgs {
     pub seed: Option<u64>,
     /// Optional insertion-layer override.
     pub insertion: Option<usize>,
+    /// Optional engine worker-count override (`--jobs`).
+    pub jobs: Option<usize>,
 }
 
 impl RunArgs {
@@ -44,6 +50,7 @@ impl RunArgs {
             scale: Scale::Demo,
             seed: None,
             insertion: None,
+            jobs: None,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -62,11 +69,29 @@ impl RunArgs {
                             .unwrap_or_else(|_| usage("--insertion must be a usize")),
                     );
                 }
+                "--jobs" => {
+                    let v = iter.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                    let n: usize = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--jobs must be a positive integer"));
+                    if n == 0 {
+                        usage("--jobs must be at least 1");
+                    }
+                    args.jobs = Some(n);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
         args
+    }
+
+    /// Effective engine worker count: the `--jobs` override, or half the
+    /// available cores (each job itself runs `config.parallelism` gradient
+    /// threads, so a full-core pool would oversubscribe 2x).
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(default_jobs)
     }
 
     /// Builds the scenario configuration for the selected scale, applying
@@ -100,8 +125,14 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--paper] [--seed <u64>] [--insertion <k>]");
+    eprintln!("usage: <bin> [--paper] [--seed <u64>] [--insertion <k>] [--jobs <n>]");
     std::process::exit(2);
+}
+
+/// Default engine worker count: half the available cores, at least 1.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| (n.get() / 2).max(1))
 }
 
 /// The reduced-scale demo configuration: structurally identical to the
@@ -213,6 +244,7 @@ mod tests {
             scale: Scale::Demo,
             seed: Some(99),
             insertion: Some(2),
+            jobs: None,
         };
         let c = args.config();
         assert_eq!(c.seed, 99);
@@ -221,9 +253,24 @@ mod tests {
             scale: Scale::Paper,
             seed: None,
             insertion: None,
+            jobs: None,
         }
         .config();
         assert_eq!(paper.data.channels, 700);
+    }
+
+    #[test]
+    fn jobs_default_and_override() {
+        let mut args = RunArgs {
+            scale: Scale::Demo,
+            seed: None,
+            insertion: None,
+            jobs: None,
+        };
+        assert!(args.jobs() >= 1);
+        args.jobs = Some(3);
+        assert_eq!(args.jobs(), 3);
+        assert!(default_jobs() >= 1);
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Suite throughput vs worker count.
+//!
+//! Measures `Engine::run` on a small fixed suite with 1, 2 and 4 workers.
+//! Pre-training is shared across iterations through the process-wide model
+//! cache, so the measured time is the CL-phase grid itself — the part the
+//! engine parallelizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncl_runtime::{Engine, Job, Suite};
+use replay4ncl::{cache, MethodSpec, ScenarioConfig};
+use std::time::Duration;
+
+fn bench_suite() -> Suite {
+    let mut config = ScenarioConfig::smoke();
+    config.pretrain_epochs = 2;
+    config.cl_epochs = 2;
+    config.seed = 0xBE4C;
+    let t_star = (config.data.steps * 2 / 5).max(1);
+    let mut suite = Suite::new("bench");
+    for insertion in 0..=config.network.layers() {
+        for method in [MethodSpec::spiking_lr(2), MethodSpec::replay4ncl(2, t_star)] {
+            let mut c = config.clone();
+            c.insertion_layer = insertion;
+            suite.push(Job::new(format!("{}@L{insertion}", method.name), c, method));
+        }
+    }
+    suite
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let suite = bench_suite();
+    // Warm the shared pre-train cache outside the measured region.
+    cache::pretrained_network(&suite.jobs[0].config).expect("pretrain");
+
+    let mut group = c.benchmark_group("engine");
+    group
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500));
+    for workers in [1usize, 2, 4] {
+        group.bench_function(&format!("suite6_workers{workers}"), |b| {
+            let engine = Engine::new(workers);
+            b.iter(|| {
+                engine
+                    .run(std::hint::black_box(&suite))
+                    .expect("suite runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Error type for the experiment-execution engine.
+
+use std::error::Error;
+use std::fmt;
+
+use replay4ncl::NclError;
+
+/// Error returned by suite construction, loading and execution.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The suite itself is malformed (empty, invalid job, ...).
+    InvalidSuite {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A suite file could not be read.
+    Io(std::io::Error),
+    /// A suite file could not be parsed or did not match the schema.
+    Parse {
+        /// Human-readable detail (includes line/column for syntax errors).
+        detail: String,
+    },
+    /// One job of the suite failed to execute.
+    Job {
+        /// Label of the failing job.
+        label: String,
+        /// The underlying scenario failure.
+        source: NclError,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidSuite { detail } => write!(f, "invalid suite: {detail}"),
+            RuntimeError::Io(e) => write!(f, "suite file i/o failure: {e}"),
+            RuntimeError::Parse { detail } => write!(f, "suite file parse failure: {detail}"),
+            RuntimeError::Job { label, source } => write!(f, "job '{label}' failed: {source}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Io(e) => Some(e),
+            RuntimeError::Job { source, .. } => Some(source),
+            RuntimeError::InvalidSuite { .. } | RuntimeError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RuntimeError {
+    fn from(e: std::io::Error) -> Self {
+        RuntimeError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for RuntimeError {
+    fn from(e: serde_json::Error) -> Self {
+        RuntimeError::Parse {
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = RuntimeError::InvalidSuite {
+            detail: "no jobs".into(),
+        };
+        assert!(e.to_string().contains("no jobs"));
+        assert!(e.source().is_none());
+
+        let e: RuntimeError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("i/o"));
+        assert!(e.source().is_some());
+
+        let e: RuntimeError = serde_json::from_str("{").unwrap_err().into();
+        assert!(e.to_string().contains("parse"));
+
+        let e = RuntimeError::Job {
+            label: "r4ncl@L2".into(),
+            source: NclError::InvalidConfig {
+                what: "epochs",
+                detail: "zero".into(),
+            },
+        };
+        assert!(e.to_string().contains("r4ncl@L2"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<RuntimeError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! **ncl-runtime** — the concurrent experiment engine for the Replay4NCL
+//! reproduction.
+//!
+//! Every figure of the paper is a grid of independent experiment cells
+//! (method × insertion layer × timestep setting), and every cell pays the
+//! full scenario cost. This crate makes grid execution a first-class,
+//! parallel subsystem:
+//!
+//! * [`job::Job`] / [`job::Suite`] — one experiment cell (a
+//!   [`replay4ncl::ScenarioConfig`] + [`replay4ncl::MethodSpec`] + label)
+//!   and an ordered collection of them, buildable in code or loaded from a
+//!   JSON file (schema in [`job`]);
+//! * [`queue::ShardedQueue`] — the work-distribution substrate: one shard
+//!   per worker, round-robin seeded, work-stealing once a shard runs dry;
+//! * [`engine::Engine`] — the worker-pool executor. Results are keyed by
+//!   job index and re-assembled in suite order, and every job's outcome
+//!   depends only on its own seeded configuration, so a run is
+//!   **bit-identical regardless of worker count or completion order**;
+//! * [`report::SuiteReport`] — per-job results plus cross-job summaries
+//!   (best/worst forgetting, latency/energy/memory totals), with
+//!   deterministic JSON and text renderings;
+//! * [`suites`] — the standard grids (the Fig. 8 timestep sweep and the
+//!   Fig. 10 insertion sweep) as shared suite builders.
+//!
+//! Pre-training is shared through `replay4ncl::cache`, whose per-key
+//! single-flight guard keeps concurrent workers with the same pre-train
+//! configuration from training redundantly.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ncl_runtime::{suites, Engine};
+//! use replay4ncl::{MethodSpec, ScenarioConfig};
+//!
+//! # fn main() -> Result<(), ncl_runtime::RuntimeError> {
+//! let base = ScenarioConfig::smoke();
+//! let methods = [MethodSpec::spiking_lr(4), MethodSpec::replay4ncl(4, 16)];
+//! let suite = suites::insertion_sweep(&base, &methods);
+//! let report = Engine::new(4).run(&suite)?;
+//! println!("{}", report.render());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod job;
+pub mod queue;
+pub mod report;
+pub mod suites;
+
+pub use engine::{Engine, Event, EventSink, NullSink, StderrProgress};
+pub use error::RuntimeError;
+pub use job::{Job, Suite};
+pub use queue::ShardedQueue;
+pub use report::{JobRecord, SuiteReport, SuiteSummary};

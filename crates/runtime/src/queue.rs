@@ -1,0 +1,127 @@
+//! A sharded multi-producer/multi-consumer work queue.
+//!
+//! Work items are distributed round-robin across one shard per worker at
+//! construction time; each worker drains its own shard FIFO and, once
+//! empty, steals from the other shards (oldest item first). Sharding keeps
+//! the common case uncontended — a worker touches only its own mutex —
+//! while stealing keeps every worker busy until the whole queue is dry.
+//!
+//! Note what sharding does **not** promise: a global pop order. Engine
+//! determinism therefore never depends on dequeue order — results are
+//! keyed by job index and re-assembled in suite order (see
+//! [`crate::engine`]).
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// Fixed-shard work queue; `T` is the work-item type (the engine uses job
+/// indices).
+#[derive(Debug)]
+pub struct ShardedQueue<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> ShardedQueue<T> {
+    /// Builds a queue with `shards` shards (at least 1), distributing
+    /// `items` round-robin so every shard starts with an equal share.
+    #[must_use]
+    pub fn new(shards: usize, items: impl IntoIterator<Item = T>) -> Self {
+        let shards = shards.max(1);
+        let mut queues: Vec<VecDeque<T>> = (0..shards).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % shards].push_back(item);
+        }
+        ShardedQueue {
+            shards: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total items currently queued across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Pops the next item for `worker`: its own shard first, then a steal
+    /// sweep over the remaining shards. Returns `None` only when every
+    /// shard was empty at the time it was visited.
+    #[must_use]
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let own = worker % self.shards.len();
+        for offset in 0..self.shards.len() {
+            let shard = (own + offset) % self.shards.len();
+            if let Some(item) = self.shards[shard].lock().pop_front() {
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_round_robin_and_drains_fifo() {
+        let q = ShardedQueue::new(2, 0..6);
+        assert_eq!(q.shards(), 2);
+        assert_eq!(q.len(), 6);
+        // Worker 0's shard holds the even items, in order.
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), Some(4));
+        // Its own shard is dry: it steals worker 1's oldest item.
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(1), Some(3));
+        assert_eq!(q.pop(1), Some(5));
+        assert_eq!(q.pop(0), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let q = ShardedQueue::new(0, [7]);
+        assert_eq!(q.shards(), 1);
+        assert_eq!(q.pop(0), Some(7));
+    }
+
+    #[test]
+    fn worker_index_wraps_across_shards() {
+        let q = ShardedQueue::new(3, 0..3);
+        // Worker 5 maps to shard 2 (item 2 went there round-robin).
+        assert_eq!(q.pop(5), Some(2));
+    }
+
+    #[test]
+    fn concurrent_workers_drain_every_item_exactly_once() {
+        let q = ShardedQueue::new(4, 0..200);
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let (q, seen) = (&q, &seen);
+                scope.spawn(move || {
+                    while let Some(item) = q.pop(worker) {
+                        seen.lock().push(item);
+                    }
+                });
+            }
+        });
+        let mut seen = seen.into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+    }
+}

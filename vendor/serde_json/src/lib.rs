@@ -1,11 +1,12 @@
 //! Offline stand-in for `serde_json`.
 //!
-//! No workspace code calls `serde_json` yet (reports are plain text and
-//! model caching uses the hand-rolled binary format in
-//! `ncl_snn::serialize`), but the manifest slot is reserved for report
-//! emission. Until the real crate can be fetched, this stand-in offers a
-//! tree-building [`Value`] with a compact and a pretty JSON writer —
-//! enough to dump metrics/reports as JSON without derive support.
+//! Offers the surface the workspace uses: a tree-building [`Value`] with
+//! a compact and a pretty JSON writer (used by `ncl_runtime`'s suite
+//! reports) plus a recursive-descent [`from_str`] parser and the usual
+//! `as_*`/[`Value::get`] accessors (used by the suite-file loader). One
+//! deliberate deviation from the real crate: `from_str` is not generic
+//! over `Deserialize` (the vendored `serde` derives are no-ops), it
+//! always produces a [`Value`] tree that callers walk by hand.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -105,9 +106,361 @@ impl Value {
     }
 }
 
+impl Value {
+    /// Member lookup on an object; `None` for missing keys and non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a JSON string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a JSON number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64`, if it is a non-negative integer
+    /// that `f64` storage represents exactly (at most 2^53). Larger
+    /// integers already lost precision during parsing in this stand-in's
+    /// lossy number mode, so returning them would silently corrupt values
+    /// like 64-bit seeds — callers get `None` and can reject the input
+    /// instead.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= MAX_EXACT => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a JSON boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is a JSON array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member map, if this is a JSON object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Whether this is JSON `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_json())
+    }
+}
+
+/// Parse failure, with the 1-based line/column where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// 1-based column of the offending character.
+    pub column: usize,
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at line {} column {}",
+            self.msg, self.line, self.column
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// Accepts exactly one top-level value (trailing non-whitespace is an
+/// error). Duplicate object keys keep the last occurrence, matching
+/// `serde_json`'s map behaviour.
+///
+/// # Errors
+///
+/// Returns [`Error`] with the line/column of the first syntax violation.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        chars: s.chars().collect(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos < parser.chars.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Maximum container nesting depth, matching the real crate's recursion
+/// limit — a hostile deeply-nested document must fail with a parse error,
+/// not a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, msg: &str) -> Error {
+        let (mut line, mut column) = (1, 1);
+        for c in self.chars.iter().take(self.pos) {
+            if *c == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        Error {
+            line,
+            column,
+            msg: msg.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), Error> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{c}'")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some('{') => self.parse_object(depth),
+            Some('[') => self.parse_array(depth),
+            Some('"') => Ok(Value::String(self.parse_string()?)),
+            Some('t') => self.parse_keyword("true", Value::Bool(true)),
+            Some('f') => self.parse_keyword("false", Value::Bool(false)),
+            Some('n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.error("expected a JSON value")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        for expected in word.chars() {
+            if self.bump() != Some(expected) {
+                return Err(self.error(&format!("invalid literal (expected '{word}')")));
+            }
+        }
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some('.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let value: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+        // Numbers are stored as f64 (the stand-in's lossy mode). An
+        // integer literal beyond f64's exact range (2^53) would silently
+        // round — fatal for values like 64-bit seeds — so reject it
+        // instead of corrupting it. The check must use the literal text:
+        // e.g. 2^53 + 1 parses to exactly 2^53, hiding the rounding.
+        let is_integer_literal = !text.contains(['.', 'e', 'E']);
+        if is_integer_literal {
+            let exact = text
+                .parse::<i128>()
+                .is_ok_and(|i| i.unsigned_abs() <= 1u128 << 53);
+            if !exact {
+                return Err(self.error("integer beyond f64's exact range (2^53)"));
+            }
+        }
+        Ok(Value::Number(value))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{0008}'),
+                    Some('f') => out.push('\u{000c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let unit = self.parse_hex4()?;
+                        // Decode surrogate pairs; lone surrogates are an error.
+                        let c = if (0xD800..0xDC00).contains(&unit) {
+                            if self.bump() != Some('\\') || self.bump() != Some('u') {
+                                return Err(self.error("unpaired surrogate escape"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(self.error("invalid low surrogate"));
+                            }
+                            let code = 0x10000
+                                + ((u32::from(unit) - 0xD800) << 10)
+                                + (u32::from(low) - 0xDC00);
+                            char::from_u32(code)
+                        } else {
+                            char::from_u32(u32::from(unit))
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => return Err(self.error("invalid unicode escape")),
+                        }
+                    }
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        let mut unit: u16 = 0;
+        for _ in 0..4 {
+            let digit = self
+                .bump()
+                .and_then(|c| c.to_digit(16))
+                .ok_or_else(|| self.error("invalid \\u escape (need 4 hex digits)"))?;
+            unit = (unit << 4) | digit as u16;
+        }
+        Ok(unit)
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(',') => {}
+                Some(']') => return Ok(Value::Array(items)),
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(Value::Object(map)),
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
     }
 }
 
@@ -211,5 +564,91 @@ mod tests {
     #[test]
     fn non_finite_numbers_become_null() {
         assert_eq!(Value::Number(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn parses_every_value_kind() {
+        let v = from_str(
+            r#"{"a": [1, -2.5, 1e3], "b": {"nested": true}, "c": null, "d": "x\n\"y\"", "e": false}"#,
+        )
+        .unwrap();
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_f64(), Some(1000.0));
+        assert_eq!(
+            v.get("b")
+                .and_then(|b| b.get("nested"))
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+        assert!(v.get("c").unwrap().is_null());
+        assert_eq!(v.get("d").and_then(Value::as_str), Some("x\n\"y\""));
+        assert_eq!(v.get("e").and_then(Value::as_bool), Some(false));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let original = from_str(r#"{"jobs":[{"label":"a","seed":7}],"name":"s"}"#).unwrap();
+        let reparsed = from_str(&original.to_json()).unwrap();
+        assert_eq!(original, reparsed);
+        let reparsed_pretty = from_str(&original.to_json_pretty()).unwrap();
+        assert_eq!(original, reparsed_pretty);
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogate_pairs() {
+        let v = from_str(r#""A😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\u{1F600}"));
+        assert!(from_str(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(from_str(r#""\ud83dxx""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn rejects_malformed_documents_with_position() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\u{0001}\"", ""] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail");
+        }
+        let err = from_str("{\"a\": 1,\n \"b\": }").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn numeric_accessor_edges() {
+        assert_eq!(from_str("3.5").unwrap().as_u64(), None);
+        assert_eq!(from_str("-1").unwrap().as_u64(), None);
+        assert_eq!(from_str("12").unwrap().as_u64(), Some(12));
+        assert!(from_str("12").unwrap().as_str().is_none());
+        // Integer literals beyond f64's exact range are rejected at parse
+        // time (they would otherwise round silently before as_u64 could
+        // detect it); values that sneak in as Number are still bounded.
+        assert_eq!(
+            from_str("9007199254740992").unwrap().as_u64(),
+            Some(1 << 53)
+        );
+        assert!(from_str("9007199254740993").is_err());
+        assert!(from_str("18446744073709551616").is_err());
+        assert!(from_str("-9007199254740993").is_err());
+        assert!(from_str("9.2e18").is_ok(), "float notation stays lossy");
+        assert_eq!(Value::Number(1e19).as_u64(), None);
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"));
+        // Nesting within the limit still parses.
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_last() {
+        let v = from_str(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.as_object().unwrap().len(), 1);
     }
 }
