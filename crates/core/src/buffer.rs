@@ -91,8 +91,46 @@ impl LatentEntry {
     }
 }
 
+/// Outcome of a [`LatentReplayBuffer::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PushOutcome {
+    /// The entry was stored; `evicted` older entries were dropped to make
+    /// room under the capacity bound.
+    Stored {
+        /// Number of entries evicted by this push.
+        evicted: usize,
+    },
+    /// The entry alone exceeds `capacity_bits` and was not stored — the
+    /// buffer is unchanged. Accepting it could never satisfy the budget
+    /// invariant, no matter how many existing entries were evicted.
+    Rejected,
+}
+
+impl PushOutcome {
+    /// Whether the entry was stored.
+    #[must_use]
+    pub fn was_stored(&self) -> bool {
+        matches!(self, PushOutcome::Stored { .. })
+    }
+
+    /// Number of entries evicted (0 for a rejected push).
+    #[must_use]
+    pub fn evicted(&self) -> usize {
+        match self {
+            PushOutcome::Stored { evicted } => *evicted,
+            PushOutcome::Rejected => 0,
+        }
+    }
+}
+
 /// The latent memory of the device: stored activations of old-task samples
 /// plus bit-exact size accounting.
+///
+/// **Budget invariant:** when a capacity bound is configured (see
+/// [`LatentReplayBuffer::with_capacity_bits`]), after *every* push
+/// `footprint().total_bits <= capacity_bits` holds — oversized entries
+/// are rejected outright and normal pushes evict class-balanced until the
+/// store fits. No sequence of pushes can leave the store over budget.
 ///
 /// # Example
 ///
@@ -111,6 +149,10 @@ pub struct LatentReplayBuffer {
     entries: Vec<LatentEntry>,
     alignment: Alignment,
     capacity_bits: Option<u64>,
+    /// Running aligned footprint of `entries` — maintained on every
+    /// push/eviction so the budget check is O(1) instead of a per-push
+    /// O(n) re-sum. Always equals `footprint().total_bits`.
+    total_aligned_bits: u64,
 }
 
 impl LatentReplayBuffer {
@@ -122,6 +164,7 @@ impl LatentReplayBuffer {
             entries: Vec::new(),
             alignment,
             capacity_bits: None,
+            total_aligned_bits: 0,
         }
     }
 
@@ -136,6 +179,7 @@ impl LatentReplayBuffer {
             entries: Vec::new(),
             alignment,
             capacity_bits: Some(capacity_bits),
+            total_aligned_bits: 0,
         }
     }
 
@@ -145,35 +189,74 @@ impl LatentReplayBuffer {
         self.capacity_bits
     }
 
+    /// Aligned bits one entry occupies under this buffer's policy.
+    fn entry_bits(&self, entry: &LatentEntry) -> u64 {
+        sample_footprint(entry.payload_bits(), self.alignment).aligned_bits
+    }
+
     /// Stores an entry, evicting class-balanced if a capacity bound is
-    /// configured. Returns the number of evicted entries.
-    pub fn push(&mut self, entry: LatentEntry) -> usize {
-        self.entries.push(entry);
+    /// configured.
+    ///
+    /// An entry whose *own* aligned footprint exceeds `capacity_bits` is
+    /// rejected (returning [`PushOutcome::Rejected`]) rather than stored
+    /// over budget — storing it could never satisfy the budget invariant.
+    /// Every accepted push leaves `footprint().total_bits <=
+    /// capacity_bits`.
+    pub fn push(&mut self, entry: LatentEntry) -> PushOutcome {
+        let entry_bits = self.entry_bits(&entry);
         let Some(budget) = self.capacity_bits else {
-            return 0;
+            self.total_aligned_bits += entry_bits;
+            self.entries.push(entry);
+            return PushOutcome::Stored { evicted: 0 };
         };
-        let mut evicted = 0;
-        while self.entries.len() > 1 && self.footprint().total_bits > budget {
-            // Find the most-represented class and drop its oldest entry.
-            let mut counts: std::collections::HashMap<u16, usize> =
-                std::collections::HashMap::new();
-            for e in &self.entries {
-                *counts.entry(e.label()).or_insert(0) += 1;
-            }
-            let heaviest = *counts
-                .iter()
-                .max_by_key(|(label, count)| (**count, u16::MAX - **label))
-                .map(|(label, _)| label)
-                .expect("buffer non-empty");
-            let victim = self
-                .entries
-                .iter()
-                .position(|e| e.label() == heaviest)
-                .expect("heaviest class has entries");
-            self.entries.remove(victim);
-            evicted += 1;
+        if entry_bits > budget {
+            return PushOutcome::Rejected;
         }
-        evicted
+        self.total_aligned_bits += entry_bits;
+        self.entries.push(entry);
+
+        // Evict until the store fits. The running total lives on the
+        // struct (O(1) budget check per push) and class counts are built
+        // only when an eviction is actually needed, then maintained
+        // incrementally across the burst — no O(n) recount per push and
+        // no O(n²) recounts per burst.
+        let mut evicted = 0;
+        if self.total_aligned_bits > budget {
+            let mut counts = self.class_counts();
+            while self.total_aligned_bits > budget && self.entries.len() > 1 {
+                // Find the most-represented class and drop its oldest
+                // entry.
+                let heaviest = *counts
+                    .iter()
+                    .max_by_key(|(label, count)| (**count, u16::MAX - **label))
+                    .map(|(label, _)| label)
+                    .expect("buffer non-empty");
+                let victim = self
+                    .entries
+                    .iter()
+                    .position(|e| e.label() == heaviest)
+                    .expect("heaviest class has entries");
+                let removed = self.entries.remove(victim);
+                self.total_aligned_bits -= self.entry_bits(&removed);
+                match counts.get_mut(&heaviest) {
+                    Some(c) if *c > 1 => *c -= 1,
+                    _ => {
+                        counts.remove(&heaviest);
+                    }
+                }
+                evicted += 1;
+            }
+        }
+        debug_assert!(
+            self.total_aligned_bits <= budget,
+            "budget invariant violated after push"
+        );
+        debug_assert_eq!(
+            self.total_aligned_bits,
+            self.footprint().total_bits,
+            "running total out of sync with the exact footprint"
+        );
+        PushOutcome::Stored { evicted }
     }
 
     /// Entry count per class label.
@@ -343,10 +426,8 @@ mod tests {
     fn unbounded_buffer_never_evicts() {
         let mut buffer = LatentReplayBuffer::new(Alignment::Byte);
         for i in 0..20 {
-            assert_eq!(
-                buffer.push(LatentEntry::reduced(activation(10, 20), 40, i % 3)),
-                0
-            );
+            let outcome = buffer.push(LatentEntry::reduced(activation(10, 20), 40, i % 3));
+            assert_eq!(outcome, PushOutcome::Stored { evicted: 0 });
         }
         assert_eq!(buffer.len(), 20);
     }
@@ -358,7 +439,9 @@ mod tests {
         let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, 950);
         let mut total_evicted = 0;
         for i in 0..10u16 {
-            total_evicted += buffer.push(LatentEntry::reduced(activation(10, 20), 40, i % 2));
+            let outcome = buffer.push(LatentEntry::reduced(activation(10, 20), 40, i % 2));
+            assert!(outcome.was_stored(), "entries fit individually");
+            total_evicted += outcome.evicted();
         }
         assert!(buffer.footprint().total_bits <= 950);
         assert_eq!(buffer.len() + total_evicted, 10);
@@ -381,9 +464,41 @@ mod tests {
     }
 
     #[test]
-    fn tiny_capacity_keeps_at_least_one_entry() {
+    fn oversized_entry_is_rejected_not_stored_over_budget() {
+        // Each 10x20 entry is 232 aligned bits; a 1-bit budget can never
+        // hold it. The old behaviour silently kept it and left the store
+        // over budget — now the push is rejected and the buffer unchanged.
         let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, 1);
-        buffer.push(LatentEntry::reduced(activation(10, 20), 40, 0));
-        assert_eq!(buffer.len(), 1, "the newest entry is never evicted to zero");
+        let outcome = buffer.push(LatentEntry::reduced(activation(10, 20), 40, 0));
+        assert_eq!(outcome, PushOutcome::Rejected);
+        assert!(buffer.is_empty());
+        assert_eq!(buffer.footprint().total_bits, 0);
+        assert_eq!(outcome.evicted(), 0);
+    }
+
+    #[test]
+    fn budget_invariant_holds_after_every_push() {
+        // Mixed sizes, some oversized: after each push the aligned
+        // footprint must respect the bound — the regression the old
+        // `len() > 1` guard allowed to break with a single big entry.
+        let budget = 950u64;
+        let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, budget);
+        for (i, (neurons, steps)) in [(10, 20), (40, 40), (10, 20), (50, 30), (10, 20)]
+            .iter()
+            .enumerate()
+        {
+            let outcome = buffer.push(LatentEntry::reduced(
+                activation(*neurons, *steps),
+                80,
+                i as u16,
+            ));
+            assert!(
+                buffer.footprint().total_bits <= budget,
+                "over budget after push {i} ({outcome:?})"
+            );
+        }
+        // The two large entries (40x40 = 1632 bits, 50x30 = 1536 bits)
+        // must have been rejected; the small ones stored.
+        assert!(buffer.iter().all(|e| e.payload_bits() == 200));
     }
 }

@@ -176,7 +176,11 @@ pub fn prepare_buffer(
                 LatentEntry::reduced(activation, config.data.steps, sample.label)
             }
         };
-        buffer.push(entry);
+        let outcome = buffer.push(entry);
+        debug_assert!(
+            outcome.was_stored(),
+            "unbounded scenario buffer accepts every entry"
+        );
     }
     Ok((buffer, ops))
 }

@@ -84,17 +84,81 @@ proptest! {
         let budget = entry_bits * budget_entries as u64;
         let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, budget);
         for i in 0..pushes {
-            buffer.push(LatentEntry::reduced(
+            let outcome = buffer.push(LatentEntry::reduced(
                 raster(8, 10, seed.wrapping_add(i as u64)),
                 20,
                 (i % 3) as u16,
             ));
+            prop_assert!(outcome.was_stored(), "every entry fits individually");
+            prop_assert!(
+                buffer.footprint().total_bits <= budget,
+                "budget invariant must hold after every push"
+            );
         }
         prop_assert!(!buffer.is_empty());
-        prop_assert!(
-            buffer.footprint().total_bits <= budget || buffer.len() == 1,
-            "capacity respected unless a single entry exceeds it"
-        );
         prop_assert!(buffer.len() <= pushes);
+    }
+
+    /// The hardened invariant: for ANY sequence of pushes — mixed entry
+    /// sizes, including entries bigger than the whole budget — the store
+    /// never ends a push over `capacity_bits`. Oversized entries are
+    /// rejected, fitting entries evict.
+    #[test]
+    fn no_push_sequence_exceeds_capacity(
+        budget in 100u64..4000,
+        shapes in prop::collection::vec((1usize..30, 1usize..30, 0u16..4), 1..30),
+        seed in any::<u64>()
+    ) {
+        let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, budget);
+        for (i, (neurons, steps, label)) in shapes.iter().enumerate() {
+            let entry = LatentEntry::reduced(
+                raster(*neurons, *steps, seed.wrapping_add(i as u64)),
+                steps * 2,
+                *label,
+            );
+            let own_bits =
+                sample_footprint(entry.payload_bits(), Alignment::Byte).aligned_bits;
+            let outcome = buffer.push(entry);
+            prop_assert_eq!(
+                outcome.was_stored(),
+                own_bits <= budget,
+                "stored iff the entry alone fits the budget"
+            );
+            prop_assert!(
+                buffer.footprint().total_bits <= budget,
+                "footprint {} over budget {} after push {}",
+                buffer.footprint().total_bits, budget, i
+            );
+        }
+    }
+
+    /// Eviction stays class-balanced: after pushing a lone minority-class
+    /// entry followed by majority-class pressure, the minority entry
+    /// survives, and the spread between class counts stays at most the
+    /// spread eviction-by-heaviest-class can leave (one).
+    #[test]
+    fn eviction_preserves_class_balance(
+        budget_entries in 2usize..7, majority_pushes in 8usize..30, seed in any::<u64>()
+    ) {
+        let entry_bits =
+            sample_footprint(raster(8, 10, 0).payload_bits(), Alignment::Byte).aligned_bits;
+        let budget = entry_bits * budget_entries as u64;
+        let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, budget);
+        buffer.push(LatentEntry::reduced(raster(8, 10, seed), 20, 1));
+        for i in 0..majority_pushes {
+            buffer.push(LatentEntry::reduced(
+                raster(8, 10, seed.wrapping_add(1 + i as u64)),
+                20,
+                0,
+            ));
+        }
+        let counts = buffer.class_counts();
+        prop_assert_eq!(
+            counts.get(&1).copied(),
+            Some(1),
+            "minority class survives sustained majority pressure"
+        );
+        let majority = counts.get(&0).copied().unwrap_or(0);
+        prop_assert_eq!(majority, budget_entries - 1, "majority fills the rest");
     }
 }

@@ -1,25 +1,32 @@
 //! A sharded multi-producer/multi-consumer work queue.
 //!
-//! Work items are distributed round-robin across one shard per worker at
-//! construction time; each worker drains its own shard FIFO and, once
-//! empty, steals from the other shards (oldest item first). Sharding keeps
-//! the common case uncontended — a worker touches only its own mutex —
-//! while stealing keeps every worker busy until the whole queue is dry.
+//! Work items are distributed round-robin across one shard per worker —
+//! at construction time for batch workloads (the experiment engine) and
+//! at [`ShardedQueue::push`] time for streaming workloads (`ncl_serve`'s
+//! request scheduler). Each worker drains its own shard FIFO and, once
+//! empty, steals from the other shards (oldest item first). Sharding
+//! keeps the common case uncontended — a worker touches only its own
+//! mutex — while stealing keeps every worker busy until the whole queue
+//! is dry.
 //!
 //! Note what sharding does **not** promise: a global pop order. Engine
 //! determinism therefore never depends on dequeue order — results are
 //! keyed by job index and re-assembled in suite order (see
-//! [`crate::engine`]).
+//! [`crate::engine`]); the serving layer tags every request with its
+//! reply channel.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
 /// Fixed-shard work queue; `T` is the work-item type (the engine uses job
-/// indices).
+/// indices, the serving layer queued inference requests).
 #[derive(Debug)]
 pub struct ShardedQueue<T> {
     shards: Vec<Mutex<VecDeque<T>>>,
+    /// Round-robin cursor for dynamically pushed items.
+    next_shard: AtomicUsize,
 }
 
 impl<T> ShardedQueue<T> {
@@ -29,12 +36,29 @@ impl<T> ShardedQueue<T> {
     pub fn new(shards: usize, items: impl IntoIterator<Item = T>) -> Self {
         let shards = shards.max(1);
         let mut queues: Vec<VecDeque<T>> = (0..shards).map(|_| VecDeque::new()).collect();
+        let mut count = 0;
         for (i, item) in items.into_iter().enumerate() {
             queues[i % shards].push_back(item);
+            count = i + 1;
         }
         ShardedQueue {
             shards: queues.into_iter().map(Mutex::new).collect(),
+            next_shard: AtomicUsize::new(count),
         }
+    }
+
+    /// An empty queue with `shards` shards (at least 1) — the streaming
+    /// form, fed by [`ShardedQueue::push`].
+    #[must_use]
+    pub fn empty(shards: usize) -> Self {
+        Self::new(shards, std::iter::empty())
+    }
+
+    /// Enqueues one item, continuing the round-robin distribution across
+    /// shards so concurrent producers spread load evenly.
+    pub fn push(&self, item: T) {
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[shard].lock().push_back(item);
     }
 
     /// Number of shards.
@@ -68,6 +92,33 @@ impl<T> ShardedQueue<T> {
             }
         }
         None
+    }
+
+    /// Pops up to `max` items for `worker` in one sweep — the
+    /// micro-batching primitive: a serving worker drains its own shard
+    /// first, then steals, until the batch is full or every shard was
+    /// seen empty. Returns an empty vector when nothing was queued.
+    #[must_use]
+    pub fn pop_batch(&self, worker: usize, max: usize) -> Vec<T> {
+        let mut batch = Vec::new();
+        if max == 0 {
+            return batch;
+        }
+        let own = worker % self.shards.len();
+        for offset in 0..self.shards.len() {
+            let shard = (own + offset) % self.shards.len();
+            let mut guard = self.shards[shard].lock();
+            while batch.len() < max {
+                match guard.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() == max {
+                break;
+            }
+        }
+        batch
     }
 }
 
@@ -104,6 +155,80 @@ mod tests {
         let q = ShardedQueue::new(3, 0..3);
         // Worker 5 maps to shard 2 (item 2 went there round-robin).
         assert_eq!(q.pop(5), Some(2));
+    }
+
+    #[test]
+    fn dynamic_push_continues_round_robin() {
+        let q = ShardedQueue::new(2, 0..2); // item 0 -> shard 0, item 1 -> shard 1
+        q.push(2); // continues at shard 0
+        q.push(3); // shard 1
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(1), Some(1));
+        assert_eq!(q.pop(1), Some(3));
+    }
+
+    #[test]
+    fn empty_queue_accepts_streamed_items() {
+        let q: ShardedQueue<u32> = ShardedQueue::empty(3);
+        assert!(q.is_empty());
+        assert_eq!(q.shards(), 3);
+        for i in 0..9 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 9);
+        // Every shard got an equal share.
+        for worker in 0..3 {
+            assert_eq!(q.pop_batch(worker, 3).len(), 3);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_fills_from_own_shard_then_steals() {
+        let q = ShardedQueue::new(2, 0..6); // shard 0: [0,2,4], shard 1: [1,3,5]
+        let batch = q.pop_batch(0, 4);
+        assert_eq!(batch, vec![0, 2, 4, 1], "own shard first, then steal");
+        assert_eq!(q.pop_batch(1, 10), vec![3, 5], "partial batch when dry");
+        assert!(q.pop_batch(0, 5).is_empty());
+        assert!(q.pop_batch(0, 0).is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q: ShardedQueue<usize> = ShardedQueue::empty(4);
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for producer in 0..4 {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        q.push(producer * 50 + i);
+                    }
+                });
+            }
+            for worker in 0..4 {
+                let (q, seen) = (&q, &seen);
+                scope.spawn(move || {
+                    // Spin until the full load is accounted for (producers
+                    // may still be pushing when a pop comes up empty).
+                    loop {
+                        let batch = q.pop_batch(worker, 8);
+                        let mut guard = seen.lock();
+                        guard.extend(batch);
+                        if guard.len() == 200 {
+                            break;
+                        }
+                        drop(guard);
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        let mut seen = seen.into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! `ncl-serve` — the standalone inference server.
+//!
+//! ```sh
+//! ncl-serve [--port N] [--model ckpt.bin] [--workers N]
+//!           [--batch-size N] [--max-wait-us N] [--dump-model path.bin]
+//! ```
+//!
+//! Serves the checkpoint given with `--model` (the `ncl_snn::serialize`
+//! format), or a deterministic demo network (48 inputs, 4 classes — the
+//! smoke-scenario shape) when omitted. `--port 0` binds an ephemeral
+//! port; the bound address is printed as the first stdout line
+//! (`ncl-serve listening on 127.0.0.1:PORT`) so scripts can parse it.
+//! `--dump-model` writes the serving model to a checkpoint file at
+//! startup — handy for exercising the `swap` op against a known-good
+//! file. The process runs until a client sends `{"op":"shutdown"}`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncl_serve::batcher::BatchConfig;
+use ncl_serve::registry::ModelRegistry;
+use ncl_serve::server::{Server, ServerConfig};
+use ncl_snn::{serialize, Network, NetworkConfig};
+
+fn usage(problem: &str) -> ! {
+    eprintln!("ncl-serve: {problem}");
+    eprintln!(
+        "usage: ncl-serve [--port N] [--model ckpt.bin] [--workers N] \
+         [--batch-size N] [--max-wait-us N] [--dump-model path.bin]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    port: u16,
+    model: Option<String>,
+    dump_model: Option<String>,
+    batch: BatchConfig,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: 7878,
+        model: None,
+        dump_model: None,
+        batch: BatchConfig::default(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .unwrap_or_else(|| usage(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--port" => {
+                args.port = value("--port")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--port must be a u16"));
+            }
+            "--model" => args.model = Some(value("--model")),
+            "--dump-model" => args.dump_model = Some(value("--dump-model")),
+            "--workers" => {
+                args.batch.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--workers must be a positive integer"));
+            }
+            "--batch-size" => {
+                args.batch.batch_size = value("--batch-size")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--batch-size must be a positive integer"));
+            }
+            "--max-wait-us" => {
+                let us: u64 = value("--max-wait-us")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-wait-us must be a u64"));
+                args.batch.max_wait = Duration::from_micros(us);
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if args.batch.workers == 0 || args.batch.batch_size == 0 {
+        usage("--workers and --batch-size must be at least 1");
+    }
+    args
+}
+
+/// The demo model served when no checkpoint is given: the smoke-scenario
+/// shape, deterministically seeded so every run serves identical weights.
+fn demo_network() -> Network {
+    let mut config = NetworkConfig::tiny(48, 4);
+    config.hidden_sizes = vec![24, 16];
+    Network::new(config).expect("demo config is valid")
+}
+
+fn main() {
+    let args = parse_args();
+    let (network, source) = match &args.model {
+        Some(path) => {
+            let net = serialize::from_file(std::path::Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("ncl-serve: cannot load {path}: {e}");
+                std::process::exit(1);
+            });
+            (net, path.clone())
+        }
+        None => (demo_network(), "demo".to_owned()),
+    };
+    if let Some(dump) = &args.dump_model {
+        serialize::to_file(&network, std::path::Path::new(dump)).unwrap_or_else(|e| {
+            eprintln!("ncl-serve: cannot write {dump}: {e}");
+            std::process::exit(1);
+        });
+    }
+    let config = network.config().clone();
+    let registry = Arc::new(ModelRegistry::new(network, &source));
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            port: args.port,
+            batch: args.batch,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("ncl-serve: cannot bind 127.0.0.1:{}: {e}", args.port);
+        std::process::exit(1);
+    });
+    println!("ncl-serve listening on {}", server.local_addr());
+    println!(
+        "model v1 ({source}): {} -> {} ({} hidden layers); batch_size={} max_wait={}us workers={}",
+        config.input_size,
+        config.output_size,
+        config.hidden_sizes.len(),
+        args.batch.batch_size,
+        args.batch.max_wait.as_micros(),
+        args.batch.workers,
+    );
+    // Line-buffered stdout under a pipe would starve a parsing script.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("ncl-serve: drained and stopped");
+}

@@ -1,0 +1,102 @@
+//! A minimal blocking client for the NDJSON protocol — the one
+//! implementation `ncl-loadgen`, the integration tests and the examples
+//! all share.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ncl_spike::SpikeRaster;
+use serde_json::Value;
+
+use crate::protocol;
+
+/// One blocking NDJSON connection to an `ncl-serve` instance.
+pub struct NclClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl NclClient {
+    /// Connects (with `TCP_NODELAY`, so single-line round trips do not
+    /// stall behind Nagle).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect/setup error.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NclClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(NclClient { stream, reader })
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket failures, or `InvalidData` for an unparseable
+    /// response.
+    pub fn round_trip(&mut self, line: &str) -> std::io::Result<Value> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        let mut response = String::new();
+        self.reader.read_line(&mut response)?;
+        serde_json::from_str(response.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })
+    }
+
+    /// Predict round trip for one raster.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn predict(&mut self, id: u64, raster: &SpikeRaster) -> std::io::Result<Value> {
+        self.round_trip(&protocol::predict_request_line(id, raster))
+    }
+
+    /// Stats round trip.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn stats(&mut self) -> std::io::Result<Value> {
+        self.round_trip(r#"{"op":"stats"}"#)
+    }
+
+    /// Hot-swap round trip (checkpoint path on the server's filesystem).
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn swap(&mut self, path: &str) -> std::io::Result<Value> {
+        let line = protocol::object(vec![
+            ("op", Value::from("swap")),
+            ("path", Value::from(path)),
+        ])
+        .to_json();
+        self.round_trip(&line)
+    }
+
+    /// Liveness round trip.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn ping(&mut self) -> std::io::Result<Value> {
+        self.round_trip(r#"{"op":"ping"}"#)
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn shutdown(&mut self) -> std::io::Result<Value> {
+        self.round_trip(r#"{"op":"shutdown"}"#)
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the serving layer.
+
+use std::error::Error;
+use std::fmt;
+
+use ncl_snn::SnnError;
+
+/// Error returned by serving operations.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A request line was malformed (bad JSON, unknown op, out-of-range
+    /// spike indices, ...). The connection stays open; the detail is
+    /// echoed back to the client.
+    InvalidRequest {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The underlying network rejected the work (shape mismatch, bad
+    /// checkpoint bytes, ...).
+    Snn(SnnError),
+    /// A swap would change the serving contract (input/output width), so
+    /// in-flight and future requests built against the old shape would
+    /// break mid-connection.
+    IncompatibleModel {
+        /// Human-readable detail naming both shapes.
+        detail: String,
+    },
+    /// Socket/file I/O failure.
+    Io(std::io::Error),
+    /// The service is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidRequest { detail } => write!(f, "invalid request: {detail}"),
+            ServeError::Snn(e) => write!(f, "model failure: {e}"),
+            ServeError::IncompatibleModel { detail } => {
+                write!(f, "incompatible model: {detail}")
+            }
+            ServeError::Io(e) => write!(f, "i/o failure: {e}"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Snn(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnnError> for ServeError {
+    fn from(e: SnnError) -> Self {
+        ServeError::Snn(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_detail() {
+        let e = ServeError::InvalidRequest {
+            detail: "bad op".into(),
+        };
+        assert!(e.to_string().contains("bad op"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+        let io = ServeError::from(std::io::Error::other("x"));
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,327 @@
+//! Serving instrumentation: a lock-free log₂ latency histogram plus
+//! request/batch/swap counters, snapshotted into the JSON stats endpoint.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde_json::Value;
+
+/// Number of log₂ buckets: bucket `i` covers latencies of `2^(i-1)..2^i`
+/// microseconds (bucket 0 is `0..=1 µs`), so 40 buckets span beyond any
+/// plausible request latency.
+const BUCKETS: usize = 40;
+
+/// Lock-free latency histogram with power-of-two microsecond buckets.
+///
+/// Quantiles are resolved to the upper bound of the bucket containing the
+/// requested rank — an at-most-2x overestimate, which is the right bias
+/// for tail-latency reporting (p99 is never under-reported).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record_us(&self, us: u64) {
+        // ceil(log2(us)): the smallest i with 2^i >= us, so the bucket's
+        // upper bound bounds the true latency from above.
+        let idx = if us <= 1 {
+            0
+        } else {
+            (64 - (us - 1).leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Largest observation in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds, resolved to the
+    /// containing bucket's upper bound. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                // Upper bound of bucket i: 2^i µs (bucket 0 holds 0..=1).
+                return 1u64 << i.min(63);
+            }
+        }
+        self.max_us()
+    }
+}
+
+/// Counters + histogram for one serving process.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Successfully answered predict requests.
+    ok: AtomicU64,
+    /// Requests answered with an error.
+    failed: AtomicU64,
+    /// Batched forward passes executed.
+    batches: AtomicU64,
+    /// Completed hot swaps.
+    swaps: AtomicU64,
+    /// End-to-end (enqueue → reply) predict latency.
+    latency: LatencyHistogram,
+    /// Nanoseconds (since `started`) of the first successful reply.
+    first_reply_ns: AtomicU64,
+    /// Nanoseconds (since `started`) of the latest successful reply.
+    last_reply_ns: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            ok: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            first_reply_ns: AtomicU64::new(u64::MAX),
+            last_reply_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Records one successful predict with its end-to-end latency.
+    pub fn record_ok(&self, latency_us: u64) {
+        self.ok.fetch_add(1, Ordering::Relaxed);
+        self.latency.record_us(latency_us);
+        let now_ns = self.started.elapsed().as_nanos() as u64;
+        self.first_reply_ns.fetch_min(now_ns, Ordering::Relaxed);
+        self.last_reply_ns.fetch_max(now_ns, Ordering::Relaxed);
+    }
+
+    /// Records one failed request.
+    pub fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed batch.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed hot swap.
+    pub fn record_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Successful predict count.
+    #[must_use]
+    pub fn ok_count(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+    }
+
+    /// Failed request count.
+    #[must_use]
+    pub fn failed_count(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram.
+    #[must_use]
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Requests per second over the **active serving window** (first to
+    /// latest successful reply) — not process uptime, which would decay
+    /// toward zero while the server sits idle between bursts. The window
+    /// is floored at 1 ms so a single instantaneous burst reads as a
+    /// rate, not a division by ~zero.
+    #[must_use]
+    pub fn requests_per_sec(&self) -> f64 {
+        let ok = self.ok_count();
+        if ok == 0 {
+            return 0.0;
+        }
+        let first = self.first_reply_ns.load(Ordering::Relaxed);
+        let last = self.last_reply_ns.load(Ordering::Relaxed);
+        let window_secs = (last.saturating_sub(first) as f64 / 1e9).max(1e-3);
+        ok as f64 / window_secs
+    }
+
+    /// Serializes the counters into the stats-endpoint JSON shape.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        let mut latency = BTreeMap::new();
+        latency.insert(
+            "p50".to_owned(),
+            Value::from(self.latency.quantile_us(0.50)),
+        );
+        latency.insert(
+            "p95".to_owned(),
+            Value::from(self.latency.quantile_us(0.95)),
+        );
+        latency.insert(
+            "p99".to_owned(),
+            Value::from(self.latency.quantile_us(0.99)),
+        );
+        latency.insert("mean".to_owned(), Value::from(self.latency.mean_us()));
+        latency.insert("max".to_owned(), Value::from(self.latency.max_us()));
+
+        let mut map = BTreeMap::new();
+        map.insert("requests_ok".to_owned(), Value::from(self.ok_count()));
+        map.insert(
+            "requests_failed".to_owned(),
+            Value::from(self.failed_count()),
+        );
+        map.insert(
+            "batches".to_owned(),
+            Value::from(self.batches.load(Ordering::Relaxed)),
+        );
+        map.insert(
+            "swaps".to_owned(),
+            Value::from(self.swaps.load(Ordering::Relaxed)),
+        );
+        map.insert(
+            "uptime_ms".to_owned(),
+            Value::from(self.started.elapsed().as_millis() as u64),
+        );
+        map.insert(
+            "requests_per_sec".to_owned(),
+            Value::from(self.requests_per_sec()),
+        );
+        let (first, last) = (
+            self.first_reply_ns.load(Ordering::Relaxed),
+            self.last_reply_ns.load(Ordering::Relaxed),
+        );
+        map.insert(
+            "window_ms".to_owned(),
+            Value::from(last.saturating_sub(first) / 1_000_000),
+        );
+        map.insert("latency_us".to_owned(), Value::Object(latency));
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        for us in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 10);
+        // p50 lands in the 0..=1 bucket; upper bound 1.
+        assert_eq!(h.quantile_us(0.50), 1);
+        // p99 (rank 10) lands in the bucket holding 100 (64..128 -> 128).
+        assert_eq!(h.quantile_us(0.99), 128);
+        assert_eq!(h.max_us(), 100);
+        assert!((h.mean_us() - 10.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_never_underreports() {
+        let h = LatencyHistogram::default();
+        for us in [3u64, 9, 17, 33, 1000] {
+            h.record_us(us);
+        }
+        assert!(h.quantile_us(1.0) >= 1000);
+        assert!(h.quantile_us(0.0) >= 3);
+    }
+
+    #[test]
+    fn zero_latency_is_representable() {
+        let h = LatencyHistogram::default();
+        h.record_us(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(0.5), 1, "0 µs lives in the first bucket");
+    }
+
+    #[test]
+    fn metrics_snapshot_shape() {
+        let m = Metrics::default();
+        m.record_ok(50);
+        m.record_ok(150);
+        m.record_failure();
+        m.record_batch();
+        m.record_swap();
+        let snap = m.snapshot();
+        assert_eq!(snap.get("requests_ok").and_then(Value::as_u64), Some(2));
+        assert_eq!(snap.get("requests_failed").and_then(Value::as_u64), Some(1));
+        assert_eq!(snap.get("batches").and_then(Value::as_u64), Some(1));
+        assert_eq!(snap.get("swaps").and_then(Value::as_u64), Some(1));
+        let latency = snap.get("latency_us").expect("latency block");
+        for key in ["p50", "p95", "p99", "mean", "max"] {
+            assert!(latency.get(key).is_some(), "missing latency key {key}");
+        }
+        assert!(snap.get("window_ms").is_some());
+        // Round-trips through the JSON writer/parser.
+        let text = snap.to_json();
+        assert_eq!(serde_json::from_str(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn throughput_uses_the_serving_window_not_uptime() {
+        let m = Metrics::default();
+        assert_eq!(m.requests_per_sec(), 0.0, "no traffic, no rate");
+        m.record_ok(10);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        m.record_ok(10);
+        let rate = m.requests_per_sec();
+        // 2 requests over a ~20 ms window: the rate reflects the window
+        // (roughly 100/s), not a fraction of process uptime.
+        assert!(rate > 10.0, "window-based rate, got {rate}");
+        // Idling does not decay the reported rate.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let after_idle = m.requests_per_sec();
+        assert!(
+            (after_idle - rate).abs() < 1.0,
+            "idle must not decay the rate"
+        );
+    }
+}

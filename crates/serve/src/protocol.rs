@@ -1,0 +1,280 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Ops:
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"op":"predict","id":7,"input":[[0,3],[1],[]]}` | `{"ok":true,"op":"predict","id":7,"prediction":2,"logits":[...],"model_version":3}` |
+//! | `{"op":"stats"}` | `{"ok":true,"op":"stats","model":{...},"serving":{...}}` |
+//! | `{"op":"swap","path":"ckpt.bin"}` | `{"ok":true,"op":"swap","model_version":4}` |
+//! | `{"op":"ping"}` | `{"ok":true,"op":"pong","model_version":3}` |
+//! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` |
+//!
+//! `input` is the spike raster as one array per timestep listing the
+//! active input-neuron indices at that step. Failures answer
+//! `{"ok":false,"error":"...","id":...}` and keep the connection open;
+//! only `shutdown` (or client EOF) closes it.
+
+use std::collections::BTreeMap;
+
+use ncl_spike::SpikeRaster;
+use serde_json::Value;
+
+use crate::error::ServeError;
+
+/// Upper bound on request timesteps — a hostile request must not make
+/// the worker allocate unbounded rasters.
+pub const MAX_REQUEST_STEPS: usize = 4096;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run inference on one raster.
+    Predict {
+        /// Client-chosen id, echoed in the response.
+        id: Option<u64>,
+        /// The input spike raster.
+        raster: SpikeRaster,
+    },
+    /// Fetch serving statistics.
+    Stats,
+    /// Hot-swap the serving model from a checkpoint file.
+    Swap {
+        /// Checkpoint path on the server's filesystem.
+        path: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+fn invalid(detail: impl Into<String>) -> ServeError {
+    ServeError::InvalidRequest {
+        detail: detail.into(),
+    }
+}
+
+/// Parses one request line against the serving model's input width.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidRequest`] describing the first problem
+/// (bad JSON, unknown op, missing fields, out-of-range spike indices,
+/// too many timesteps).
+pub fn parse_request(line: &str, input_size: usize) -> Result<Request, ServeError> {
+    let value = serde_json::from_str(line).map_err(|e| invalid(format!("bad JSON: {e}")))?;
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| invalid("missing \"op\" field"))?;
+    match op {
+        "predict" => {
+            let id = value.get("id").and_then(Value::as_u64);
+            let steps = value
+                .get("input")
+                .and_then(Value::as_array)
+                .ok_or_else(|| invalid("predict needs \"input\": [[neuron indices] per step]"))?;
+            if steps.is_empty() {
+                return Err(invalid("input must have at least one timestep"));
+            }
+            if steps.len() > MAX_REQUEST_STEPS {
+                return Err(invalid(format!(
+                    "input has {} timesteps (limit {MAX_REQUEST_STEPS})",
+                    steps.len()
+                )));
+            }
+            let mut raster = SpikeRaster::new(input_size, steps.len());
+            for (t, step) in steps.iter().enumerate() {
+                let active = step
+                    .as_array()
+                    .ok_or_else(|| invalid(format!("step {t} is not an array")))?;
+                for idx in active {
+                    let n = idx
+                        .as_u64()
+                        .ok_or_else(|| invalid(format!("step {t} holds a non-integer index")))?
+                        as usize;
+                    if n >= input_size {
+                        return Err(invalid(format!(
+                            "neuron index {n} at step {t} outside 0..{input_size}"
+                        )));
+                    }
+                    raster.set(n, t, true);
+                }
+            }
+            Ok(Request::Predict { id, raster })
+        }
+        "stats" => Ok(Request::Stats),
+        "swap" => {
+            let path = value
+                .get("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| invalid("swap needs \"path\""))?;
+            Ok(Request::Swap {
+                path: path.to_owned(),
+            })
+        }
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(invalid(format!("unknown op {other:?}"))),
+    }
+}
+
+/// Builds a JSON object from key/value pairs (insertion into the sorted
+/// map, so rendering is deterministic).
+#[must_use]
+pub fn object(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+/// Renders a predict request line (the client side; `ncl-loadgen` and the
+/// integration tests use this).
+#[must_use]
+pub fn predict_request_line(id: u64, raster: &SpikeRaster) -> String {
+    let steps: Value = (0..raster.steps())
+        .map(|t| raster.active_at(t).map(Value::from).collect::<Value>())
+        .collect();
+    object(vec![
+        ("op", Value::from("predict")),
+        ("id", Value::from(id)),
+        ("input", steps),
+    ])
+    .to_json()
+}
+
+/// Renders a successful predict response line.
+#[must_use]
+pub fn predict_response(
+    id: Option<u64>,
+    prediction: usize,
+    logits: &[f32],
+    model_version: u64,
+) -> String {
+    let mut pairs = vec![
+        ("ok", Value::from(true)),
+        ("op", Value::from("predict")),
+        ("prediction", Value::from(prediction)),
+        ("logits", logits.iter().copied().collect::<Value>()),
+        ("model_version", Value::from(model_version)),
+    ];
+    if let Some(id) = id {
+        pairs.push(("id", Value::from(id)));
+    }
+    object(pairs).to_json()
+}
+
+/// Renders an error response line.
+#[must_use]
+pub fn error_response(id: Option<u64>, error: &ServeError) -> String {
+    let mut pairs = vec![
+        ("ok", Value::from(false)),
+        ("error", Value::from(error.to_string())),
+    ];
+    if let Some(id) = id {
+        pairs.push(("id", Value::from(id)));
+    }
+    object(pairs).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_predict_and_round_trips_raster() {
+        let mut raster = SpikeRaster::new(5, 3);
+        raster.set(0, 0, true);
+        raster.set(3, 0, true);
+        raster.set(1, 2, true);
+        let line = predict_request_line(9, &raster);
+        match parse_request(&line, 5).unwrap() {
+            Request::Predict { id, raster: parsed } => {
+                assert_eq!(id, Some(9));
+                assert_eq!(parsed, raster);
+            }
+            other => panic!("expected predict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_ops() {
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#, 4).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(parse_request(r#"{"op":"ping"}"#, 4).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#, 4).unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"swap","path":"m.bin"}"#, 4).unwrap(),
+            Request::Swap {
+                path: "m.bin".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let cases = [
+            "not json",
+            r#"{"id":1}"#,
+            r#"{"op":"teleport"}"#,
+            r#"{"op":"predict"}"#,
+            r#"{"op":"predict","input":[]}"#,
+            r#"{"op":"predict","input":[3]}"#,
+            r#"{"op":"predict","input":[["x"]]}"#,
+            r#"{"op":"predict","input":[[7]]}"#,
+            r#"{"op":"swap"}"#,
+        ];
+        for line in cases {
+            assert!(
+                matches!(
+                    parse_request(line, 4),
+                    Err(ServeError::InvalidRequest { .. })
+                ),
+                "{line} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn caps_request_steps() {
+        let huge = format!(
+            r#"{{"op":"predict","input":[{}]}}"#,
+            vec!["[]"; MAX_REQUEST_STEPS + 1].join(",")
+        );
+        assert!(parse_request(&huge, 4).is_err());
+    }
+
+    #[test]
+    fn responses_are_single_parseable_lines() {
+        let ok = predict_response(Some(3), 1, &[0.5, -1.25], 7);
+        assert!(!ok.contains('\n'));
+        let parsed = serde_json::from_str(&ok).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(parsed.get("prediction").and_then(Value::as_u64), Some(1));
+        assert_eq!(parsed.get("model_version").and_then(Value::as_u64), Some(7));
+        assert_eq!(parsed.get("id").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            parsed.get("logits").and_then(Value::as_array).map(Vec::len),
+            Some(2)
+        );
+
+        let err = error_response(None, &ServeError::ShuttingDown);
+        let parsed = serde_json::from_str(&err).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(parsed
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("shutting down"));
+    }
+}

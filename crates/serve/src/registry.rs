@@ -1,0 +1,206 @@
+//! The model registry: which network is serving right now, and how it is
+//! replaced.
+//!
+//! A continual-learning increment produces a new network; the registry
+//! swaps it in **atomically** — readers grab an `Arc` snapshot of the
+//! current model per batch, so a swap never disturbs an in-flight
+//! forward pass, and the write lock is held only for the pointer
+//! exchange (never across a forward pass or checkpoint load). Versions
+//! increase monotonically and are echoed in every predict response, so
+//! clients can observe exactly when an increment went live.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ncl_snn::{serialize, Network};
+use parking_lot::RwLock;
+
+use crate::error::ServeError;
+
+/// An immutable snapshot of one serving model.
+#[derive(Debug)]
+pub struct ServingModel {
+    /// The network weights + architecture.
+    pub network: Network,
+    /// Monotonic registry version (1 for the initial model).
+    pub version: u64,
+    /// Human-readable provenance ("initial", a checkpoint path, ...).
+    pub source: String,
+}
+
+impl ServingModel {
+    /// Input width requests must match.
+    #[must_use]
+    pub fn input_size(&self) -> usize {
+        self.network.config().input_size
+    }
+
+    /// Output class count.
+    #[must_use]
+    pub fn output_size(&self) -> usize {
+        self.network.config().output_size
+    }
+}
+
+/// Atomic hot-swap slot for the serving model.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    slot: RwLock<Arc<ServingModel>>,
+    next_version: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates a registry serving `network` as version 1.
+    #[must_use]
+    pub fn new(network: Network, source: &str) -> Self {
+        ModelRegistry {
+            slot: RwLock::new(Arc::new(ServingModel {
+                network,
+                version: 1,
+                source: source.to_owned(),
+            })),
+            next_version: AtomicU64::new(2),
+        }
+    }
+
+    /// Snapshot of the current model. Cheap (`Arc` clone under a read
+    /// lock); the snapshot stays valid across any number of concurrent
+    /// swaps.
+    #[must_use]
+    pub fn current(&self) -> Arc<ServingModel> {
+        self.slot.read().clone()
+    }
+
+    /// Version of the current model.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.slot.read().version
+    }
+
+    /// Atomically replaces the serving model, returning the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::IncompatibleModel`] if the replacement's
+    /// input or output width differs from the current model — requests
+    /// in flight (and clients mid-connection) were built against that
+    /// contract, and a silent change would fail them.
+    pub fn swap_network(&self, network: Network, source: &str) -> Result<u64, ServeError> {
+        // Shape check, version allocation and pointer store all happen
+        // under one write lock: two racing swaps commit in version order,
+        // so an observed version can never regress.
+        let mut slot = self.slot.write();
+        let (cur_in, cur_out) = (slot.input_size(), slot.output_size());
+        let (new_in, new_out) = (network.config().input_size, network.config().output_size);
+        if (cur_in, cur_out) != (new_in, new_out) {
+            return Err(ServeError::IncompatibleModel {
+                detail: format!("serving {cur_in}->{cur_out}, replacement is {new_in}->{new_out}"),
+            });
+        }
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        *slot = Arc::new(ServingModel {
+            network,
+            version,
+            source: source.to_owned(),
+        });
+        Ok(version)
+    }
+
+    /// Loads a checkpoint (the `ncl_snn::serialize` format) and swaps it
+    /// in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Snn`] for unreadable/malformed checkpoints
+    /// and [`ServeError::IncompatibleModel`] for shape changes. On error
+    /// the current model keeps serving untouched.
+    pub fn swap_from_bytes(&self, bytes: &[u8], source: &str) -> Result<u64, ServeError> {
+        let network = serialize::from_bytes(bytes)?;
+        self.swap_network(network, source)
+    }
+
+    /// Loads a checkpoint file and swaps it in. See
+    /// [`ModelRegistry::swap_from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::swap_from_bytes`], plus I/O failures.
+    pub fn swap_from_file(&self, path: &std::path::Path) -> Result<u64, ServeError> {
+        let network = serialize::from_file(path)?;
+        self.swap_network(network, &path.display().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_snn::NetworkConfig;
+
+    fn net(seed: u64) -> Network {
+        let mut config = NetworkConfig::tiny(6, 3);
+        config.seed = seed;
+        Network::new(config).unwrap()
+    }
+
+    #[test]
+    fn swap_bumps_version_and_replaces_network() {
+        let registry = ModelRegistry::new(net(1), "initial");
+        assert_eq!(registry.version(), 1);
+        let before = registry.current();
+        let v = registry.swap_network(net(2), "increment").unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(registry.version(), 2);
+        // The old snapshot is still intact and usable.
+        assert_eq!(before.version, 1);
+        assert_ne!(before.network, registry.current().network);
+        assert_eq!(registry.current().source, "increment");
+    }
+
+    #[test]
+    fn incompatible_shape_is_rejected_and_keeps_serving() {
+        let registry = ModelRegistry::new(net(1), "initial");
+        let wrong = Network::new(NetworkConfig::tiny(7, 3)).unwrap();
+        assert!(matches!(
+            registry.swap_network(wrong, "bad"),
+            Err(ServeError::IncompatibleModel { .. })
+        ));
+        let wrong_out = Network::new(NetworkConfig::tiny(6, 4)).unwrap();
+        assert!(registry.swap_network(wrong_out, "bad").is_err());
+        assert_eq!(registry.version(), 1, "failed swap leaves version alone");
+    }
+
+    #[test]
+    fn swap_from_bytes_round_trips() {
+        let registry = ModelRegistry::new(net(1), "initial");
+        let replacement = net(9);
+        let v = registry
+            .swap_from_bytes(&serialize::to_bytes(&replacement), "bytes")
+            .unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(registry.current().network, replacement);
+        // Garbage bytes are rejected without disturbing the slot.
+        assert!(registry.swap_from_bytes(b"nonsense", "bad").is_err());
+        assert_eq!(registry.version(), 2);
+    }
+
+    #[test]
+    fn concurrent_swaps_and_reads_stay_consistent() {
+        let registry = ModelRegistry::new(net(0), "initial");
+        std::thread::scope(|scope| {
+            for i in 0..4u64 {
+                let registry = &registry;
+                scope.spawn(move || {
+                    registry.swap_network(net(i + 10), "swap").unwrap();
+                });
+                scope.spawn(move || {
+                    let snapshot = registry.current();
+                    // A snapshot is internally consistent at all times.
+                    assert_eq!(snapshot.input_size(), 6);
+                    assert_eq!(snapshot.output_size(), 3);
+                    assert!(snapshot.version >= 1);
+                });
+            }
+        });
+        assert_eq!(registry.version(), 5, "four swaps landed");
+    }
+}

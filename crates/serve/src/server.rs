@@ -1,0 +1,380 @@
+//! The TCP front end: accepts localhost connections, speaks the NDJSON
+//! protocol, and routes predicts through the micro-batcher.
+//!
+//! One thread per connection reads request lines; `predict` ops are
+//! submitted to the shared [`Batcher`] (so requests from *different*
+//! connections batch together), control ops (`stats`, `swap`, `ping`,
+//! `shutdown`) are answered inline. Hot swaps go through the
+//! [`ModelRegistry`]: a `swap` op loads the checkpoint, the pointer
+//! exchange is atomic, and every in-flight batch keeps the snapshot it
+//! started with — zero dropped requests across a swap.
+
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::Value;
+
+use crate::batcher::{BatchConfig, Batcher};
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::protocol::{self, Request};
+use crate::registry::ModelRegistry;
+
+/// Server tuning knobs. The default binds an ephemeral port (0) with the
+/// default [`BatchConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// TCP port on 127.0.0.1 (0 picks an ephemeral port; read the bound
+    /// address from [`Server::local_addr`]).
+    pub port: u16,
+    /// Micro-batching scheduler settings.
+    pub batch: BatchConfig,
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    batcher: Arc<Batcher>,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running inference service.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds 127.0.0.1 and starts serving `registry`'s current model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::default());
+        let batcher = Batcher::start(Arc::clone(&registry), Arc::clone(&metrics), config.batch);
+        let shared = Arc::new(Shared {
+            registry,
+            metrics,
+            batcher,
+            stopping: AtomicBool::new(false),
+            addr,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("ncl-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Server {
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The registry serving this server — for in-process hot swaps.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// The serving metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
+    }
+
+    /// Whether a shutdown (client op or [`Server::shutdown`]) has begun.
+    #[must_use]
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the server stops (a client sent `shutdown`, or
+    /// another thread called [`Server::shutdown`]), then drains the
+    /// batcher.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.shared.batcher.shutdown();
+    }
+
+    /// Stops accepting, drains in-flight work, and joins every thread.
+    pub fn shutdown(self) {
+        request_stop(&self.shared);
+        self.wait();
+    }
+}
+
+/// Flags the server to stop and unblocks the accept loop.
+fn request_stop(shared: &Shared) {
+    if shared.stopping.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    // The accept loop is blocked in accept(); a throwaway local
+    // connection wakes it so it can observe the flag.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("ncl-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &conn_shared);
+            })
+        {
+            connections.push(handle);
+        }
+        // Opportunistically reap finished connections so a long-lived
+        // server does not accumulate handles.
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Upper bound on a buffered request line — a client that streams
+/// newline-free bytes must not grow server memory without limit. Large
+/// enough for a maximal predict request (4096 steps of indices).
+const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Serves one connection until EOF, a `shutdown` op, or a socket error.
+///
+/// Framing is done on raw bytes (split at `\n`, then validate UTF-8 per
+/// line) rather than `read_line`: a read timeout mid-line keeps every
+/// already-consumed byte buffered — `read_line` would discard a partial
+/// multi-byte UTF-8 character at the split point and corrupt the stream.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    // The read timeout lets the loop observe a server-side stop even if
+    // the client goes quiet without closing; TCP_NODELAY keeps one-line
+    // responses from stalling behind Nagle + delayed ACK (~40 ms per
+    // round trip otherwise).
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_nodelay(true)?;
+    let mut read_half = stream.try_clone()?;
+    let mut writer = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match read_half.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line_bytes);
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let (response, stop) = handle_line(trimmed, shared);
+                    writer.write_all(response.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    if stop {
+                        return Ok(());
+                    }
+                }
+                if pending.len() > MAX_LINE_BYTES {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "request line exceeds the size limit",
+                    ));
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.stopping.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Processes one request line into one response line; the flag reports
+/// whether this request asked the server to stop (closing the
+/// connection after the response is flushed).
+fn handle_line(line: &str, shared: &Shared) -> (String, bool) {
+    let input_size = shared.registry.current().input_size();
+    let request = match protocol::parse_request(line, input_size) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.metrics.record_failure();
+            return (protocol::error_response(None, &e), false);
+        }
+    };
+    let response = match request {
+        Request::Predict { id, raster } => match predict(shared, raster) {
+            Ok((prediction, logits, version)) => {
+                protocol::predict_response(id, prediction, &logits, version)
+            }
+            Err(e) => {
+                // Batch-level failures are already counted by the
+                // batcher; only count pre-submit rejections here.
+                if matches!(e, ServeError::ShuttingDown) {
+                    shared.metrics.record_failure();
+                }
+                protocol::error_response(id, &e)
+            }
+        },
+        Request::Stats => stats_response(shared),
+        Request::Swap { path } => {
+            match shared.registry.swap_from_file(std::path::Path::new(&path)) {
+                Ok(version) => {
+                    shared.metrics.record_swap();
+                    protocol::object(vec![
+                        ("ok", Value::from(true)),
+                        ("op", Value::from("swap")),
+                        ("model_version", Value::from(version)),
+                    ])
+                    .to_json()
+                }
+                Err(e) => {
+                    shared.metrics.record_failure();
+                    protocol::error_response(None, &e)
+                }
+            }
+        }
+        Request::Ping => protocol::object(vec![
+            ("ok", Value::from(true)),
+            ("op", Value::from("pong")),
+            ("model_version", Value::from(shared.registry.version())),
+        ])
+        .to_json(),
+        Request::Shutdown => {
+            request_stop(shared);
+            protocol::object(vec![
+                ("ok", Value::from(true)),
+                ("op", Value::from("shutdown")),
+            ])
+            .to_json()
+        }
+    };
+    let stop = shared.stopping.load(Ordering::Acquire);
+    (response, stop)
+}
+
+fn predict(
+    shared: &Shared,
+    raster: ncl_spike::SpikeRaster,
+) -> Result<(usize, Vec<f32>, u64), ServeError> {
+    let rx = shared.batcher.submit(raster)?;
+    let reply = rx.recv().map_err(|_| ServeError::ShuttingDown)??;
+    Ok((reply.prediction, reply.logits, reply.model_version))
+}
+
+fn stats_response(shared: &Shared) -> String {
+    let model = shared.registry.current();
+    let model_block = protocol::object(vec![
+        ("version", Value::from(model.version)),
+        ("input_size", Value::from(model.input_size())),
+        ("output_size", Value::from(model.output_size())),
+        ("source", Value::from(model.source.clone())),
+    ]);
+    protocol::object(vec![
+        ("ok", Value::from(true)),
+        ("op", Value::from("stats")),
+        ("model", model_block),
+        ("serving", shared.metrics.snapshot()),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::NclClient;
+    use ncl_snn::{Network, NetworkConfig};
+    use ncl_spike::SpikeRaster;
+
+    fn start_server() -> Server {
+        let network = Network::new(NetworkConfig::tiny(8, 3)).unwrap();
+        let registry = Arc::new(ModelRegistry::new(network, "test"));
+        Server::start(registry, ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn serves_predict_stats_ping_over_tcp() {
+        let server = start_server();
+        let addr = server.local_addr();
+        let mut client = NclClient::connect(addr).unwrap();
+
+        let pong = client.ping().unwrap();
+        assert_eq!(pong.get("op").and_then(Value::as_str), Some("pong"));
+
+        let raster = SpikeRaster::from_fn(8, 10, |n, t| (n + t) % 2 == 0);
+        let line = protocol::predict_request_line(5, &raster);
+        let reply = client.round_trip(&line).unwrap();
+        assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(reply.get("id").and_then(Value::as_u64), Some(5));
+        let direct = server
+            .registry()
+            .current()
+            .network
+            .forward(&raster)
+            .unwrap();
+        let expected = ncl_tensor::ops::argmax(&direct).unwrap() as u64;
+        assert_eq!(
+            reply.get("prediction").and_then(Value::as_u64),
+            Some(expected)
+        );
+
+        // Malformed line answers an error and keeps the connection alive.
+        let err = client.round_trip(r#"{"op":"warp"}"#).unwrap();
+        assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
+
+        let stats = client.stats().unwrap();
+        assert_eq!(
+            stats
+                .get("serving")
+                .and_then(|s| s.get("requests_ok"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            stats
+                .get("model")
+                .and_then(|m| m.get("input_size"))
+                .and_then(Value::as_u64),
+            Some(8)
+        );
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_op_stops_the_server() {
+        let server = start_server();
+        let addr = server.local_addr();
+        let mut client = NclClient::connect(addr).unwrap();
+        let bye = client.shutdown().unwrap();
+        assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+        // wait() returns because the client-triggered stop unblocked the
+        // accept loop.
+        server.wait();
+    }
+}

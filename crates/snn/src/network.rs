@@ -455,6 +455,82 @@ impl Network {
         Ok(ops::argmax(&logits).expect("output_size >= 1 is validated"))
     }
 
+    /// Batched inference entry point: full forward passes over many
+    /// rasters at constant thresholds, sharing every scratch buffer
+    /// (membranes, active-spike lists, input currents, readout
+    /// integrators) across the batch instead of reallocating them per
+    /// call. This is the serving hot path (`ncl_serve`'s micro-batcher
+    /// feeds it); results are bit-identical to calling
+    /// [`Network::forward`] per raster.
+    ///
+    /// Rasters may have differing step counts; every raster must have the
+    /// network's input width and at least one step.
+    ///
+    /// The timestep loop below deliberately mirrors [`Network::run`]'s
+    /// (without history/activity plumbing) so the scratch buffers can
+    /// live outside the per-sample loop; any semantic change to `run`
+    /// must land here too — `forward_batch_equals_sequential_forward` in
+    /// `tests/properties.rs` enforces the equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] naming the first raster that
+    /// does not fit the input stage. The whole batch is validated before
+    /// any forward pass runs, so an error means no work was done.
+    pub fn forward_batch(&self, inputs: &[SpikeRaster]) -> Result<Vec<Vec<f32>>, SnnError> {
+        for input in inputs {
+            self.check_stage_input(0, input)?;
+        }
+        let outputs = self.readout.outputs();
+        let threshold = self.config.lif.v_threshold;
+
+        let mut v: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.neurons()]).collect();
+        let mut prev_active: Vec<Vec<usize>> = self.layers.iter().map(|_| Vec::new()).collect();
+        let mut spikes_scratch: Vec<usize> = Vec::new();
+        let max_width = self.layers.iter().map(|l| l.neurons()).max().unwrap_or(0);
+        let mut current = vec![0.0f32; max_width];
+        let mut u = vec![0.0f32; outputs];
+        let mut logit_acc = vec![0.0f32; outputs];
+        let mut active: Vec<usize> = Vec::new();
+
+        let mut results = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            for membranes in &mut v {
+                membranes.iter_mut().for_each(|x| *x = 0.0);
+            }
+            for pa in &mut prev_active {
+                pa.clear();
+            }
+            u.iter_mut().for_each(|x| *x = 0.0);
+            logit_acc.iter_mut().for_each(|x| *x = 0.0);
+
+            let steps = input.steps();
+            for t in 0..steps {
+                active.clear();
+                active.extend(input.active_at(t));
+                for (li, layer) in self.layers.iter().enumerate() {
+                    let n = layer.neurons();
+                    layer.input_current(&active, &prev_active[li], &mut current[..n]);
+                    layer.membrane_step(
+                        &current[..n],
+                        threshold,
+                        &mut v[li],
+                        None,
+                        &mut spikes_scratch,
+                    );
+                    prev_active[li].clear();
+                    prev_active[li].extend_from_slice(&spikes_scratch);
+                    active.clear();
+                    active.extend_from_slice(&spikes_scratch);
+                }
+                self.readout.step(&active, &mut u, &mut logit_acc);
+            }
+            let inv_t = 1.0 / steps as f32;
+            results.push(logit_acc.iter().map(|a| a * inv_t).collect());
+        }
+        Ok(results)
+    }
+
     /// Executes the network from `from_stage`; optionally records history.
     fn run(
         &self,
@@ -786,6 +862,40 @@ mod tests {
         net.visit_trainable_mut(1, |s| sizes.push(s.len())).unwrap();
         // Stage 2 layer (16->12): w_ff, w_rec, bias; then readout w, bias.
         assert_eq!(sizes, vec![16 * 12, 12 * 12, 12, 12 * 3, 3]);
+    }
+
+    #[test]
+    fn forward_batch_matches_sequential_forward_exactly() {
+        let net = tiny_net();
+        // Mixed step counts and densities, including an empty raster.
+        let inputs: Vec<SpikeRaster> = vec![
+            dense_input(12),
+            SpikeRaster::from_fn(8, 7, |n, t| (n * 3 + t) % 5 == 0),
+            SpikeRaster::new(8, 4),
+            dense_input(20),
+        ];
+        let batched = net.forward_batch(&inputs).unwrap();
+        assert_eq!(batched.len(), 4);
+        for (input, logits) in inputs.iter().zip(batched.iter()) {
+            let single = net.forward(input).unwrap();
+            assert_eq!(
+                logits, &single,
+                "batched forward must be bit-identical to per-call forward"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_batch_validates_before_running() {
+        let net = tiny_net();
+        let inputs = vec![dense_input(10), SpikeRaster::new(9, 10)];
+        assert!(matches!(
+            net.forward_batch(&inputs),
+            Err(SnnError::ShapeMismatch { .. })
+        ));
+        let zero_steps = vec![dense_input(10), SpikeRaster::new(8, 0)];
+        assert!(net.forward_batch(&zero_steps).is_err());
+        assert!(net.forward_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -169,6 +169,50 @@ pub fn from_bytes(mut bytes: &[u8]) -> Result<Network, SnnError> {
     Ok(net)
 }
 
+/// Writes a network checkpoint to `path` (the [`to_bytes`] format).
+///
+/// The write goes through a uniquely named sibling temp file plus
+/// rename, so a reader (e.g. a serving process hot-loading the
+/// checkpoint) never observes a half-written model, and concurrent
+/// writers (the runtime engine's worker pool) never collide on a shared
+/// temp name.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn to_file(net: &Network, path: &std::path::Path) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(
+        "{file_name}.{}.{}.tmp",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, to_bytes(net))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads a network checkpoint written by [`to_file`] (or any
+/// [`to_bytes`] payload).
+///
+/// # Errors
+///
+/// Returns [`SnnError::Deserialize`] for I/O failures (wrapped with the
+/// path) and for malformed bytes.
+pub fn from_file(path: &std::path::Path) -> Result<Network, SnnError> {
+    let bytes = std::fs::read(path).map_err(|e| SnnError::Deserialize {
+        detail: format!("reading {}: {e}", path.display()),
+    })?;
+    from_bytes(&bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +266,60 @@ mod tests {
         let mut bytes = to_bytes(&net);
         bytes.extend_from_slice(&[0u8; 4]);
         assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file_error() {
+        let net = Network::new(NetworkConfig::tiny(6, 3)).unwrap();
+        let dir = std::env::temp_dir().join("ncl-snn-serialize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        to_file(&net, &path).unwrap();
+        assert_eq!(from_file(&path).unwrap(), net);
+        // No temp sibling lingers after a successful write.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(leftovers, 0);
+        let missing = dir.join("nope.bin");
+        assert!(matches!(
+            from_file(&missing),
+            Err(SnnError::Deserialize { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_sibling_checkpoints_do_not_collide() {
+        // Multi-dot stems ("model.v2") used to map onto one shared
+        // "model.tmp", letting parallel writers install each other's
+        // bytes. Unique temp names keep every checkpoint intact.
+        let dir = std::env::temp_dir().join("ncl-snn-serialize-concurrent");
+        std::fs::create_dir_all(&dir).unwrap();
+        let nets: Vec<Network> = (0..4)
+            .map(|i| {
+                let mut c = NetworkConfig::tiny(5, 2);
+                c.seed = 100 + i;
+                Network::new(c).unwrap()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for (i, net) in nets.iter().enumerate() {
+                let path = dir.join(format!("model.v{i}.bin"));
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        to_file(net, &path).unwrap();
+                    }
+                });
+            }
+        });
+        for (i, net) in nets.iter().enumerate() {
+            let path = dir.join(format!("model.v{i}.bin"));
+            assert_eq!(&from_file(&path).unwrap(), net, "checkpoint {i} corrupted");
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

@@ -129,4 +129,22 @@ proptest! {
             prop_assert_eq!(declared, visited);
         }
     }
+
+    /// The serving hot path (`forward_batch`, shared scratch buffers)
+    /// must stay bit-identical to the canonical per-call forward for ANY
+    /// batch — this is the guard against the two loop implementations
+    /// drifting apart.
+    #[test]
+    fn forward_batch_equals_sequential_forward(
+        seed in any::<u64>(), batch_len in 1usize..6, steps in 1usize..24
+    ) {
+        let net = Network::new(NetworkConfig::tiny(9, 3)).unwrap();
+        let inputs: Vec<_> = (0..batch_len)
+            .map(|i| raster_for(9, steps, seed.wrapping_add(i as u64)))
+            .collect();
+        let batched = net.forward_batch(&inputs).unwrap();
+        for (input, logits) in inputs.iter().zip(batched.iter()) {
+            prop_assert_eq!(logits, &net.forward(input).unwrap());
+        }
+    }
 }

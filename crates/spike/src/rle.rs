@@ -40,23 +40,39 @@ fn push_varint(buf: &mut Vec<u8>, mut v: u32) {
 }
 
 /// Decodes a varint; returns `(value, bytes_consumed)`.
+///
+/// Rejects payloads that cannot come from [`push_varint`]: truncated
+/// streams, varints longer than 5 bytes, non-canonical overlong encodings
+/// (a trailing zero continuation), and — the subtle one — a 5th byte
+/// whose payload bits do not fit the 4 bits remaining in a `u32`. The
+/// old decoder shifted that byte by 28 and silently discarded its top 3
+/// bits, so an adversarial-but-terminated varint decoded to a *wrong
+/// gap* instead of an error.
 fn read_varint(buf: &[u8]) -> Result<(u32, usize), SpikeError> {
+    let invalid = |detail: &str| SpikeError::InvalidParameter {
+        what: "rle payload",
+        detail: detail.into(),
+    };
     let mut value = 0u32;
     let mut shift = 0u32;
     for (i, &byte) in buf.iter().enumerate() {
         if shift >= 32 {
-            break;
+            return Err(invalid("varint longer than 5 bytes"));
         }
-        value |= u32::from(byte & 0x7F) << shift;
+        let payload = u32::from(byte & 0x7F);
+        if shift > 32 - 7 && payload >> (32 - shift) != 0 {
+            return Err(invalid("varint payload overflows 32 bits"));
+        }
         if byte & 0x80 == 0 {
-            return Ok((value, i + 1));
+            if i > 0 && payload == 0 {
+                return Err(invalid("overlong varint (trailing zero byte)"));
+            }
+            return Ok((value | (payload << shift), i + 1));
         }
+        value |= payload << shift;
         shift += 7;
     }
-    Err(SpikeError::InvalidParameter {
-        what: "rle payload",
-        detail: "truncated or overlong varint".into(),
-    })
+    Err(invalid("truncated varint"))
 }
 
 impl RleRaster {
@@ -91,6 +107,36 @@ impl RleRaster {
         }
     }
 
+    /// Reassembles an encoded raster from its stored parts — the entry
+    /// point for payloads read back from disk or a wire, which may be
+    /// corrupt. Construction is cheap and unvalidated; [`decode`] performs
+    /// the full strict validation and is the only way to get a raster
+    /// back out, so a malformed reassembly can never produce a wrong
+    /// raster silently.
+    ///
+    /// [`decode`]: RleRaster::decode
+    #[must_use]
+    pub fn from_parts(neurons: usize, steps: usize, payload: Vec<u8>, offsets: Vec<u32>) -> Self {
+        RleRaster {
+            neurons,
+            steps,
+            payload,
+            offsets,
+        }
+    }
+
+    /// The concatenated per-neuron gap streams.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Byte offset of each neuron's stream in the payload.
+    #[must_use]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
     /// Number of neurons.
     #[must_use]
     pub fn neurons(&self) -> usize {
@@ -112,11 +158,31 @@ impl RleRaster {
 
     /// Losslessly decodes back to the original raster.
     ///
+    /// Decoding is strict: every neuron stream must consist of in-range
+    /// gaps followed by exactly the canonical terminator [`encode`]
+    /// writes, with no bytes left over. A corrupted payload therefore
+    /// decodes to `Err`, never silently to a wrong raster — any byte
+    /// change either breaks a varint, moves a spike out of range, or
+    /// desynchronizes the terminator check.
+    ///
+    /// [`encode`]: RleRaster::encode
+    ///
     /// # Errors
     ///
-    /// Returns [`SpikeError::InvalidParameter`] if the payload is
-    /// corrupted.
+    /// Returns [`SpikeError::InvalidParameter`] if the payload or offset
+    /// table is corrupted.
     pub fn decode(&self) -> Result<SpikeRaster, SpikeError> {
+        let invalid = |detail: String| SpikeError::InvalidParameter {
+            what: "rle payload",
+            detail,
+        };
+        if self.offsets.len() != self.neurons {
+            return Err(invalid(format!(
+                "offset table has {} entries for {} neurons",
+                self.offsets.len(),
+                self.neurons
+            )));
+        }
         let mut raster = SpikeRaster::new(self.neurons, self.steps);
         for n in 0..self.neurons {
             let start = self.offsets[n] as usize;
@@ -124,10 +190,18 @@ impl RleRaster {
                 .offsets
                 .get(n + 1)
                 .map_or(self.payload.len(), |&o| o as usize);
+            if start > end || end > self.payload.len() {
+                return Err(invalid(format!(
+                    "offset table entry {n} ({start}..{end}) outside payload"
+                )));
+            }
             let mut stream = &self.payload[start..end];
             let mut t = 0usize;
             let mut first = true;
             loop {
+                if stream.is_empty() {
+                    return Err(invalid(format!("neuron {n} stream missing terminator")));
+                }
                 let (gap, used) = read_varint(stream)?;
                 stream = &stream[used..];
                 let next = if first {
@@ -135,15 +209,26 @@ impl RleRaster {
                 } else {
                     t + 1 + gap as usize
                 };
+                if next == self.steps + 1 {
+                    // The canonical terminator always lands exactly one
+                    // past the raster end; a desynchronized stream cannot.
+                    if !stream.is_empty() {
+                        return Err(invalid(format!(
+                            "neuron {n} has {} trailing bytes after terminator",
+                            stream.len()
+                        )));
+                    }
+                    break;
+                }
                 if next >= self.steps {
-                    break; // terminator
+                    return Err(invalid(format!(
+                        "neuron {n} spike at step {next} outside 0..{}",
+                        self.steps
+                    )));
                 }
                 raster.set(n, next, true);
                 t = next;
                 first = false;
-                if stream.is_empty() {
-                    break;
-                }
             }
         }
         Ok(raster)
@@ -245,5 +330,81 @@ mod tests {
             assert_eq!(used, buf.len());
         }
         assert!(read_varint(&[0x80]).is_err(), "truncated varint");
+    }
+
+    #[test]
+    fn adversarial_varints_are_rejected() {
+        // The regression: a terminated 5-byte varint whose 5th byte holds
+        // payload bits beyond u32's remaining 4 bits. The old decoder
+        // shifted by 28 and silently dropped the top 3 bits, decoding a
+        // wrong value; now it must error.
+        let overflowing = [0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert!(read_varint(&overflowing).is_err(), "5th-byte overflow");
+        // Any non-zero bit in the 5th byte's upper nibble overflows.
+        for fifth in [0x10u8, 0x20, 0x40, 0x70] {
+            assert!(
+                read_varint(&[0x80, 0x80, 0x80, 0x80, fifth]).is_err(),
+                "payload bit {fifth:#x} beyond 32 bits accepted"
+            );
+        }
+        // The largest canonical 5-byte varint still decodes.
+        let max = [0xFF, 0xFF, 0xFF, 0xFF, 0x0F];
+        assert_eq!(read_varint(&max).unwrap(), (u32::MAX, 5));
+        // Overlong encodings (trailing zero continuation) are rejected.
+        assert!(read_varint(&[0x80, 0x00]).is_err(), "overlong zero");
+        assert!(read_varint(&[0x81, 0x80, 0x00]).is_err(), "overlong tail");
+        // More than 5 bytes of continuation is rejected, terminated or not.
+        assert!(read_varint(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01]).is_err());
+        assert!(read_varint(&[]).is_err(), "empty stream");
+    }
+
+    #[test]
+    fn structural_corruption_is_rejected_not_misdecoded() {
+        let r = random_raster(6, 30, 0.25, 12);
+        let clean = RleRaster::encode(&r);
+        assert_eq!(clean.decode().unwrap(), r);
+
+        // Chopping the final terminator byte: missing terminator.
+        let mut truncated = clean.clone();
+        truncated.payload.pop();
+        assert!(truncated.decode().is_err(), "missing terminator accepted");
+
+        // Appending garbage after the last neuron's terminator.
+        let mut trailing = clean.clone();
+        trailing.payload.push(0x00);
+        assert!(trailing.decode().is_err(), "trailing byte accepted");
+
+        // Corrupting a mid-stream gap desynchronizes the terminator and
+        // must surface as an error — the old decoder treated the first
+        // out-of-range position as a terminator and returned a wrong
+        // raster.
+        let mut skewed = clean.clone();
+        skewed.payload[0] = skewed.payload[0].wrapping_add(1);
+        let outcome = skewed.decode();
+        assert!(
+            outcome.is_err() || outcome.unwrap() == r,
+            "corrupted gap silently decoded to a different raster"
+        );
+
+        // An offset table pointing outside the payload errors cleanly
+        // instead of panicking.
+        let mut bad_offsets = clean.clone();
+        bad_offsets.offsets[2] = clean.payload.len() as u32 + 40;
+        assert!(bad_offsets.decode().is_err(), "wild offset accepted");
+        let mut short_table = clean;
+        short_table.offsets.pop();
+        assert!(short_table.decode().is_err(), "short offset table accepted");
+    }
+
+    #[test]
+    fn empty_stream_for_neuron_is_rejected() {
+        // A zero-length neuron stream (possible only through corruption:
+        // even a spike-free neuron stores its terminator) must error.
+        let r = SpikeRaster::new(2, 10);
+        let mut rle = RleRaster::encode(&r);
+        // Collapse neuron 1's stream to zero length.
+        let cut = rle.offsets[1] as usize;
+        rle.payload.truncate(cut);
+        assert!(rle.decode().is_err());
     }
 }

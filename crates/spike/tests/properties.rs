@@ -117,6 +117,52 @@ proptest! {
         prop_assert_eq!(rle.decode().unwrap(), r);
     }
 
+    /// Encode → corrupt → decode never silently succeeds: if the decoder
+    /// returns `Ok` at all on a tampered payload, the result must equal
+    /// the original raster (i.e. the corruption was provably benign) —
+    /// it must never hand back a *wrong* raster. Exercises byte flips,
+    /// truncations, extensions and offset-table damage.
+    #[test]
+    fn rle_decode_never_silently_misdecodes(
+        r in raster_strategy(30, 40),
+        mode in 0u8..4,
+        pos in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        use ncl_spike::rle::RleRaster;
+        let clean = RleRaster::encode(&r);
+        let mut payload = clean.payload().to_vec();
+        let mut offsets = clean.offsets().to_vec();
+        match mode {
+            // Flip bits of one payload byte.
+            0 if !payload.is_empty() => {
+                let i = (pos % payload.len() as u64) as usize;
+                payload[i] ^= xor;
+            }
+            // Truncate the payload.
+            1 if !payload.is_empty() => {
+                let keep = (pos % payload.len() as u64) as usize;
+                payload.truncate(keep);
+            }
+            // Append garbage.
+            2 => payload.push(xor),
+            // Skew one offset-table entry.
+            _ if !offsets.is_empty() => {
+                let i = (pos % offsets.len() as u64) as usize;
+                offsets[i] = offsets[i].wrapping_add(u32::from(xor));
+            }
+            _ => {}
+        }
+        let tampered = RleRaster::from_parts(r.neurons(), r.steps(), payload, offsets);
+        match tampered.decode() {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_eq!(
+                decoded, r,
+                "corrupted payload decoded to a wrong raster instead of an error"
+            ),
+        }
+    }
+
     #[test]
     fn spikes_at_sums_to_total(r in raster_strategy(60, 40)) {
         let sum: usize = (0..r.steps()).map(|t| r.spikes_at(t)).sum();
