@@ -1,0 +1,143 @@
+//! Wall-clock cost of the training hot path: whole epochs through the
+//! zero-allocation arena/pool trainer vs the seed-era per-sample-
+//! allocation reference, plus the kernels the rewrite touched.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncl_bench::train_demo::{self, BATCH_SIZE};
+use ncl_snn::optimizer::Optimizer;
+use ncl_snn::trainer::{self, TrainOptions, TrainScratch};
+use ncl_snn::{bptt, Network};
+use ncl_spike::SpikeRaster;
+use ncl_tensor::{ops, Matrix, Rng};
+use std::time::Duration;
+
+/// Demo-scale training problem (shared with `ncl-train-bench` via
+/// `ncl_bench::train_demo`, so criterion numbers and BENCH_train.json
+/// measure the same workload).
+fn demo_problem() -> (Network, Vec<(SpikeRaster, u16)>) {
+    (train_demo::network(), train_demo::rasters(48, 40, 64))
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let (net, data) = demo_problem();
+    let refs: Vec<(&SpikeRaster, u16)> = data.iter().map(|(r, l)| (r, *l)).collect();
+
+    let mut group = c.benchmark_group("train_epoch");
+    group
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    // Seed-era baseline at its two forms: serial, and the workspace
+    // default parallelism 2 (thread scope spawned per batch).
+    for parallelism in [1usize, 2] {
+        group.bench_function(&format!("alloc_reference_w{parallelism}"), |b| {
+            let mut net = net.clone();
+            let mut opt = Optimizer::adam(1e-3);
+            let mut rng = Rng::seed_from_u64(1);
+            let options = TrainOptions {
+                batch_size: BATCH_SIZE,
+                parallelism,
+                ..TrainOptions::default()
+            };
+            b.iter(|| {
+                trainer::train_epoch_reference(&mut net, &refs, &mut opt, &options, &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+
+    for workers in [1usize, 2, 4] {
+        group.bench_function(&format!("arena_pool_w{workers}"), |b| {
+            let mut net = net.clone();
+            let mut opt = Optimizer::adam(1e-3);
+            let mut rng = Rng::seed_from_u64(1);
+            let mut scratch = TrainScratch::new();
+            let options = TrainOptions {
+                batch_size: BATCH_SIZE,
+                parallelism: workers,
+                ..TrainOptions::default()
+            };
+            b.iter(|| {
+                trainer::train_epoch_with(
+                    &mut net,
+                    &refs,
+                    &mut opt,
+                    &options,
+                    &mut rng,
+                    &mut scratch,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward_arena(c: &mut Criterion) {
+    let (net, data) = demo_problem();
+    let history = net.record_from(0, &data[0].0, None).unwrap();
+
+    let mut group = c.benchmark_group("bptt_backward");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench_function("alloc_per_sample", |b| {
+        b.iter(|| bptt::backward(&net, std::hint::black_box(&history), 3).unwrap())
+    });
+    group.bench_function("arena_reuse", |b| {
+        let mut grads = bptt::Gradients::zeros(&net, 0).unwrap();
+        let mut scratch = ncl_snn::BpttScratch::new();
+        b.iter(|| {
+            grads.zero_fill();
+            bptt::backward_into(
+                &net,
+                std::hint::black_box(&history),
+                3,
+                &mut grads,
+                &mut scratch,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_rows_add(c: &mut Criterion) {
+    // The BPTT scatter kernel across sparsity levels: gathered index list
+    // (plus the gather itself, as the seed path paid it) vs the masked
+    // word walk.
+    let rows = 700usize;
+    let cols = 200usize;
+    let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.13).sin()).collect();
+
+    let mut group = c.benchmark_group("rows_add");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    for density_pct in [2usize, 10, 30] {
+        let mut rng = Rng::seed_from_u64(density_pct as u64);
+        let raster =
+            SpikeRaster::from_fn(rows, 1, |_, _| rng.bernoulli(density_pct as f64 / 100.0));
+        let mut a = Matrix::zeros(rows, cols);
+        group.bench_function(&format!("gather_d{density_pct}pct"), |b| {
+            let mut active: Vec<usize> = Vec::new();
+            b.iter(|| {
+                active.clear();
+                active.extend(raster.active_at(0));
+                ops::rows_add(&mut a, &active, &x, 1.0).unwrap();
+            })
+        });
+        group.bench_function(&format!("masked_d{density_pct}pct"), |b| {
+            b.iter(|| ops::rows_add_masked(&mut a, raster.step_words(0), &x, 1.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_train_epoch,
+    bench_backward_arena,
+    bench_rows_add
+);
+criterion_main!(benches);

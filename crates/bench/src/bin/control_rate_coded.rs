@@ -33,8 +33,10 @@ fn train_network(train: &Dataset, epochs: usize, seed: u64) -> Network {
     };
     let mut rng = Rng::seed_from_u64(seed ^ 0xAB);
     let refs: Vec<(&SpikeRaster, u16)> = train.iter().map(|s| (&s.raster, s.label)).collect();
+    let mut scratch = trainer::TrainScratch::new();
     for _ in 0..epochs {
-        trainer::train_epoch(&mut net, &refs, &mut opt, &options, &mut rng).expect("train");
+        trainer::train_epoch_with(&mut net, &refs, &mut opt, &options, &mut rng, &mut scratch)
+            .expect("train");
     }
     net
 }

@@ -157,6 +157,52 @@ pub fn demo_config() -> ScenarioConfig {
     config
 }
 
+/// The shared training-benchmark problem: one definition used by both
+/// `benches/train.rs` (criterion) and the `ncl-train-bench` binary, so
+/// the criterion numbers and the `BENCH_train.json` datapoints always
+/// measure the same workload.
+pub mod train_demo {
+    use ncl_snn::{LifConfig, Network, NetworkConfig, ReadoutConfig};
+    use ncl_spike::SpikeRaster;
+    use ncl_tensor::Rng;
+
+    /// The demo batch size (the smoke/demo scenario setting).
+    pub const BATCH_SIZE: usize = 4;
+
+    /// The demo-scale network: the workspace's smoke/demo scenario
+    /// dimensions (48 channels, 24-16 hidden, 4 classes) — the setting
+    /// every `--demo` figure and CI smoke run trains at.
+    #[must_use]
+    pub fn network() -> Network {
+        let config = NetworkConfig {
+            input_size: 48,
+            hidden_sizes: vec![24, 16],
+            output_size: 4,
+            recurrent: true,
+            lif: LifConfig::default(),
+            readout: ReadoutConfig::default(),
+            seed: 11,
+        };
+        Network::new(config).expect("demo config is valid")
+    }
+
+    /// Deterministic labeled rasters of the given shape (four classes,
+    /// class-banded channels plus common background activity).
+    #[must_use]
+    pub fn rasters(neurons: usize, steps: usize, samples: usize) -> Vec<(SpikeRaster, u16)> {
+        let mut rng = Rng::seed_from_u64(5);
+        (0..samples)
+            .map(|i| {
+                let label = (i % 4) as u16;
+                let raster = SpikeRaster::from_fn(neurons, steps, |n, _| {
+                    (n % 4 == label as usize || n % 7 == 0) && rng.bernoulli(0.4)
+                });
+                (raster, label)
+            })
+            .collect()
+    }
+}
+
 /// The paper's T* (reduced replay timesteps) for a given native T:
 /// 40 at T = 100, scaled proportionally elsewhere.
 #[must_use]

@@ -107,8 +107,18 @@ pub fn pretrain(config: &ScenarioConfig) -> Result<PretrainOutcome, NclError> {
 
     let refs = sample_refs(&train);
     let mut epoch_losses = Vec::with_capacity(config.pretrain_epochs);
+    // One arena set for the whole phase: epochs after the first allocate
+    // nothing on the training hot path.
+    let mut scratch = trainer::TrainScratch::new();
     for _ in 0..config.pretrain_epochs {
-        let report = trainer::train_epoch(&mut network, &refs, &mut optimizer, &options, &mut rng)?;
+        let report = trainer::train_epoch_with(
+            &mut network,
+            &refs,
+            &mut optimizer,
+            &options,
+            &mut rng,
+            &mut scratch,
+        )?;
         epoch_losses.push(report.mean_loss);
     }
 

@@ -105,8 +105,18 @@ pub fn run_sequence(
     };
     let mut rng = ncl_tensor::Rng::seed_from_u64(config.seed ^ 0x5E0);
     let refs = phases::sample_refs(&pre_train_set);
+    // One arena set reused across the pre-training epochs and every
+    // increment's CL epochs (reshaped automatically at the stage switch).
+    let mut scratch = trainer::TrainScratch::new();
     for _ in 0..config.pretrain_epochs {
-        trainer::train_epoch(&mut network, &refs, &mut optimizer, &options, &mut rng)?;
+        trainer::train_epoch_with(
+            &mut network,
+            &refs,
+            &mut optimizer,
+            &options,
+            &mut rng,
+            &mut scratch,
+        )?;
     }
     let pretrain_acc = trainer::evaluate(
         &network,
@@ -164,8 +174,14 @@ pub fn run_sequence(
 
         let trained_params = network.trainable_params(config.insertion_layer)? as u64;
         for _ in 0..config.cl_epochs {
-            let report =
-                trainer::train_epoch(&mut network, &train_set, &mut optimizer, &options, &mut rng)?;
+            let report = trainer::train_epoch_with(
+                &mut network,
+                &train_set,
+                &mut optimizer,
+                &options,
+                &mut rng,
+                &mut scratch,
+            )?;
             total_ops += anew_ops;
             if let Some(activity) = &report.activity {
                 total_ops += OpCounts::training(activity, config.network.recurrent, trained_params);

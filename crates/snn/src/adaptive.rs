@@ -139,12 +139,27 @@ pub struct ThresholdSchedule {
 }
 
 impl ThresholdSchedule {
+    /// An empty schedule, for use as a reusable buffer with
+    /// [`ThresholdSchedule::constant_into`] /
+    /// [`ThresholdSchedule::adaptive_into`].
+    #[must_use]
+    pub fn empty() -> Self {
+        ThresholdSchedule { values: Vec::new() }
+    }
+
     /// A constant schedule (the pre-training / SpikingLR setting).
     #[must_use]
     pub fn constant(v_threshold: f32, steps: usize) -> Self {
-        ThresholdSchedule {
-            values: vec![v_threshold; steps],
-        }
+        let mut s = ThresholdSchedule::empty();
+        s.constant_into(v_threshold, steps);
+        s
+    }
+
+    /// Rebuilds `self` as a constant schedule in place, reusing the
+    /// allocation (the per-sample path of the training arenas).
+    pub fn constant_into(&mut self, v_threshold: f32, steps: usize) {
+        self.values.clear();
+        self.values.resize(steps, v_threshold);
     }
 
     /// The Alg. 1 adaptive schedule derived from the spike timing of
@@ -154,9 +169,28 @@ impl ThresholdSchedule {
     ///
     /// Returns [`SnnError::InvalidConfig`] if the policy is invalid.
     pub fn adaptive(input: &SpikeRaster, policy: &AdaptivePolicy) -> Result<Self, SnnError> {
+        let mut s = ThresholdSchedule::empty();
+        s.adaptive_into(input, policy)?;
+        Ok(s)
+    }
+
+    /// Rebuilds `self` as the Alg. 1 adaptive schedule in place, reusing
+    /// the allocation. Produces exactly the values of
+    /// [`ThresholdSchedule::adaptive`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if the policy is invalid.
+    pub fn adaptive_into(
+        &mut self,
+        input: &SpikeRaster,
+        policy: &AdaptivePolicy,
+    ) -> Result<(), SnnError> {
         policy.validate()?;
         let steps = input.steps();
-        let mut values = Vec::with_capacity(steps);
+        let values = &mut self.values;
+        values.clear();
+        values.reserve(steps);
         let mut current = policy.base;
         for t in 0..steps {
             match policy.variant {
@@ -185,7 +219,7 @@ impl ThresholdSchedule {
             }
             values.push(current);
         }
-        Ok(ThresholdSchedule { values })
+        Ok(())
     }
 
     /// Number of timesteps covered.
@@ -248,9 +282,31 @@ impl ThresholdMode {
         input: &SpikeRaster,
         base: f32,
     ) -> Result<ThresholdSchedule, SnnError> {
+        let mut out = ThresholdSchedule::empty();
+        self.schedule_into(input, base, &mut out)?;
+        Ok(out)
+    }
+
+    /// In-place variant of [`ThresholdMode::schedule_for`]: rebuilds `out`
+    /// for this raster, reusing its allocation (zero-allocation training
+    /// hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if an adaptive policy is
+    /// invalid.
+    pub fn schedule_into(
+        &self,
+        input: &SpikeRaster,
+        base: f32,
+        out: &mut ThresholdSchedule,
+    ) -> Result<(), SnnError> {
         match self {
-            ThresholdMode::Constant => Ok(ThresholdSchedule::constant(base, input.steps())),
-            ThresholdMode::Adaptive(policy) => ThresholdSchedule::adaptive(input, policy),
+            ThresholdMode::Constant => {
+                out.constant_into(base, input.steps());
+                Ok(())
+            }
+            ThresholdMode::Adaptive(policy) => out.adaptive_into(input, policy),
         }
     }
 }

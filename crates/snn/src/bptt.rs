@@ -108,6 +108,51 @@ impl Gradients {
         Ok(())
     }
 
+    /// Resets every gradient to zero in place, reusing the allocation —
+    /// the arena counterpart of [`Gradients::zeros`] (a freshly-zeroed
+    /// arena and a fresh `zeros` allocation are indistinguishable to every
+    /// consumer, which is what keeps the arena path bit-identical).
+    pub fn zero_fill(&mut self) {
+        for l in &mut self.layers {
+            l.w_ff.fill_zero();
+            if let Some(w) = &mut l.w_rec {
+                w.fill_zero();
+            }
+            l.bias.iter_mut().for_each(|v| *v = 0.0);
+        }
+        self.readout_w.fill_zero();
+        self.readout_bias.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Whether this gradient set matches the trainable portion of `net`
+    /// from `from_stage` (shape and stage), i.e. whether it can be reused
+    /// as an accumulator for that training phase.
+    #[must_use]
+    pub fn matches(&self, net: &Network, from_stage: usize) -> bool {
+        if self.from_stage != from_stage
+            || from_stage > net.layers()
+            || self.layers.len() != net.layers() - from_stage
+        {
+            return false;
+        }
+        let layers_match = self.layers.iter().enumerate().all(|(i, lg)| {
+            let l = net.layer(from_stage + i);
+            let rec_match = match (&lg.w_rec, l.w_rec()) {
+                (Some(a), Some(b)) => a.rows() == b.rows() && a.cols() == b.cols(),
+                (None, None) => true,
+                _ => false,
+            };
+            lg.w_ff.rows() == l.w_ff().rows()
+                && lg.w_ff.cols() == l.w_ff().cols()
+                && rec_match
+                && lg.bias.len() == l.neurons()
+        });
+        layers_match
+            && self.readout_w.rows() == net.readout().w().rows()
+            && self.readout_w.cols() == net.readout().w().cols()
+            && self.readout_bias.len() == net.readout().outputs()
+    }
+
     /// Scales every gradient by `factor` (e.g. `1/batch`).
     pub fn scale(&mut self, factor: f32) {
         for l in &mut self.layers {
@@ -122,8 +167,10 @@ impl Gradients {
     }
 
     /// Visits every gradient slice in the same fixed order as
-    /// [`Network::visit_trainable_mut`].
-    pub fn visit(&self, mut f: impl FnMut(&[f32])) {
+    /// [`Network::visit_trainable_mut`]. The slices borrow from `self`, so
+    /// callers may collect them (the optimizer does, to walk gradients and
+    /// parameters in lockstep without copying).
+    pub fn visit<'a>(&'a self, mut f: impl FnMut(&'a [f32])) {
         for l in &self.layers {
             f(l.w_ff.as_slice());
             if let Some(w) = &l.w_rec {
@@ -144,8 +191,58 @@ impl Gradients {
     }
 }
 
+/// Reusable scratch vectors of the backward pass: the time-major
+/// spike-credit planes (`g_s`) and every per-timestep row buffer. One
+/// scratch per training worker lives for a whole epoch, so the
+/// steady-state backward path performs no heap allocation per sample —
+/// at paper scale the `g_s` planes alone are several hundred kilobytes
+/// per sample on the allocating path.
+#[derive(Debug, Default, Clone)]
+pub struct BpttScratch {
+    /// Ping/pong spike-credit planes (`g_s`, time-major `[t * n + i]`).
+    gs_a: Vec<f32>,
+    gs_b: Vec<f32>,
+    /// Loss gradient w.r.t. the logits.
+    dlogits: Vec<f32>,
+    /// Readout membrane credit per timestep.
+    du: Vec<f32>,
+    /// `W · du` row buffer.
+    gs_row: Vec<f32>,
+    /// Next-timestep membrane credit (`g_v[t+1]`).
+    gv_next: Vec<f32>,
+    /// Input-current credit (`dI[t]`).
+    di: Vec<f32>,
+    /// `W_rec · dI` row buffer.
+    rec_row: Vec<f32>,
+    /// `W_ff · dI` row buffer.
+    below_row: Vec<f32>,
+    /// Per-timestep reset-carry factors (`0` for fired neurons, `β`
+    /// otherwise), materialized so the credit loop is branchless and
+    /// autovectorizes (its divisions dominate backward at small widths).
+    carry_row: Vec<f32>,
+}
+
+impl BpttScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        BpttScratch::default()
+    }
+}
+
+/// Clears `buf` and resizes it to `len` zeros, reusing the allocation.
+#[inline]
+fn zeroed(buf: &mut Vec<f32>, len: usize) {
+    buf.clear();
+    buf.resize(len, 0.0);
+}
+
 /// Runs the backward pass for one recorded sample, returning the loss and
 /// the gradients of all trainable parameters.
+///
+/// This is a thin wrapper over [`backward_into`] with a freshly-zeroed
+/// accumulator and transient scratch; the training hot path calls
+/// [`backward_into`] directly with reused arenas.
 ///
 /// # Errors
 ///
@@ -156,6 +253,39 @@ pub fn backward(
     history: &History,
     target: usize,
 ) -> Result<(f32, Gradients), SnnError> {
+    let mut grads = Gradients::zeros(net, history.from_stage)?;
+    let mut scratch = BpttScratch::new();
+    let loss = backward_into(net, history, target, &mut grads, &mut scratch)?;
+    Ok((loss, grads))
+}
+
+/// Runs the backward pass for one recorded sample, scattering every
+/// parameter gradient **into** the caller-owned accumulator `grads`
+/// (`grads += dL/dθ`) and returning the loss.
+///
+/// The per-sample parameter updates are sparse `rows_add`s on active rows
+/// (driven directly by the raster's packed `step_words`, no index
+/// gathering), so accumulating into a shared arena costs O(activity) per
+/// sample instead of the O(params) `Gradients::zeros` + dense
+/// `accumulate` of the allocating path. On a zeroed accumulator the
+/// result is bit-identical to [`backward`] — it *is* [`backward`]'s
+/// implementation.
+///
+/// `scratch` provides the BPTT working vectors and is reused across
+/// calls; contents are overwritten.
+///
+/// # Errors
+///
+/// Returns [`SnnError::ShapeMismatch`] if `target` is out of range, the
+/// history does not match the network, or `grads` was built for a
+/// different stage split or architecture.
+pub fn backward_into(
+    net: &Network,
+    history: &History,
+    target: usize,
+    grads: &mut Gradients,
+    scratch: &mut BpttScratch,
+) -> Result<f32, SnnError> {
     let from_stage = history.from_stage;
     let exec_layers = net.layers() - from_stage;
     if history.layer_spikes.len() != exec_layers {
@@ -165,9 +295,16 @@ pub fn backward(
             actual: history.layer_spikes.len(),
         });
     }
+    if !grads.matches(net, from_stage) {
+        return Err(SnnError::ShapeMismatch {
+            op: "bptt::backward_into",
+            expected: exec_layers,
+            actual: grads.layers.len(),
+        });
+    }
     let steps = history.steps;
-    let (loss, dlogits) = loss::cross_entropy(&history.logits, target)?;
-    let mut grads = Gradients::zeros(net, from_stage)?;
+    let loss = loss::cross_entropy_into(&history.logits, target, &mut scratch.dlogits)?;
+    let dlogits = &scratch.dlogits;
 
     // ---- Readout backward -------------------------------------------------
     // u[t] = beta_r * u[t-1] + W^T s[t] + b; logits = mean_t u[t].
@@ -184,28 +321,30 @@ pub fn backward(
 
     // g_s for the last hidden stage, time-major [t * n + i].
     let last_n = last_spikes.neurons();
-    let mut gs_last = vec![0.0f32; last_n * steps];
+    zeroed(&mut scratch.gs_a, last_n * steps);
+    let mut above_is_a = true;
 
-    let mut du = vec![0.0f32; outputs];
-    let mut active_scratch: Vec<usize> = Vec::new();
-    let mut gs_row = vec![0.0f32; last_n];
+    zeroed(&mut scratch.du, outputs);
+    zeroed(&mut scratch.gs_row, last_n);
     for t in (0..steps).rev() {
-        for (j, d) in du.iter_mut().enumerate() {
+        for (j, d) in scratch.du.iter_mut().enumerate() {
             *d = dlogits[j] * inv_t + beta_r * *d;
         }
-        active_scratch.clear();
-        active_scratch.extend(last_spikes.active_at(t));
-        ops::rows_add(&mut grads.readout_w, &active_scratch, &du, 1.0)?;
-        ops::axpy(1.0, &du, &mut grads.readout_bias)?;
+        ops::rows_add_masked(
+            &mut grads.readout_w,
+            last_spikes.step_words(t),
+            &scratch.du,
+            1.0,
+        )?;
+        ops::axpy(1.0, &scratch.du, &mut grads.readout_bias)?;
         // g_s[t] += W · du  (row i of W dot du).
-        ops::gemv(readout.w(), &du, &mut gs_row)?;
-        for (i, g) in gs_row.iter().enumerate() {
-            gs_last[t * last_n + i] += g;
+        ops::gemv(readout.w(), &scratch.du, &mut scratch.gs_row)?;
+        for (i, g) in scratch.gs_row.iter().enumerate() {
+            scratch.gs_a[t * last_n + i] += g;
         }
     }
 
     // ---- Hidden layers, top to bottom -------------------------------------
-    let mut gs_above = gs_last; // g_s of the layer currently being processed
     for li in (0..exec_layers).rev() {
         let layer = net.layer(from_stage + li);
         let n = layer.neurons();
@@ -221,59 +360,73 @@ pub fn backward(
         let beta = layer.lif().beta;
         let lg = &mut grads.layers[li];
 
-        // g_s of the layer below, filled while walking backward.
-        let need_below = li > 0;
-        let mut gs_below = if need_below {
-            vec![0.0f32; pre_n * steps]
+        // g_s of the current layer (filled above) and of the layer below
+        // (filled while walking backward), ping-ponged between the two
+        // scratch planes.
+        let (gs_above, gs_below) = if above_is_a {
+            (&mut scratch.gs_a, &mut scratch.gs_b)
         } else {
-            Vec::new()
+            (&mut scratch.gs_b, &mut scratch.gs_a)
         };
+        let need_below = li > 0;
+        zeroed(gs_below, if need_below { pre_n * steps } else { 0 });
 
-        let mut gv_next = vec![0.0f32; n];
-        let mut di = vec![0.0f32; n];
-        let mut rec_row = vec![0.0f32; n];
-        let mut below_row = vec![0.0f32; pre_n];
+        zeroed(&mut scratch.gv_next, n);
+        zeroed(&mut scratch.di, n);
+        zeroed(&mut scratch.rec_row, n);
+        zeroed(&mut scratch.below_row, pre_n);
+        let di = &mut scratch.di;
 
         for t in (0..steps).rev() {
             let theta = history.thresholds[t];
             let vrow = &membranes[t * n..(t + 1) * n];
-            for j in 0..n {
-                let fired = spikes.get(j, t);
-                let surr = surrogate.grad(vrow[j] - theta);
-                let carry = if fired { 0.0 } else { beta };
-                let gv = gs_above[t * n + j] * surr + carry * gv_next[j];
-                di[j] = gv;
-                gv_next[j] = gv;
+            let gs_row_t = &gs_above[t * n..(t + 1) * n];
+            // Materialize the reset-detach carry factors from the packed
+            // spike words (sparse: fill β, zero the fired neurons), so the
+            // credit loop below is pure branch-free elementwise math —
+            // same per-element operations, same bits, but the divisions
+            // inside the surrogate autovectorize.
+            scratch.carry_row.clear();
+            scratch.carry_row.resize(n, beta);
+            for j in spikes.active_at(t) {
+                scratch.carry_row[j] = 0.0;
             }
-            // Parameter gradients.
-            ops::axpy(1.0, &di, &mut lg.bias)?;
-            active_scratch.clear();
-            active_scratch.extend(pre_raster.active_at(t));
-            ops::rows_add(&mut lg.w_ff, &active_scratch, &di, 1.0)?;
+            for (((dij, gvj), (&vj, &gsj)), &carry) in di
+                .iter_mut()
+                .zip(scratch.gv_next.iter_mut())
+                .zip(vrow.iter().zip(gs_row_t.iter()))
+                .zip(scratch.carry_row.iter())
+            {
+                let surr = surrogate.grad(vj - theta);
+                let gv = gsj * surr + carry * *gvj;
+                *dij = gv;
+                *gvj = gv;
+            }
+            // Parameter gradients, scattered straight into the arena.
+            ops::axpy(1.0, di, &mut lg.bias)?;
+            ops::rows_add_masked(&mut lg.w_ff, pre_raster.step_words(t), di, 1.0)?;
             if let (Some(w_rec_grad), Some(w_rec)) = (lg.w_rec.as_mut(), layer.w_rec()) {
                 if t >= 1 {
-                    active_scratch.clear();
-                    active_scratch.extend(spikes.active_at(t - 1));
-                    ops::rows_add(w_rec_grad, &active_scratch, &di, 1.0)?;
+                    ops::rows_add_masked(w_rec_grad, spikes.step_words(t - 1), di, 1.0)?;
                     // Recurrent credit: g_s[t-1] += W_rec · dI[t].
-                    ops::gemv(w_rec, &di, &mut rec_row)?;
-                    for (k, g) in rec_row.iter().enumerate() {
+                    ops::gemv(w_rec, di, &mut scratch.rec_row)?;
+                    for (k, g) in scratch.rec_row.iter().enumerate() {
                         gs_above[(t - 1) * n + k] += g;
                     }
                 }
             }
             // Credit to the layer below: g_s_below[t] += W_ff · dI[t].
             if need_below {
-                ops::gemv(layer.w_ff(), &di, &mut below_row)?;
-                for (i, g) in below_row.iter().enumerate() {
+                ops::gemv(layer.w_ff(), di, &mut scratch.below_row)?;
+                for (i, g) in scratch.below_row.iter().enumerate() {
                     gs_below[t * pre_n + i] += g;
                 }
             }
         }
-        gs_above = gs_below;
+        above_is_a = !above_is_a;
     }
 
-    Ok((loss, grads))
+    Ok(loss)
 }
 
 #[cfg(test)]

@@ -170,23 +170,45 @@ impl RecurrentLifLayer {
         current: &[f32],
         threshold: f32,
         v: &mut [f32],
-        mut v_pre_out: Option<&mut [f32]>,
+        v_pre_out: Option<&mut [f32]>,
         spikes_out: &mut Vec<usize>,
     ) {
         debug_assert_eq!(current.len(), self.neurons());
         debug_assert_eq!(v.len(), self.neurons());
         let beta = self.lif.beta;
         spikes_out.clear();
-        for j in 0..v.len() {
-            let v_pre = beta * v[j] + current[j];
-            if let Some(out) = v_pre_out.as_deref_mut() {
-                out[j] = v_pre;
+        // Two zipped loops (with and without the pre-reset tap) instead of
+        // one indexed loop with a per-element branch: identical per-element
+        // arithmetic, no bounds checks in the hot path.
+        match v_pre_out {
+            Some(out) => {
+                debug_assert_eq!(out.len(), self.neurons());
+                for (j, ((vj, &cj), oj)) in v
+                    .iter_mut()
+                    .zip(current.iter())
+                    .zip(out.iter_mut())
+                    .enumerate()
+                {
+                    let v_pre = beta * *vj + cj;
+                    *oj = v_pre;
+                    if v_pre > threshold {
+                        spikes_out.push(j);
+                        *vj = 0.0; // hard reset
+                    } else {
+                        *vj = v_pre;
+                    }
+                }
             }
-            if v_pre > threshold {
-                spikes_out.push(j);
-                v[j] = 0.0; // hard reset
-            } else {
-                v[j] = v_pre;
+            None => {
+                for (j, (vj, &cj)) in v.iter_mut().zip(current.iter()).enumerate() {
+                    let v_pre = beta * *vj + cj;
+                    if v_pre > threshold {
+                        spikes_out.push(j);
+                        *vj = 0.0; // hard reset
+                    } else {
+                        *vj = v_pre;
+                    }
+                }
             }
         }
     }

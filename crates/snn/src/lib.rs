@@ -65,6 +65,8 @@ pub mod surrogate;
 pub mod trainer;
 
 pub use adaptive::{AdaptivePolicy, ThresholdMode, ThresholdSchedule};
+pub use bptt::{BpttScratch, Gradients};
 pub use config::{LifConfig, NetworkConfig, ReadoutConfig};
 pub use error::SnnError;
-pub use network::{ForwardActivity, History, Network, StageActivity};
+pub use network::{ForwardActivity, ForwardScratch, History, Network, StageActivity};
+pub use trainer::{EpochReport, TrainOptions, TrainScratch};

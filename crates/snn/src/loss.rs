@@ -24,6 +24,24 @@ use crate::error::SnnError;
 /// # }
 /// ```
 pub fn cross_entropy(logits: &[f32], target: usize) -> Result<(f32, Vec<f32>), SnnError> {
+    let mut grad = Vec::new();
+    let loss = cross_entropy_into(logits, target, &mut grad)?;
+    Ok((loss, grad))
+}
+
+/// In-place variant of [`cross_entropy`]: writes the logit gradient into
+/// `grad` (cleared and resized, reusing its allocation) and returns the
+/// loss. Produces exactly the values of [`cross_entropy`]; this is the
+/// per-sample path of the zero-allocation training arenas.
+///
+/// # Errors
+///
+/// Same conditions as [`cross_entropy`].
+pub fn cross_entropy_into(
+    logits: &[f32],
+    target: usize,
+    grad: &mut Vec<f32>,
+) -> Result<f32, SnnError> {
     if logits.is_empty() {
         return Err(SnnError::ShapeMismatch {
             op: "cross_entropy",
@@ -38,12 +56,12 @@ pub fn cross_entropy(logits: &[f32], target: usize) -> Result<(f32, Vec<f32>), S
             actual: target,
         });
     }
-    let mut probs = vec![0.0f32; logits.len()];
-    ops::softmax(logits, &mut probs).map_err(SnnError::from)?;
-    let loss = -(probs[target].max(1e-12)).ln();
-    let mut grad = probs;
+    grad.clear();
+    grad.resize(logits.len(), 0.0);
+    ops::softmax(logits, grad).map_err(SnnError::from)?;
+    let loss = -(grad[target].max(1e-12)).ln();
     grad[target] -= 1.0;
-    Ok((loss, grad))
+    Ok(loss)
 }
 
 #[cfg(test)]

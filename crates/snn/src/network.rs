@@ -121,6 +121,87 @@ pub struct History {
     pub activity: ForwardActivity,
 }
 
+impl History {
+    /// An empty history, for use as a reusable recording buffer with
+    /// [`Network::record_from_into`]. Every buffer inside is reshaped (not
+    /// reallocated, once warm) on each recording.
+    #[must_use]
+    pub fn empty() -> Self {
+        History {
+            from_stage: 0,
+            steps: 0,
+            input: SpikeRaster::new(0, 0),
+            layer_spikes: Vec::new(),
+            layer_membranes: Vec::new(),
+            thresholds: Vec::new(),
+            logits: Vec::new(),
+            activity: ForwardActivity {
+                stages: Vec::new(),
+                readout_in_spikes: 0,
+                steps: 0,
+                outputs: 0,
+            },
+        }
+    }
+}
+
+/// Reusable working buffers of one recorded forward pass: membrane state,
+/// active-spike index lists and readout integrators. One scratch per
+/// training worker lives for a whole epoch, so the steady-state recording
+/// path performs no heap allocation per sample.
+#[derive(Debug, Default, Clone)]
+pub struct ForwardScratch {
+    /// Post-reset membrane potentials per executed layer.
+    v: Vec<Vec<f32>>,
+    /// Previous-step spike indices per executed layer (recurrence input).
+    prev_active: Vec<Vec<usize>>,
+    /// Spiking indices emitted by the current layer step.
+    spikes: Vec<usize>,
+    /// Input currents of the widest executed layer.
+    current: Vec<f32>,
+    /// Readout membrane.
+    u: Vec<f32>,
+    /// Readout membrane accumulated over time (mean = logits).
+    logit_acc: Vec<f32>,
+    /// Active-spike indices entering the current layer.
+    active: Vec<usize>,
+}
+
+impl ForwardScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        ForwardScratch::default()
+    }
+
+    /// Shapes every buffer for `exec` layers and `outputs` readout units,
+    /// zeroing the state the forward pass reads before writing.
+    fn prepare(&mut self, exec: &[RecurrentLifLayer], outputs: usize) {
+        if self.v.len() != exec.len() {
+            self.v.resize_with(exec.len(), Vec::new);
+            self.prev_active.resize_with(exec.len(), Vec::new);
+        }
+        for (buf, layer) in self.v.iter_mut().zip(exec) {
+            buf.clear();
+            buf.resize(layer.neurons(), 0.0);
+        }
+        for pa in &mut self.prev_active {
+            pa.clear();
+        }
+        let max_width = exec.iter().map(|l| l.neurons()).max().unwrap_or(0);
+        // `input_current` overwrites the full slice, so no zeroing needed.
+        if self.current.len() < max_width {
+            self.current.resize(max_width, 0.0);
+        }
+        self.u.clear();
+        self.u.resize(outputs, 0.0);
+        self.logit_acc.clear();
+        self.logit_acc.resize(outputs, 0.0);
+        self.spikes.clear();
+        self.active.clear();
+    }
+}
+
 /// The recurrent spiking network of the paper (Fig. 6).
 ///
 /// # Example
@@ -260,7 +341,7 @@ impl Network {
         input: &SpikeRaster,
         schedule: Option<&ThresholdSchedule>,
     ) -> Result<Vec<f32>, SnnError> {
-        Ok(self.run(from_stage, input, schedule, false)?.0.logits)
+        Ok(self.run(from_stage, input, schedule)?.logits)
     }
 
     /// Like [`Network::forward_from`], returning the spike-activity trace
@@ -275,7 +356,7 @@ impl Network {
         input: &SpikeRaster,
         schedule: Option<&ThresholdSchedule>,
     ) -> Result<(Vec<f32>, ForwardActivity), SnnError> {
-        let (run, _) = self.run(from_stage, input, schedule, false)?;
+        let run = self.run(from_stage, input, schedule)?;
         Ok((run.logits, run.activity))
     }
 
@@ -384,11 +465,108 @@ impl Network {
         input: &SpikeRaster,
         schedule: Option<&ThresholdSchedule>,
     ) -> Result<History, SnnError> {
-        let (run, history) = self.run(from_stage, input, schedule, true)?;
-        let mut history = history.expect("recording was requested");
-        history.logits = run.logits;
-        history.activity = run.activity;
+        let mut history = History::empty();
+        let mut scratch = ForwardScratch::new();
+        self.record_from_into(from_stage, input, schedule, &mut history, &mut scratch)?;
         Ok(history)
+    }
+
+    /// In-place variant of [`Network::record_from`]: records the pass into
+    /// a caller-owned [`History`] using a caller-owned [`ForwardScratch`],
+    /// reusing every buffer inside both. This is the zero-allocation
+    /// training hot path — values written are bit-identical to
+    /// [`Network::record_from`] (same arithmetic, reused storage), which
+    /// `record_into_matches_record_from` in `tests/properties.rs` enforces.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::forward_from`].
+    pub fn record_from_into(
+        &self,
+        from_stage: usize,
+        input: &SpikeRaster,
+        schedule: Option<&ThresholdSchedule>,
+        history: &mut History,
+        scratch: &mut ForwardScratch,
+    ) -> Result<(), SnnError> {
+        self.check_stage_input(from_stage, input)?;
+        let steps = input.steps();
+        let exec = &self.layers[from_stage..];
+        let outputs = self.readout.outputs();
+
+        // ---- Shape the history in place --------------------------------
+        history.from_stage = from_stage;
+        history.steps = steps;
+        history.input.copy_from(input);
+        history
+            .layer_spikes
+            .resize_with(exec.len(), || SpikeRaster::new(0, 0));
+        history.layer_membranes.resize_with(exec.len(), Vec::new);
+        for (raster, layer) in history.layer_spikes.iter_mut().zip(exec) {
+            raster.reset(layer.neurons(), steps);
+        }
+        for (membranes, layer) in history.layer_membranes.iter_mut().zip(exec) {
+            // Fully overwritten by `membrane_step` below; only resize.
+            membranes.resize(layer.neurons() * steps, 0.0);
+        }
+        history.thresholds.clear();
+        history.activity.stages.clear();
+        for (i, layer) in exec.iter().enumerate() {
+            history.activity.stages.push(StageActivity {
+                stage: from_stage + 1 + i,
+                neurons: layer.neurons(),
+                in_spikes: 0,
+                out_spikes: 0,
+            });
+        }
+        history.activity.readout_in_spikes = 0;
+        history.activity.steps = steps;
+        history.activity.outputs = outputs;
+
+        scratch.prepare(exec, outputs);
+
+        // ---- Timestep loop (mirrors `run`, recording enabled) ----------
+        for t in 0..steps {
+            let threshold = schedule.map_or(self.config.lif.v_threshold, |s| s.value_at(t));
+            history.thresholds.push(threshold);
+            scratch.active.clear();
+            scratch.active.extend(input.active_at(t));
+            for (li, layer) in exec.iter().enumerate() {
+                let n = layer.neurons();
+                history.activity.stages[li].in_spikes += scratch.active.len() as u64;
+                layer.input_current(
+                    &scratch.active,
+                    &scratch.prev_active[li],
+                    &mut scratch.current[..n],
+                );
+                let v_pre = &mut history.layer_membranes[li][t * n..(t + 1) * n];
+                layer.membrane_step(
+                    &scratch.current[..n],
+                    threshold,
+                    &mut scratch.v[li],
+                    Some(v_pre),
+                    &mut scratch.spikes,
+                );
+                for &j in &scratch.spikes {
+                    history.layer_spikes[li].set(j, t, true);
+                }
+                history.activity.stages[li].out_spikes += scratch.spikes.len() as u64;
+                scratch.prev_active[li].clear();
+                scratch.prev_active[li].extend_from_slice(&scratch.spikes);
+                scratch.active.clear();
+                scratch.active.extend_from_slice(&scratch.spikes);
+            }
+            history.activity.readout_in_spikes += scratch.active.len() as u64;
+            self.readout
+                .step(&scratch.active, &mut scratch.u, &mut scratch.logit_acc);
+        }
+
+        let inv_t = 1.0 / steps as f32;
+        history.logits.clear();
+        history
+            .logits
+            .extend(scratch.logit_acc.iter().map(|a| a * inv_t));
+        Ok(())
     }
 
     /// Runs stages `1..=stage` like [`Network::activations_at`], returning
@@ -531,14 +709,13 @@ impl Network {
         Ok(results)
     }
 
-    /// Executes the network from `from_stage`; optionally records history.
+    /// Executes the network from `from_stage` without recording.
     fn run(
         &self,
         from_stage: usize,
         input: &SpikeRaster,
         schedule: Option<&ThresholdSchedule>,
-        record: bool,
-    ) -> Result<(RunOutput, Option<History>), SnnError> {
+    ) -> Result<RunOutput, SnnError> {
         self.check_stage_input(from_stage, input)?;
         let steps = input.steps();
         let exec = &self.layers[from_stage..]; // layers with stage > from_stage
@@ -564,68 +741,28 @@ impl Network {
             })
             .collect();
         let mut readout_in = 0u64;
-
-        let mut history = if record {
-            Some(History {
-                from_stage,
-                steps,
-                input: input.clone(),
-                layer_spikes: exec
-                    .iter()
-                    .map(|l| SpikeRaster::new(l.neurons(), steps))
-                    .collect(),
-                layer_membranes: exec
-                    .iter()
-                    .map(|l| vec![0.0f32; l.neurons() * steps])
-                    .collect(),
-                thresholds: Vec::with_capacity(steps),
-                logits: Vec::new(),
-                activity: ForwardActivity {
-                    stages: Vec::new(),
-                    readout_in_spikes: 0,
-                    steps,
-                    outputs,
-                },
-            })
-        } else {
-            None
-        };
+        let mut active: Vec<usize> = Vec::new();
 
         for t in 0..steps {
             let threshold = schedule.map_or(self.config.lif.v_threshold, |s| s.value_at(t));
-            if let Some(h) = history.as_mut() {
-                h.thresholds.push(threshold);
-            }
-            let mut active: Vec<usize> = input.active_at(t).collect();
+            active.clear();
+            active.extend(input.active_at(t));
             for (li, layer) in exec.iter().enumerate() {
                 let n = layer.neurons();
                 activity[li].in_spikes += active.len() as u64;
                 layer.input_current(&active, &prev_active[li], &mut current[..n]);
-                if let Some(h) = history.as_mut() {
-                    let v_pre = &mut h.layer_membranes[li][t * n..(t + 1) * n];
-                    layer.membrane_step(
-                        &current[..n],
-                        threshold,
-                        &mut v[li],
-                        Some(v_pre),
-                        &mut spikes_scratch,
-                    );
-                    for &j in &spikes_scratch {
-                        h.layer_spikes[li].set(j, t, true);
-                    }
-                } else {
-                    layer.membrane_step(
-                        &current[..n],
-                        threshold,
-                        &mut v[li],
-                        None,
-                        &mut spikes_scratch,
-                    );
-                }
+                layer.membrane_step(
+                    &current[..n],
+                    threshold,
+                    &mut v[li],
+                    None,
+                    &mut spikes_scratch,
+                );
                 activity[li].out_spikes += spikes_scratch.len() as u64;
                 prev_active[li].clear();
                 prev_active[li].extend_from_slice(&spikes_scratch);
-                active = spikes_scratch.clone();
+                active.clear();
+                active.extend_from_slice(&spikes_scratch);
             }
             readout_in += active.len() as u64;
             self.readout.step(&active, &mut u, &mut logit_acc);
@@ -633,18 +770,15 @@ impl Network {
 
         let inv_t = 1.0 / steps as f32;
         let logits: Vec<f32> = logit_acc.iter().map(|a| a * inv_t).collect();
-        Ok((
-            RunOutput {
-                logits,
-                activity: ForwardActivity {
-                    stages: activity,
-                    readout_in_spikes: readout_in,
-                    steps,
-                    outputs,
-                },
+        Ok(RunOutput {
+            logits,
+            activity: ForwardActivity {
+                stages: activity,
+                readout_in_spikes: readout_in,
+                steps,
+                outputs,
             },
-            history,
-        ))
+        })
     }
 
     /// Number of trainable scalar parameters when training from

@@ -112,14 +112,31 @@ impl Optimizer {
     /// Returns [`SnnError::ShapeMismatch`] if the gradient shapes do not
     /// match the network (or a previously-seen parameterization).
     pub fn step(&mut self, net: &mut Network, grads: &Gradients) -> Result<(), SnnError> {
-        let mut slices: Vec<&[f32]> = Vec::new();
-        // SAFETY of ordering: Gradients::visit and visit_trainable_mut use
-        // the same documented order.
-        let mut collected: Vec<Vec<f32>> = Vec::new();
-        grads.visit(|s| collected.push(s.to_vec()));
-        for c in &collected {
-            slices.push(c);
-        }
+        self.step_scaled(net, grads, 1.0)
+    }
+
+    /// Applies one update step of `scale · grads` (scale-at-apply). The
+    /// trainer passes the raw batch-summed gradients with
+    /// `scale = 1/batch`, which removes the O(params) `Gradients::scale`
+    /// sweep per batch; the result is bit-identical to scaling first
+    /// (`g[j] * scale` is rounded once, then used exactly as the
+    /// pre-scaled value was).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::ShapeMismatch`] if the gradient shapes do not
+    /// match the network (or a previously-seen parameterization).
+    pub fn step_scaled(
+        &mut self,
+        net: &mut Network,
+        grads: &Gradients,
+        scale: f32,
+    ) -> Result<(), SnnError> {
+        // Ordering contract: Gradients::visit and visit_trainable_mut use
+        // the same documented slice order, so gradients and parameters can
+        // be walked in lockstep without copying the gradients.
+        let mut slices: Vec<&[f32]> = Vec::with_capacity(16);
+        grads.visit(|s| slices.push(s));
 
         match self {
             Optimizer::Sgd(sgd) => {
@@ -145,12 +162,12 @@ impl Optimizer {
                     let vel = &mut sgd.velocity[idx];
                     if sgd.momentum > 0.0 {
                         for ((p, gv), v) in params.iter_mut().zip(g.iter()).zip(vel.iter_mut()) {
-                            *v = sgd.momentum * *v + gv;
+                            *v = sgd.momentum * *v + gv * scale;
                             *p -= sgd.learning_rate * *v;
                         }
                     } else {
                         for (p, gv) in params.iter_mut().zip(g.iter()) {
-                            *p -= sgd.learning_rate * gv;
+                            *p -= sgd.learning_rate * (gv * scale);
                         }
                     }
                     idx += 1;
@@ -197,13 +214,21 @@ impl Optimizer {
                     let g = slices[idx];
                     let m = &mut adam.m[idx];
                     let v = &mut adam.v[idx];
-                    for j in 0..params.len() {
-                        let gj = g[j];
-                        m[j] = adam.beta1 * m[j] + (1.0 - adam.beta1) * gj;
-                        v[j] = adam.beta2 * v[j] + (1.0 - adam.beta2) * gj * gj;
-                        let m_hat = m[j] / bc1;
-                        let v_hat = v[j] / bc2;
-                        params[j] -= adam.learning_rate * m_hat / (v_hat.sqrt() + adam.epsilon);
+                    // Lockstep zips: no bounds checks in the O(params)
+                    // loop, so the (element-independent, rounding-
+                    // preserving) update autovectorizes.
+                    for (((p, &gr), mj), vj) in params
+                        .iter_mut()
+                        .zip(g.iter())
+                        .zip(m.iter_mut())
+                        .zip(v.iter_mut())
+                    {
+                        let gj = gr * scale;
+                        *mj = adam.beta1 * *mj + (1.0 - adam.beta1) * gj;
+                        *vj = adam.beta2 * *vj + (1.0 - adam.beta2) * gj * gj;
+                        let m_hat = *mj / bc1;
+                        let v_hat = *vj / bc2;
+                        *p -= adam.learning_rate * m_hat / (v_hat.sqrt() + adam.epsilon);
                     }
                     idx += 1;
                 })?;

@@ -147,4 +147,91 @@ proptest! {
             prop_assert_eq!(logits, &net.forward(input).unwrap());
         }
     }
+
+    /// The training hot path records into a reused `History` +
+    /// `ForwardScratch` — the recording must stay bit-identical to a
+    /// fresh `record_from` for ANY sequence of rasters (shapes shrink and
+    /// grow across reuses), the guard against the arena path drifting.
+    #[test]
+    fn record_into_matches_record_from(
+        config in config_strategy(), seed in any::<u64>()
+    ) {
+        let net = Network::new(config.clone()).unwrap();
+        let mut history = ncl_snn::History::empty();
+        let mut scratch = ncl_snn::ForwardScratch::new();
+        // Vary steps across reuses so buffers reshape both ways.
+        for (i, steps) in [12usize, 5, 9].into_iter().enumerate() {
+            let input = raster_for(config.input_size, steps, seed.wrapping_add(i as u64));
+            let fresh = net.record_from(0, &input, None).unwrap();
+            net.record_from_into(0, &input, None, &mut history, &mut scratch).unwrap();
+            prop_assert_eq!(history.from_stage, fresh.from_stage);
+            prop_assert_eq!(history.steps, fresh.steps);
+            prop_assert_eq!(&history.input, &fresh.input);
+            prop_assert_eq!(&history.layer_spikes, &fresh.layer_spikes);
+            prop_assert_eq!(&history.layer_membranes, &fresh.layer_membranes);
+            prop_assert_eq!(&history.thresholds, &fresh.thresholds);
+            prop_assert_eq!(&history.logits, &fresh.logits);
+            prop_assert_eq!(&history.activity, &fresh.activity);
+        }
+    }
+
+    /// `backward_into` on a zero-filled (reused, previously dirty) arena
+    /// must be bit-identical to the allocating `backward` — arena reuse
+    /// may not leak state between samples.
+    #[test]
+    fn backward_into_zeroed_arena_equals_backward(
+        config in config_strategy(), seed in any::<u64>()
+    ) {
+        let net = Network::new(config.clone()).unwrap();
+        let mut arena = bptt::Gradients::zeros(&net, 0).unwrap();
+        let mut scratch = ncl_snn::BpttScratch::new();
+        for i in 0..3u64 {
+            let input = raster_for(config.input_size, 10, seed.wrapping_add(i));
+            let history = net.record_from(0, &input, None).unwrap();
+            let target = (i as usize) % config.output_size;
+            let (loss, fresh) = bptt::backward(&net, &history, target).unwrap();
+            // The arena is dirty from the previous iteration; zero_fill
+            // must restore it to `zeros` exactly.
+            arena.zero_fill();
+            let loss_into =
+                bptt::backward_into(&net, &history, target, &mut arena, &mut scratch).unwrap();
+            prop_assert_eq!(loss_into, loss);
+            let mut a = Vec::new();
+            arena.visit(|s| a.extend_from_slice(s));
+            let mut b = Vec::new();
+            fresh.visit(|s| b.extend_from_slice(s));
+            prop_assert_eq!(a, b, "arena backward must be bit-identical");
+        }
+    }
+
+    /// Accumulating several samples through `backward_into` into one
+    /// shared arena equals the seed-style `backward` + `accumulate` sum.
+    /// The scattered path groups the float additions per timestep instead
+    /// of per sample, so equality is to summation-reordering precision
+    /// (exact up to tiny ulp drift), not bitwise.
+    #[test]
+    fn backward_into_accumulation_matches_backward_plus_accumulate(
+        config in config_strategy(), seed in any::<u64>()
+    ) {
+        let net = Network::new(config.clone()).unwrap();
+        let mut fused = bptt::Gradients::zeros(&net, 0).unwrap();
+        let mut summed = bptt::Gradients::zeros(&net, 0).unwrap();
+        let mut scratch = ncl_snn::BpttScratch::new();
+        for i in 0..3u64 {
+            let input = raster_for(config.input_size, 8, seed.wrapping_add(i));
+            let history = net.record_from(0, &input, None).unwrap();
+            let target = (i as usize) % config.output_size;
+            bptt::backward_into(&net, &history, target, &mut fused, &mut scratch).unwrap();
+            let (_, g) = bptt::backward(&net, &history, target).unwrap();
+            summed.accumulate(&g).unwrap();
+        }
+        let mut a = Vec::new();
+        fused.visit(|s| a.extend_from_slice(s));
+        let mut b = Vec::new();
+        summed.visit(|s| b.extend_from_slice(s));
+        for (x, y) in a.iter().zip(b.iter()) {
+            let tol = 1e-5f32.max(y.abs() * 1e-5);
+            prop_assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
 }

@@ -281,6 +281,34 @@ impl SpikeRaster {
     pub fn payload_bits(&self) -> u64 {
         self.neurons as u64 * self.steps as u64
     }
+
+    /// Clears every spike, keeping shape and allocation. Equivalent to
+    /// `*self = SpikeRaster::new(self.neurons(), self.steps())` without the
+    /// reallocation — the training arenas reuse rasters across samples.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Reshapes `self` into an all-zero `neurons x steps` raster in place,
+    /// reusing the existing word buffer when its capacity suffices (no
+    /// heap traffic once a raster has seen its steady-state shape).
+    pub fn reset(&mut self, neurons: usize, steps: usize) {
+        self.neurons = neurons;
+        self.steps = steps;
+        self.words_per_step = neurons.div_ceil(64);
+        self.words.clear();
+        self.words.resize(self.words_per_step * steps, 0);
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing `self`'s allocation
+    /// when possible (the in-place counterpart of `clone`).
+    pub fn copy_from(&mut self, other: &SpikeRaster) {
+        self.neurons = other.neurons;
+        self.steps = other.steps;
+        self.words_per_step = other.words_per_step;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
 }
 
 /// Iterator over active neuron indices within one timestep.
@@ -429,6 +457,30 @@ mod tests {
             r.set(i, i, true);
         }
         assert!((r.density() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_reset_copy_from_reuse_allocation() {
+        let mut r = SpikeRaster::from_fn(130, 6, |n, t| (n + t) % 7 == 0);
+        assert!(r.total_spikes() > 0);
+        r.clear();
+        assert_eq!(r.total_spikes(), 0);
+        assert_eq!(r.neurons(), 130);
+        assert_eq!(r.steps(), 6);
+
+        // Reset to a smaller shape: equivalent to a fresh raster.
+        r.reset(70, 3);
+        assert_eq!(r, SpikeRaster::new(70, 3));
+        r.set(69, 2, true);
+        // Reset back up: old bits never leak through.
+        r.reset(130, 6);
+        assert_eq!(r, SpikeRaster::new(130, 6));
+
+        // copy_from is an in-place clone.
+        let src = SpikeRaster::from_fn(33, 4, |n, t| n == t * 3);
+        r.copy_from(&src);
+        assert_eq!(r, src);
+        assert_eq!(r.active_at(1).collect::<Vec<_>>(), vec![3]);
     }
 
     #[test]

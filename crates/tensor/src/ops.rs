@@ -2,12 +2,68 @@
 //! accumulation, and elementwise helpers.
 //!
 //! These are the only kernels the SNN training loop needs. They are written
-//! as simple slice loops so the compiler can autovectorize them; on the
-//! network sizes of the paper (≤ 700 wide) this is within a small factor of
-//! a tuned BLAS and keeps the crate dependency-free.
+//! as unrolled slice loops (`chunks_exact` over [`LANES`]-wide blocks) so
+//! the compiler autovectorizes them without bounds checks; on the network
+//! sizes of the paper (≤ 700 wide) this is within a small factor of a tuned
+//! BLAS and keeps the crate dependency-free.
+//!
+//! Determinism note: every elementwise kernel (`axpy`, [`rows_add`],
+//! [`rows_add_masked`], `gemv_t`) performs independent per-element updates,
+//! so unrolling does not change results. The dot-product reduction inside
+//! [`gemv`]/[`gemv_acc`] uses a fixed [`LANES`]-accumulator tree, which is a
+//! *different* (but still fully deterministic) float-summation order than a
+//! strictly sequential loop — the order is part of the kernel contract and
+//! identical on every call, platform and thread count.
 
 use crate::error::TensorError;
 use crate::matrix::Matrix;
+
+/// Unroll width of the vectorized kernels (f32 lanes per block).
+const LANES: usize = 8;
+
+/// Dot product with a fixed 8-lane accumulator tree (the vectorizable
+/// reduction shared by [`gemv`] and [`gemv_acc`]).
+#[inline]
+fn dot_unrolled(row: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(row.len(), x.len());
+    let split = row.len() - row.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for (rc, xc) in row[..split]
+        .chunks_exact(LANES)
+        .zip(x[..split].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            acc[l] += rc[l] * xc[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (w, xv) in row[split..].iter().zip(x[split..].iter()) {
+        tail += w * xv;
+    }
+    let a = (acc[0] + acc[4]) + (acc[2] + acc[6]);
+    let b = (acc[1] + acc[5]) + (acc[3] + acc[7]);
+    (a + b) + tail
+}
+
+/// `y += alpha · x`, unrolled; the elementwise core of [`axpy`],
+/// [`rows_add`], [`rows_add_masked`] and `gemv_t` (identical rounding in
+/// all of them: one `mul` + one `add` per element).
+#[inline]
+fn add_scaled(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let split = y.len() - y.len() % LANES;
+    for (yc, xc) in y[..split]
+        .chunks_exact_mut(LANES)
+        .zip(x[..split].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            yc[l] += alpha * xc[l];
+        }
+    }
+    for (yv, xv) in y[split..].iter_mut().zip(x[split..].iter()) {
+        *yv += alpha * xv;
+    }
+}
 
 /// `y = A·x` (matrix-vector product).
 ///
@@ -31,12 +87,7 @@ use crate::matrix::Matrix;
 pub fn gemv(a: &Matrix, x: &[f32], y: &mut [f32]) -> Result<(), TensorError> {
     check_gemv("gemv", a, x.len(), y.len())?;
     for (r, out) in y.iter_mut().enumerate() {
-        let row = a.row(r);
-        let mut acc = 0.0f32;
-        for (w, xv) in row.iter().zip(x.iter()) {
-            acc += w * xv;
-        }
-        *out = acc;
+        *out = dot_unrolled(a.row(r), x);
     }
     Ok(())
 }
@@ -49,12 +100,7 @@ pub fn gemv(a: &Matrix, x: &[f32], y: &mut [f32]) -> Result<(), TensorError> {
 pub fn gemv_acc(a: &Matrix, x: &[f32], y: &mut [f32]) -> Result<(), TensorError> {
     check_gemv("gemv_acc", a, x.len(), y.len())?;
     for (r, out) in y.iter_mut().enumerate() {
-        let row = a.row(r);
-        let mut acc = 0.0f32;
-        for (w, xv) in row.iter().zip(x.iter()) {
-            acc += w * xv;
-        }
-        *out += acc;
+        *out += dot_unrolled(a.row(r), x);
     }
     Ok(())
 }
@@ -79,10 +125,7 @@ pub fn gemv_t(a: &Matrix, x: &[f32], y: &mut [f32]) -> Result<(), TensorError> {
         if xv == 0.0 {
             continue; // rows gated by zero activations contribute nothing
         }
-        let row = a.row(r);
-        for (out, w) in y.iter_mut().zip(row.iter()) {
-            *out += xv * w;
-        }
+        add_scaled(xv, a.row(r), y);
     }
     Ok(())
 }
@@ -108,10 +151,7 @@ pub fn outer_acc(a: &mut Matrix, d: &[f32], x: &[f32], alpha: f32) -> Result<(),
         if s == 0.0 {
             continue;
         }
-        let row = a.row_mut(r);
-        for (w, xv) in row.iter_mut().zip(x.iter()) {
-            *w += s * xv;
-        }
+        add_scaled(s, x, a.row_mut(r));
     }
     Ok(())
 }
@@ -186,9 +226,56 @@ pub fn rows_add(a: &mut Matrix, rows: &[usize], x: &[f32], alpha: f32) -> Result
         });
     }
     for &r in rows {
-        let row = a.row_mut(r);
-        for (w, xv) in row.iter_mut().zip(x.iter()) {
-            *w += alpha * xv;
+        add_scaled(alpha, x, a.row_mut(r));
+    }
+    Ok(())
+}
+
+/// Bitmask-driven variant of [`rows_add`]: `A[r, :] += alpha·x` for every
+/// set bit `r` of `mask` (a little-endian packed row set, e.g. one
+/// timestep's `SpikeRaster::step_words`). Rows are visited in ascending
+/// bit order — exactly the order [`rows_add`] sees from a sorted index
+/// list — so the two kernels are bit-identical on equivalent inputs; this
+/// one just skips materializing the index list.
+///
+/// Trailing mask bits beyond `A.rows()` are rejected, not ignored.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x.len() != A.cols()` or any
+/// set bit indexes a row `>= A.rows()`.
+pub fn rows_add_masked(
+    a: &mut Matrix,
+    mask: &[u64],
+    x: &[f32],
+    alpha: f32,
+) -> Result<(), TensorError> {
+    if x.len() != a.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "rows_add_masked",
+            expected: format!("x: {}", a.cols()),
+            actual: format!("x: {}", x.len()),
+        });
+    }
+    let nrows = a.rows();
+    // Validate before mutating: the highest set bit must be a valid row.
+    if let Some((wi, &word)) = mask.iter().enumerate().rev().find(|(_, w)| **w != 0) {
+        let highest = wi * 64 + (63 - word.leading_zeros() as usize);
+        if highest >= nrows {
+            return Err(TensorError::ShapeMismatch {
+                op: "rows_add_masked",
+                expected: format!("row < {nrows}"),
+                actual: format!("row {highest}"),
+            });
+        }
+    }
+    for (wi, &word) in mask.iter().enumerate() {
+        let mut bits = word;
+        let base = wi * 64;
+        while bits != 0 {
+            let r = base + bits.trailing_zeros() as usize;
+            bits &= bits - 1; // clear lowest set bit
+            add_scaled(alpha, x, a.row_mut(r));
         }
     }
     Ok(())
@@ -207,9 +294,7 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) -> Result<(), TensorError> {
             actual: format!("{}", x.len()),
         });
     }
-    for (yv, xv) in y.iter_mut().zip(x.iter()) {
-        *yv += alpha * xv;
-    }
+    add_scaled(alpha, x, y);
     Ok(())
 }
 
@@ -369,6 +454,83 @@ mod tests {
         // Repeated rows accumulate twice.
         rows_add(&mut a, &[1, 1], &[1.0, 1.0], 1.0).unwrap();
         assert_eq!(a.row(1), &[2.0, 2.0]);
+    }
+
+    /// Packs sorted row indices into the little-endian word mask
+    /// `rows_add_masked` consumes.
+    fn pack_mask(rows: &[usize], words: usize) -> Vec<u64> {
+        let mut mask = vec![0u64; words];
+        for &r in rows {
+            mask[r / 64] |= 1u64 << (r % 64);
+        }
+        mask
+    }
+
+    #[test]
+    fn rows_add_masked_matches_rows_add_bitwise() {
+        // Rows straddling word boundaries, irregular column count, and
+        // non-trivial float values: the masked walk must reproduce the
+        // gathered-index kernel exactly.
+        let mut rng_state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let rows = 130usize;
+        let cols = 11usize;
+        let base = Matrix::from_fn(rows, cols, |_, _| next());
+        let x: Vec<f32> = (0..cols).map(|_| next()).collect();
+        let active = [0usize, 1, 63, 64, 65, 100, 127, 128, 129];
+
+        let mut gathered = base.clone();
+        rows_add(&mut gathered, &active, &x, 0.37).unwrap();
+        let mut masked = base;
+        rows_add_masked(&mut masked, &pack_mask(&active, 3), &x, 0.37).unwrap();
+        assert_eq!(gathered, masked, "bit-identical across kernels");
+    }
+
+    #[test]
+    fn rows_add_masked_empty_mask_is_noop() {
+        let mut a = Matrix::filled(4, 2, 7.0);
+        rows_add_masked(&mut a, &[0, 0], &[1.0, 1.0], 1.0).unwrap();
+        rows_add_masked(&mut a, &[], &[1.0, 1.0], 1.0).unwrap();
+        assert_eq!(a, Matrix::filled(4, 2, 7.0));
+    }
+
+    #[test]
+    fn rows_add_masked_errors() {
+        let mut a = Matrix::zeros(4, 2);
+        // Wrong x width.
+        assert!(rows_add_masked(&mut a, &[0b1], &[1.0], 1.0).is_err());
+        // Set bit beyond the row count is rejected before any mutation.
+        let before = a.clone();
+        assert!(rows_add_masked(&mut a, &[0b1_0001], &[1.0, 1.0], 1.0).is_err());
+        assert_eq!(a, before, "validation happens before mutation");
+    }
+
+    #[test]
+    fn gemv_unrolled_matches_f64_reference() {
+        // A length crossing several unroll blocks plus a ragged tail.
+        let cols = 83;
+        let a = Matrix::from_fn(3, cols, |r, c| ((r * cols + c) as f32).sin());
+        let x: Vec<f32> = (0..cols).map(|c| ((c as f32) * 0.37).cos()).collect();
+        let mut y = vec![0.0f32; 3];
+        gemv(&a, &x, &mut y).unwrap();
+        for (r, got) in y.iter().enumerate() {
+            let want: f64 = a
+                .row(r)
+                .iter()
+                .zip(x.iter())
+                .map(|(w, xv)| f64::from(*w) * f64::from(*xv))
+                .sum();
+            assert!((f64::from(*got) - want).abs() < 1e-4, "row {r}");
+        }
+        // gemv_acc adds the same reduction on top.
+        let mut y2 = vec![1.0f32; 3];
+        gemv_acc(&a, &x, &mut y2).unwrap();
+        for (acc, plain) in y2.iter().zip(y.iter()) {
+            assert!((acc - plain - 1.0).abs() < 1e-6);
+        }
     }
 
     #[test]

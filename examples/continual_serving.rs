@@ -115,9 +115,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut train_set: Vec<(&SpikeRaster, u16)> = Vec::new();
     train_set.extend(new_samples.iter().map(|(r, l)| (r, *l)));
     train_set.extend(replay_samples.iter().map(|(r, l)| (r, *l)));
+    let mut scratch = trainer::TrainScratch::new();
     for epoch in 0..config.cl_epochs {
-        let ep =
-            trainer::train_epoch(&mut updated, &train_set, &mut optimizer, &options, &mut rng)?;
+        let ep = trainer::train_epoch_with(
+            &mut updated,
+            &train_set,
+            &mut optimizer,
+            &options,
+            &mut rng,
+            &mut scratch,
+        )?;
         if epoch % 4 == 0 || epoch + 1 == config.cl_epochs {
             println!("  CL epoch {epoch}: mean loss {:.4}", ep.mean_loss);
         }

@@ -113,9 +113,17 @@ fn training_on_replayed_activations_reduces_loss() {
     };
     let mut train_rng = Rng::seed_from_u64(11);
     let mut losses = Vec::new();
+    let mut scratch = trainer::TrainScratch::new();
     for _ in 0..8 {
-        let report =
-            trainer::train_epoch(&mut net, &refs, &mut opt, &options, &mut train_rng).unwrap();
+        let report = trainer::train_epoch_with(
+            &mut net,
+            &refs,
+            &mut opt,
+            &options,
+            &mut train_rng,
+            &mut scratch,
+        )
+        .unwrap();
         losses.push(report.mean_loss);
     }
     assert!(

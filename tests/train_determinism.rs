@@ -1,0 +1,92 @@
+//! Worker-count invariance of the training pool.
+//!
+//! The `ncl_snn` trainer promises that trained weights are a pure
+//! function of (network, samples, options, rng seed) — the persistent
+//! worker pool, the per-worker arenas and the recycled gradient buffers
+//! must not leak scheduling or buffer-reuse effects into the results.
+//! This extends the engine contract of `engine_determinism.rs` down to
+//! the gradient level: the same training run at 1, 2 and 4 workers must
+//! produce **byte-identical** serialized models, and all of them must be
+//! byte-identical to the seed-era per-sample-allocation reference path
+//! (`train_epoch_reference`), which the zero-allocation rewrite kept as
+//! its oracle.
+
+use ncl_snn::optimizer::Optimizer;
+use ncl_snn::trainer::{self, TrainOptions, TrainScratch};
+use ncl_snn::{serialize, Network, NetworkConfig};
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+
+/// A small but non-trivial training setup: recurrent net, two classes,
+/// batch size that does not divide the sample count.
+fn setup() -> (Network, Vec<(SpikeRaster, u16)>) {
+    let config = NetworkConfig {
+        input_size: 12,
+        hidden_sizes: vec![14, 10],
+        output_size: 3,
+        recurrent: true,
+        lif: ncl_snn::LifConfig::default(),
+        readout: ncl_snn::ReadoutConfig::default(),
+        seed: 0xD0_0DAD,
+    };
+    let net = Network::new(config).unwrap();
+    let mut rng = Rng::seed_from_u64(77);
+    let data = (0..22)
+        .map(|i| {
+            let label = (i % 3) as u16;
+            let raster = SpikeRaster::from_fn(12, 16, |n, _| {
+                (n % 3 == label as usize) && rng.bernoulli(0.5)
+            });
+            (raster, label)
+        })
+        .collect();
+    (net, data)
+}
+
+fn train(parallelism: usize, reference: bool) -> (Vec<u8>, Vec<trainer::EpochReport>) {
+    let (mut net, data) = setup();
+    let refs: Vec<(&SpikeRaster, u16)> = data.iter().map(|(r, l)| (r, *l)).collect();
+    let mut optimizer = Optimizer::adam(2e-3);
+    let options = TrainOptions {
+        batch_size: 5,
+        parallelism,
+        ..TrainOptions::default()
+    };
+    let mut rng = Rng::seed_from_u64(0x5EED);
+    let mut scratch = TrainScratch::new();
+    let mut reports = Vec::new();
+    for _ in 0..4 {
+        let report = if reference {
+            trainer::train_epoch_reference(&mut net, &refs, &mut optimizer, &options, &mut rng)
+                .unwrap()
+        } else {
+            trainer::train_epoch_with(
+                &mut net,
+                &refs,
+                &mut optimizer,
+                &options,
+                &mut rng,
+                &mut scratch,
+            )
+            .unwrap()
+        };
+        reports.push(report);
+    }
+    (serialize::to_bytes(&net), reports)
+}
+
+#[test]
+fn worker_count_does_not_change_trained_weights() {
+    let (reference_bytes, reference_reports) = train(1, true);
+    for workers in [1usize, 2, 4] {
+        let (bytes, reports) = train(workers, false);
+        assert_eq!(
+            bytes, reference_bytes,
+            "{workers}-worker pool must serialize byte-identically to the reference path"
+        );
+        assert_eq!(
+            reports, reference_reports,
+            "{workers}-worker epoch reports must equal the reference path"
+        );
+    }
+}
