@@ -44,10 +44,57 @@ impl LatentEntry {
         }
     }
 
+    /// Reassembles an entry from its persisted parts — the entry point for
+    /// checkpoint restores, where the fields were stored separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NclError::Spike`] if a codec entry's frame count does not
+    /// match `ceil(original_steps / factor)` (the same consistency
+    /// [`LatentEntry::compressed`] guarantees by construction), or
+    /// [`NclError::InvalidConfig`] if a reduced entry stores more frames
+    /// than its native step count.
+    pub fn from_parts(
+        frames: SpikeRaster,
+        original_steps: usize,
+        codec_factor: Option<CompressionFactor>,
+        label: u16,
+    ) -> Result<Self, NclError> {
+        if let Some(factor) = codec_factor {
+            // Route through the codec's own validation so a corrupted
+            // checkpoint can never yield an entry `replay_raster` fails on.
+            let compressed = CompressedRaster::from_parts(frames, original_steps, factor)?;
+            return Ok(LatentEntry::compressed(compressed, label));
+        }
+        if frames.steps() > original_steps {
+            return Err(NclError::InvalidConfig {
+                what: "latent entry",
+                detail: format!(
+                    "reduced entry stores {} frames but claims only {original_steps} native steps",
+                    frames.steps()
+                ),
+            });
+        }
+        Ok(LatentEntry::reduced(frames, original_steps, label))
+    }
+
     /// Class label of the stored sample.
     #[must_use]
     pub fn label(&self) -> u16 {
         self.label
+    }
+
+    /// Borrow of the stored frames (what occupies latent memory).
+    #[must_use]
+    pub fn frames(&self) -> &SpikeRaster {
+        &self.frames
+    }
+
+    /// The codec factor of a compressed entry (`None` for reduced
+    /// storage).
+    #[must_use]
+    pub fn codec_factor(&self) -> Option<CompressionFactor> {
+        self.codec_factor
     }
 
     /// Stored frame count (what occupies latent memory).
@@ -153,6 +200,13 @@ pub struct LatentReplayBuffer {
     /// push/eviction so the budget check is O(1) instead of a per-push
     /// O(n) re-sum. Always equals `footprint().total_bits`.
     total_aligned_bits: u64,
+    /// Entry count per class, sorted by label — maintained on every
+    /// push/eviction so class-balance decisions and [`class_counts`] are
+    /// O(classes), never an O(n) rebuild. Always equals the rebuild from
+    /// `entries` (checked by a debug assertion on every push).
+    ///
+    /// [`class_counts`]: LatentReplayBuffer::class_counts
+    counts: Vec<(u16, usize)>,
 }
 
 impl LatentReplayBuffer {
@@ -165,6 +219,7 @@ impl LatentReplayBuffer {
             alignment,
             capacity_bits: None,
             total_aligned_bits: 0,
+            counts: Vec::new(),
         }
     }
 
@@ -180,13 +235,62 @@ impl LatentReplayBuffer {
             alignment,
             capacity_bits: Some(capacity_bits),
             total_aligned_bits: 0,
+            counts: Vec::new(),
         }
+    }
+
+    /// Rebuilds a buffer from persisted entries — the checkpoint-restore
+    /// entry point. Restoring is *strict*: unlike [`push`], it never
+    /// evicts, because a restore that silently drops entries would load a
+    /// different buffer than was saved.
+    ///
+    /// [`push`]: LatentReplayBuffer::push
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NclError::InvalidConfig`] if the entries' aligned
+    /// footprint exceeds `capacity_bits` — a snapshot that cannot have
+    /// come from a buffer honouring the budget invariant.
+    pub fn from_entries(
+        alignment: Alignment,
+        capacity_bits: Option<u64>,
+        entries: Vec<LatentEntry>,
+    ) -> Result<Self, NclError> {
+        let mut total_aligned_bits = 0u64;
+        let mut counts: Vec<(u16, usize)> = Vec::new();
+        for entry in &entries {
+            total_aligned_bits += sample_footprint(entry.payload_bits(), alignment).aligned_bits;
+            bump_count(&mut counts, entry.label());
+        }
+        if let Some(budget) = capacity_bits {
+            if total_aligned_bits > budget {
+                return Err(NclError::InvalidConfig {
+                    what: "latent buffer snapshot",
+                    detail: format!(
+                        "{total_aligned_bits} aligned bits exceed the {budget}-bit capacity"
+                    ),
+                });
+            }
+        }
+        Ok(LatentReplayBuffer {
+            entries,
+            alignment,
+            capacity_bits,
+            total_aligned_bits,
+            counts,
+        })
     }
 
     /// The configured capacity bound, if any.
     #[must_use]
     pub fn capacity_bits(&self) -> Option<u64> {
         self.capacity_bits
+    }
+
+    /// The alignment policy entries are accounted under.
+    #[must_use]
+    pub fn alignment(&self) -> Alignment {
+        self.alignment
     }
 
     /// Aligned bits one entry occupies under this buffer's policy.
@@ -206,6 +310,7 @@ impl LatentReplayBuffer {
         let entry_bits = self.entry_bits(&entry);
         let Some(budget) = self.capacity_bits else {
             self.total_aligned_bits += entry_bits;
+            bump_count(&mut self.counts, entry.label());
             self.entries.push(entry);
             return PushOutcome::Stored { evicted: 0 };
         };
@@ -213,39 +318,34 @@ impl LatentReplayBuffer {
             return PushOutcome::Rejected;
         }
         self.total_aligned_bits += entry_bits;
+        bump_count(&mut self.counts, entry.label());
         self.entries.push(entry);
 
-        // Evict until the store fits. The running total lives on the
-        // struct (O(1) budget check per push) and class counts are built
-        // only when an eviction is actually needed, then maintained
-        // incrementally across the burst — no O(n) recount per push and
-        // no O(n²) recounts per burst.
+        // Evict until the store fits. The running total and the per-class
+        // counts both live on the struct and are maintained incrementally,
+        // so the budget check is O(1) and picking the heaviest class is
+        // O(classes) — no O(n) recount per push and no O(n²) recounts per
+        // eviction burst.
         let mut evicted = 0;
-        if self.total_aligned_bits > budget {
-            let mut counts = self.class_counts();
-            while self.total_aligned_bits > budget && self.entries.len() > 1 {
-                // Find the most-represented class and drop its oldest
-                // entry.
-                let heaviest = *counts
-                    .iter()
-                    .max_by_key(|(label, count)| (**count, u16::MAX - **label))
-                    .map(|(label, _)| label)
-                    .expect("buffer non-empty");
-                let victim = self
-                    .entries
-                    .iter()
-                    .position(|e| e.label() == heaviest)
-                    .expect("heaviest class has entries");
-                let removed = self.entries.remove(victim);
-                self.total_aligned_bits -= self.entry_bits(&removed);
-                match counts.get_mut(&heaviest) {
-                    Some(c) if *c > 1 => *c -= 1,
-                    _ => {
-                        counts.remove(&heaviest);
-                    }
-                }
-                evicted += 1;
-            }
+        while self.total_aligned_bits > budget && self.entries.len() > 1 {
+            // Drop the oldest entry of the most-represented class (ties
+            // go to the smallest label, matching the original rebuild
+            // order).
+            let heaviest = self
+                .counts
+                .iter()
+                .max_by_key(|(label, count)| (*count, u16::MAX - *label))
+                .map(|(label, _)| *label)
+                .expect("buffer non-empty");
+            let victim = self
+                .entries
+                .iter()
+                .position(|e| e.label() == heaviest)
+                .expect("heaviest class has entries");
+            let removed = self.entries.remove(victim);
+            self.total_aligned_bits -= self.entry_bits(&removed);
+            drop_count(&mut self.counts, heaviest);
+            evicted += 1;
         }
         debug_assert!(
             self.total_aligned_bits <= budget,
@@ -256,15 +356,38 @@ impl LatentReplayBuffer {
             self.footprint().total_bits,
             "running total out of sync with the exact footprint"
         );
+        debug_assert_eq!(
+            self.counts,
+            self.rebuild_class_counts(),
+            "incremental class counts out of sync with the entries"
+        );
         PushOutcome::Stored { evicted }
     }
 
-    /// Entry count per class label.
+    /// Entry count per class label, sorted by label — a borrow of the
+    /// incrementally maintained counts, O(classes) to consume and free of
+    /// the per-call O(entries) rebuild the old `HashMap` return performed.
     #[must_use]
-    pub fn class_counts(&self) -> std::collections::HashMap<u16, usize> {
-        let mut counts = std::collections::HashMap::new();
+    pub fn class_counts(&self) -> &[(u16, usize)] {
+        &self.counts
+    }
+
+    /// Entry count of one class label.
+    #[must_use]
+    pub fn class_count(&self, label: u16) -> usize {
+        self.counts
+            .binary_search_by_key(&label, |&(l, _)| l)
+            .map_or(0, |i| self.counts[i].1)
+    }
+
+    /// The O(entries) recount the cached [`class_counts`] replaced — kept
+    /// as the debug-assertion oracle for the incremental maintenance.
+    ///
+    /// [`class_counts`]: LatentReplayBuffer::class_counts
+    fn rebuild_class_counts(&self) -> Vec<(u16, usize)> {
+        let mut counts: Vec<(u16, usize)> = Vec::new();
         for e in &self.entries {
-            *counts.entry(e.label()).or_insert(0) += 1;
+            bump_count(&mut counts, e.label());
         }
         counts
     }
@@ -317,6 +440,26 @@ impl LatentReplayBuffer {
             .iter()
             .map(|e| Ok((e.replay_raster(decompress)?, e.label())))
             .collect()
+    }
+}
+
+/// Increments `label`'s entry in a label-sorted count vector.
+fn bump_count(counts: &mut Vec<(u16, usize)>, label: u16) {
+    match counts.binary_search_by_key(&label, |&(l, _)| l) {
+        Ok(i) => counts[i].1 += 1,
+        Err(i) => counts.insert(i, (label, 1)),
+    }
+}
+
+/// Decrements `label`'s entry in a label-sorted count vector, removing it
+/// at zero.
+fn drop_count(counts: &mut Vec<(u16, usize)>, label: u16) {
+    if let Ok(i) = counts.binary_search_by_key(&label, |&(l, _)| l) {
+        if counts[i].1 > 1 {
+            counts[i].1 -= 1;
+        } else {
+            counts.remove(i);
+        }
     }
 }
 
@@ -458,9 +601,61 @@ mod tests {
         for _ in 0..12 {
             buffer.push(LatentEntry::reduced(activation(10, 20), 40, 0));
         }
-        let counts = buffer.class_counts();
-        assert_eq!(counts.get(&1), Some(&1), "minority class survives eviction");
-        assert!(counts.get(&0).copied().unwrap_or(0) >= 1);
+        assert_eq!(buffer.class_count(1), 1, "minority class survives eviction");
+        assert!(buffer.class_count(0) >= 1);
+    }
+
+    #[test]
+    fn class_counts_are_cached_and_sorted() {
+        let mut buffer = LatentReplayBuffer::new(Alignment::Byte);
+        for label in [3u16, 0, 3, 7, 0, 3] {
+            buffer.push(LatentEntry::reduced(activation(10, 20), 40, label));
+        }
+        assert_eq!(buffer.class_counts(), &[(0, 2), (3, 3), (7, 1)]);
+        assert_eq!(buffer.class_count(3), 3);
+        assert_eq!(buffer.class_count(5), 0);
+    }
+
+    #[test]
+    fn from_entries_round_trips_and_rejects_over_budget() {
+        let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, 950);
+        for i in 0..4u16 {
+            buffer.push(LatentEntry::reduced(activation(10, 20), 40, i % 2));
+        }
+        let entries: Vec<LatentEntry> = buffer.iter().cloned().collect();
+        let restored =
+            LatentReplayBuffer::from_entries(Alignment::Byte, Some(950), entries.clone()).unwrap();
+        assert_eq!(restored, buffer);
+        assert_eq!(restored.class_counts(), buffer.class_counts());
+        assert_eq!(restored.alignment(), Alignment::Byte);
+        // A capacity the snapshot does not fit is a hard error, never a
+        // silent eviction.
+        assert!(LatentReplayBuffer::from_entries(Alignment::Byte, Some(10), entries).is_err());
+    }
+
+    #[test]
+    fn entry_from_parts_validates_consistency() {
+        // Codec entries round-trip through their parts.
+        let act = activation(10, 20);
+        let c = codec::compress(&act, CompressionFactor::new(2).unwrap());
+        let entry = LatentEntry::compressed(c.clone(), 5);
+        let rebuilt = LatentEntry::from_parts(
+            entry.frames().clone(),
+            entry.original_steps(),
+            entry.codec_factor(),
+            entry.label(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, entry);
+        // Reduced entries too.
+        let entry = LatentEntry::reduced(activation(10, 8), 20, 2);
+        let rebuilt =
+            LatentEntry::from_parts(entry.frames().clone(), 20, None, entry.label()).unwrap();
+        assert_eq!(rebuilt, entry);
+        // Inconsistent parts are rejected.
+        let factor = CompressionFactor::new(2).unwrap();
+        assert!(LatentEntry::from_parts(activation(10, 3), 20, Some(factor), 0).is_err());
+        assert!(LatentEntry::from_parts(activation(10, 30), 20, None, 0).is_err());
     }
 
     #[test]

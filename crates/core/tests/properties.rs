@@ -152,13 +152,12 @@ proptest! {
                 0,
             ));
         }
-        let counts = buffer.class_counts();
         prop_assert_eq!(
-            counts.get(&1).copied(),
-            Some(1),
+            buffer.class_count(1),
+            1,
             "minority class survives sustained majority pressure"
         );
-        let majority = counts.get(&0).copied().unwrap_or(0);
+        let majority = buffer.class_count(0);
         prop_assert_eq!(majority, budget_entries - 1, "majority fills the rest");
     }
 }

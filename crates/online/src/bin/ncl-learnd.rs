@@ -1,0 +1,339 @@
+//! `ncl-learnd` — the online continual-learning daemon process.
+//!
+//! Boots (or resumes) an [`OnlineLearner`], starts an `ncl-serve` TCP
+//! front end on the same model registry, then ingests a deterministic
+//! generated sample stream: known classes flow through (periodically
+//! refreshing the latent store), a novel class arrives mid-stream, and
+//! once enough of its samples accumulate the daemon trains a Replay4NCL
+//! increment and hot-swaps the result — while the server keeps answering
+//! predictions. Every increment writes an atomic checkpoint, so killing
+//! the process at any point loses at most the events since the last
+//! increment; `--resume` picks the stream back up from the cursor.
+//!
+//! ```sh
+//! ncl-learnd [--port N] [--checkpoint PATH] [--resume]
+//!            [--events N] [--warmup N] [--novel-every N]
+//!            [--arrival-threshold N] [--capture-every N]
+//!            [--workers N] [--cl-epochs N] [--pretrain-epochs N]
+//!            [--capacity-bits N] [--seed N]
+//!            [--exit-after-stream] [--verify-checkpoint] [--quiet]
+//! ```
+//!
+//! `--verify-checkpoint` loads the checkpoint, validates it end to end
+//! (CRC, model bytes, RLE frames, budget invariant) and prints a JSON
+//! summary — the CI smoke uses it to assert clean restores.
+
+use std::path::PathBuf;
+
+use ncl_online::checkpoint::Checkpoint;
+use ncl_online::daemon::{IngestOutcome, OnlineConfig, OnlineLearner};
+use ncl_online::stream::{SampleStream, StreamConfig};
+use ncl_serve::protocol::object;
+use ncl_serve::server::{Server, ServerConfig};
+use serde_json::Value;
+
+struct Args {
+    port: u16,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    verify_checkpoint: bool,
+    events: usize,
+    warmup: usize,
+    novel_every: usize,
+    arrival_threshold: usize,
+    capture_every: u64,
+    workers: usize,
+    cl_epochs: usize,
+    pretrain_epochs: usize,
+    capacity_bits: Option<u64>,
+    seed: u64,
+    exit_after_stream: bool,
+    quiet: bool,
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("ncl-learnd: {problem}");
+    eprintln!(
+        "usage: ncl-learnd [--port N] [--checkpoint PATH] [--resume] [--events N] \
+         [--warmup N] [--novel-every N] [--arrival-threshold N] [--capture-every N] \
+         [--workers N] [--cl-epochs N] [--pretrain-epochs N] [--capacity-bits N] \
+         [--seed N] [--exit-after-stream] [--verify-checkpoint] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: 0,
+        checkpoint: None,
+        resume: false,
+        verify_checkpoint: false,
+        events: 60,
+        warmup: 24,
+        novel_every: 3,
+        arrival_threshold: 4,
+        capture_every: 4,
+        workers: 2,
+        cl_epochs: 6,
+        pretrain_epochs: 10,
+        capacity_bits: None,
+        seed: 0x57EA4,
+        exit_after_stream: false,
+        quiet: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .unwrap_or_else(|| usage(&format!("{what} needs a value")))
+        };
+        macro_rules! parse {
+            ($flag:literal) => {
+                value($flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage(concat!($flag, " must be a non-negative integer")))
+            };
+        }
+        match arg.as_str() {
+            "--port" => args.port = parse!("--port"),
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+            "--resume" => args.resume = true,
+            "--verify-checkpoint" => args.verify_checkpoint = true,
+            "--events" => args.events = parse!("--events"),
+            "--warmup" => args.warmup = parse!("--warmup"),
+            "--novel-every" => args.novel_every = parse!("--novel-every"),
+            "--arrival-threshold" => args.arrival_threshold = parse!("--arrival-threshold"),
+            "--capture-every" => args.capture_every = parse!("--capture-every"),
+            "--workers" => args.workers = parse!("--workers"),
+            "--cl-epochs" => args.cl_epochs = parse!("--cl-epochs"),
+            "--pretrain-epochs" => args.pretrain_epochs = parse!("--pretrain-epochs"),
+            "--capacity-bits" => args.capacity_bits = Some(parse!("--capacity-bits")),
+            "--seed" => args.seed = parse!("--seed"),
+            "--exit-after-stream" => args.exit_after_stream = true,
+            "--quiet" => args.quiet = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn verify_checkpoint(path: &std::path::Path) -> i32 {
+    match Checkpoint::read(path) {
+        Ok(ckpt) => {
+            let summary = object(vec![
+                ("ok", Value::from(true)),
+                ("version", Value::from(ckpt.version)),
+                ("cursor", Value::from(ckpt.cursor)),
+                ("increments", Value::from(ckpt.version.saturating_sub(1))),
+                ("entries", Value::from(ckpt.buffer.len())),
+                (
+                    "buffer_bits",
+                    Value::from(ckpt.buffer.footprint().total_bits),
+                ),
+                (
+                    "event_digest",
+                    Value::from(format!("{:016x}", ckpt.event_digest)),
+                ),
+                (
+                    "known_classes",
+                    ckpt.known_classes
+                        .iter()
+                        .map(|&c| Value::from(u64::from(c)))
+                        .collect::<Value>(),
+                ),
+                (
+                    "model_bytes",
+                    Value::from(ncl_snn::serialize::to_bytes(&ckpt.network).len()),
+                ),
+            ]);
+            println!("{}", summary.to_json());
+            0
+        }
+        Err(e) => {
+            println!(
+                "{}",
+                object(vec![
+                    ("ok", Value::from(false)),
+                    ("error", Value::from(e.to_string())),
+                ])
+                .to_json()
+            );
+            1
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.verify_checkpoint {
+        let Some(path) = &args.checkpoint else {
+            usage("--verify-checkpoint needs --checkpoint PATH");
+        };
+        std::process::exit(verify_checkpoint(path));
+    }
+    if let Err(e) = run(&args) {
+        eprintln!("ncl-learnd: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = OnlineConfig::smoke();
+    config.scenario.parallelism = args.workers.max(1);
+    config.scenario.cl_epochs = args.cl_epochs.max(1);
+    config.scenario.pretrain_epochs = args.pretrain_epochs.max(1);
+    config.arrival_threshold = args.arrival_threshold;
+    config.capture_every = args.capture_every;
+    if let Some(bits) = args.capacity_bits {
+        config.capacity_bits = Some(bits);
+    }
+    config.checkpoint_path = args.checkpoint.clone();
+
+    let stream_config = StreamConfig {
+        scenario: config.scenario.clone(),
+        warmup_events: args.warmup,
+        total_events: args.events,
+        novel_every: args.novel_every.max(1),
+        seed: args.seed,
+    };
+
+    // --resume must never silently fall back to a fresh bootstrap: a
+    // missing file (typo, unmounted volume) would re-pretrain from
+    // scratch and serve a model that forgot every online-learned class.
+    if args.resume {
+        let Some(path) = &config.checkpoint_path else {
+            usage("--resume needs --checkpoint PATH");
+        };
+        if !path.exists() {
+            return Err(format!(
+                "--resume: checkpoint {} does not exist; drop --resume to bootstrap fresh",
+                path.display()
+            )
+            .into());
+        }
+    }
+    let mut learner = if args.resume {
+        let learner = OnlineLearner::resume(config.clone())?;
+        if !args.quiet {
+            println!(
+                "resumed from checkpoint: model v{}, cursor {}, {} latent entries",
+                learner.version(),
+                learner.cursor(),
+                learner.buffer().len()
+            );
+        }
+        // The daemon config is digest-checked against the checkpoint, but
+        // the *stream* is input data the checkpoint cannot vouch for:
+        // events before the cursor were consumed from the original run's
+        // stream, so the stream flags must match it for the replayed
+        // history to be the one the digest records.
+        eprintln!(
+            "ncl-learnd: note: resuming at cursor {} of a generated stream \
+             (--seed {} --events {} --warmup {} --novel-every {}); these flags must \
+             match the original run, or the continued history diverges from the \
+             recorded one",
+            learner.cursor(),
+            args.seed,
+            args.events,
+            args.warmup,
+            args.novel_every
+        );
+        learner
+    } else {
+        let learner = OnlineLearner::bootstrap(config.clone())?;
+        if !args.quiet {
+            println!(
+                "pre-trained on {} classes: {:.1}% test accuracy, {} latent entries seeded",
+                learner.known_classes().len(),
+                learner.pretrain_acc() * 100.0,
+                learner.buffer().len()
+            );
+        }
+        learner
+    };
+
+    let server = Server::start(
+        learner.registry(),
+        ServerConfig {
+            port: args.port,
+            ..ServerConfig::default()
+        },
+    )?;
+    println!(
+        "listening on {} (model v{})",
+        server.local_addr(),
+        learner.version()
+    );
+
+    let stream = SampleStream::generate(&stream_config)?;
+    let mut applied = 0usize;
+    let mut increments = 0usize;
+    let started = std::time::Instant::now();
+    for event in stream.events_from(learner.cursor()) {
+        match learner.ingest(event)? {
+            IngestOutcome::Increment(report) => {
+                increments += 1;
+                if let Some(e) = &report.checkpoint_error {
+                    eprintln!(
+                        "ncl-learnd: warning: increment v{} applied but its checkpoint write \
+                         failed ({e}); durable state lags until the next successful write",
+                        report.version
+                    );
+                }
+                if report.rejected_entries > 0 {
+                    eprintln!(
+                        "ncl-learnd: warning: the latent budget rejected {}/{} new-class \
+                         entries — class(es) {:?} are under-represented in replay",
+                        report.rejected_entries,
+                        report.rejected_entries + report.stored_entries,
+                        report.classes
+                    );
+                }
+                if !args.quiet {
+                    println!(
+                        "increment v{}: learned class(es) {:?} from {} samples in {:.0} ms \
+                         (swap {} µs, checkpoint {:.0} ms)",
+                        report.version,
+                        report.classes,
+                        report.train_samples,
+                        report.train_wall.as_secs_f64() * 1e3,
+                        report.swap_latency.as_micros(),
+                        report.checkpoint_wall.as_secs_f64() * 1e3,
+                    );
+                }
+            }
+            outcome => {
+                if !args.quiet {
+                    if let IngestOutcome::Pending { class, pending } = outcome {
+                        println!("novel class {class}: {pending} pending sample(s)");
+                    }
+                }
+            }
+        }
+        applied += 1;
+    }
+    let elapsed = started.elapsed();
+    if learner.config().checkpoint_path.is_some() {
+        learner.write_checkpoint()?;
+    }
+    println!(
+        "stream done: {applied} events in {:.1} s ({:.0} events/s), {increments} increment(s), \
+         model v{}, event digest {:016x}",
+        elapsed.as_secs_f64(),
+        applied as f64 / elapsed.as_secs_f64().max(1e-9),
+        learner.version(),
+        learner.event_digest(),
+    );
+    if !args.quiet {
+        println!("status: {}", learner.status_json().to_json());
+    }
+
+    if args.exit_after_stream {
+        server.shutdown();
+    } else {
+        // Keep serving until a client sends the shutdown op.
+        server.wait();
+    }
+    println!("drained and stopped.");
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! Error type for the online-learning layer.
+
+use std::error::Error;
+use std::fmt;
+
+use ncl_serve::error::ServeError;
+use ncl_snn::SnnError;
+use ncl_spike::SpikeError;
+use replay4ncl::NclError;
+
+/// Error returned by the online daemon and its components.
+#[derive(Debug)]
+pub enum OnlineError {
+    /// A daemon or stream parameter was invalid.
+    InvalidConfig {
+        /// Which parameter failed validation.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A stream event arrived out of order (its sequence number does not
+    /// match the daemon's cursor) — applying it would desynchronize the
+    /// deterministic event log.
+    OutOfOrder {
+        /// The daemon's next expected sequence number.
+        expected: u64,
+        /// The sequence number that actually arrived.
+        got: u64,
+    },
+    /// A checkpoint could not be decoded (corrupt, truncated, wrong
+    /// format version). The daemon state is untouched.
+    Checkpoint {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Underlying methodology failure.
+    Ncl(NclError),
+    /// Underlying network failure.
+    Snn(SnnError),
+    /// Underlying spike-raster failure.
+    Spike(SpikeError),
+    /// Underlying serving failure (registry swap).
+    Serve(ServeError),
+    /// Checkpoint or stream I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::InvalidConfig { what, detail } => write!(f, "invalid {what}: {detail}"),
+            OnlineError::OutOfOrder { expected, got } => {
+                write!(f, "out-of-order event: expected seq {expected}, got {got}")
+            }
+            OnlineError::Checkpoint { detail } => write!(f, "bad checkpoint: {detail}"),
+            OnlineError::Ncl(e) => write!(f, "methodology failure: {e}"),
+            OnlineError::Snn(e) => write!(f, "network failure: {e}"),
+            OnlineError::Spike(e) => write!(f, "spike failure: {e}"),
+            OnlineError::Serve(e) => write!(f, "serving failure: {e}"),
+            OnlineError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl Error for OnlineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OnlineError::Ncl(e) => Some(e),
+            OnlineError::Snn(e) => Some(e),
+            OnlineError::Spike(e) => Some(e),
+            OnlineError::Serve(e) => Some(e),
+            OnlineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NclError> for OnlineError {
+    fn from(e: NclError) -> Self {
+        OnlineError::Ncl(e)
+    }
+}
+
+impl From<SnnError> for OnlineError {
+    fn from(e: SnnError) -> Self {
+        OnlineError::Snn(e)
+    }
+}
+
+impl From<SpikeError> for OnlineError {
+    fn from(e: SpikeError) -> Self {
+        OnlineError::Spike(e)
+    }
+}
+
+impl From<ServeError> for OnlineError {
+    fn from(e: ServeError) -> Self {
+        OnlineError::Serve(e)
+    }
+}
+
+impl From<std::io::Error> for OnlineError {
+    fn from(e: std::io::Error) -> Self {
+        OnlineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = OnlineError::OutOfOrder {
+            expected: 3,
+            got: 7,
+        };
+        assert!(e.to_string().contains("expected seq 3"));
+        assert!(e.source().is_none());
+        let e = OnlineError::Checkpoint {
+            detail: "crc mismatch".into(),
+        };
+        assert!(e.to_string().contains("crc mismatch"));
+        let e: OnlineError = std::io::Error::other("disk gone").into();
+        assert!(e.source().is_some());
+        let e: OnlineError = SnnError::InvalidStage {
+            stage: 2,
+            layers: 1,
+        }
+        .into();
+        assert!(e.to_string().contains("network failure"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<OnlineError>();
+    }
+}

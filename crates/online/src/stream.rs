@@ -1,0 +1,239 @@
+//! The labeled sample stream the daemon ingests.
+//!
+//! Deployment streams are external; for experiments, CI and the
+//! integration tests this module generates a *deterministic* stream from
+//! the scenario's synthetic dataset: a warm phase of known-class traffic,
+//! then a novel class (the scenario's held-out class) starts arriving
+//! interleaved with known traffic — the moment the paper's continual
+//! learning phase models. The same [`StreamConfig`] always yields the
+//! same event sequence, which is what makes daemon checkpoints
+//! reproducible end to end.
+
+use ncl_spike::SpikeRaster;
+use ncl_tensor::Rng;
+use replay4ncl::{phases, ScenarioConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::error::OnlineError;
+
+/// Seed salt keeping the stream's sample draw independent of the
+/// scenario's phase streams.
+const STREAM_SALT: u64 = 0x57F0;
+
+/// Configuration of a generated stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Scenario providing the dataset and class split (the held-out last
+    /// class is the novel arrival).
+    pub scenario: ScenarioConfig,
+    /// Events before the novel class first appears (known classes only).
+    pub warmup_events: usize,
+    /// Total events in the stream.
+    pub total_events: usize,
+    /// After the warm phase, every `novel_every`-th event is a
+    /// novel-class sample (the rest stay known-class traffic).
+    pub novel_every: usize,
+    /// Stream shuffling seed (independent of the scenario seeds).
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// A fast deterministic stream over the smoke scenario: 24 warm
+    /// events, then one novel sample every 3rd event, 60 events total.
+    #[must_use]
+    pub fn smoke() -> Self {
+        StreamConfig {
+            scenario: ScenarioConfig::smoke(),
+            warmup_events: 24,
+            total_events: 60,
+            novel_every: 3,
+            seed: 0x57EA4,
+        }
+    }
+
+    /// Validates the stream parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineError::InvalidConfig`] describing the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), OnlineError> {
+        self.scenario.validate()?;
+        if self.total_events == 0 {
+            return Err(OnlineError::InvalidConfig {
+                what: "total_events",
+                detail: "stream needs at least one event".into(),
+            });
+        }
+        if self.novel_every == 0 {
+            return Err(OnlineError::InvalidConfig {
+                what: "novel_every",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if self.warmup_events > self.total_events {
+            return Err(OnlineError::InvalidConfig {
+                what: "warmup_events",
+                detail: format!(
+                    "warm phase ({}) longer than the stream ({})",
+                    self.warmup_events, self.total_events
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One labeled sample arriving at the device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamEvent {
+    /// Monotonic position in the stream (0-based).
+    pub seq: u64,
+    /// Ground-truth class label.
+    pub label: u16,
+    /// The raw input raster at the native timestep.
+    pub raster: SpikeRaster,
+}
+
+/// A fully materialized deterministic sample stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleStream {
+    events: Vec<StreamEvent>,
+    novel_class: u16,
+}
+
+impl SampleStream {
+    /// Generates the stream for `config` (same config, same events).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineError::InvalidConfig`] for invalid parameters and
+    /// propagates dataset-generation failures.
+    pub fn generate(config: &StreamConfig) -> Result<Self, OnlineError> {
+        config.validate()?;
+        let data = phases::scenario_data(&config.scenario)?;
+        let split = phases::scenario_split(&config.scenario)?;
+        let known = split.pretrain_subset(&data.train);
+        let novel = split.continual_subset(&data.train);
+        let novel_class = config.scenario.data.classes - 1;
+        if known.is_empty() || novel.is_empty() {
+            return Err(OnlineError::InvalidConfig {
+                what: "scenario.data",
+                detail: "stream needs both known-class and novel-class samples".into(),
+            });
+        }
+
+        let mut rng = Rng::seed_from_u64(config.seed ^ STREAM_SALT);
+        let mut events = Vec::with_capacity(config.total_events);
+        let mut novel_cursor = 0usize;
+        for seq in 0..config.total_events {
+            let is_novel = seq >= config.warmup_events
+                && (seq - config.warmup_events).is_multiple_of(config.novel_every);
+            let sample = if is_novel {
+                let s = &novel.samples()[novel_cursor % novel.len()];
+                novel_cursor += 1;
+                s
+            } else {
+                &known.samples()[rng.below(known.len() as u64) as usize]
+            };
+            events.push(StreamEvent {
+                seq: seq as u64,
+                label: sample.label,
+                raster: sample.raster.clone(),
+            });
+        }
+        Ok(SampleStream {
+            events,
+            novel_class,
+        })
+    }
+
+    /// All events, in sequence order.
+    #[must_use]
+    pub fn events(&self) -> &[StreamEvent] {
+        &self.events
+    }
+
+    /// The class that arrives mid-stream.
+    #[must_use]
+    pub fn novel_class(&self) -> u16 {
+        self.novel_class
+    }
+
+    /// Events from `cursor` onward — what a daemon resumed from a
+    /// checkpoint still has to consume.
+    pub fn events_from(&self, cursor: u64) -> impl Iterator<Item = &StreamEvent> {
+        self.events.iter().filter(move |e| e.seq >= cursor)
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> StreamConfig {
+        let mut c = StreamConfig::smoke();
+        c.total_events = 30;
+        c.warmup_events = 12;
+        c
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = config();
+        let a = SampleStream::generate(&c).unwrap();
+        let b = SampleStream::generate(&c).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+    }
+
+    #[test]
+    fn warm_phase_holds_back_the_novel_class() {
+        let c = config();
+        let stream = SampleStream::generate(&c).unwrap();
+        let novel = stream.novel_class();
+        assert!(stream
+            .events()
+            .iter()
+            .take(c.warmup_events)
+            .all(|e| e.label != novel));
+        let arrivals = stream.events().iter().filter(|e| e.label == novel).count();
+        assert!(arrivals >= 2, "novel class arrives repeatedly after warmup");
+        // Sequence numbers are the event positions.
+        for (i, e) in stream.events().iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn events_from_skips_consumed_prefix() {
+        let stream = SampleStream::generate(&config()).unwrap();
+        let tail: Vec<u64> = stream.events_from(25).map(|e| e.seq).collect();
+        assert_eq!(tail, vec![25, 26, 27, 28, 29]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = config();
+        c.total_events = 0;
+        assert!(c.validate().is_err());
+        let mut c = config();
+        c.novel_every = 0;
+        assert!(c.validate().is_err());
+        let mut c = config();
+        c.warmup_events = c.total_events + 1;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the checkpoint format, mirroring the RLE
+//! strictness proptests: encode → corrupt → restore must `Err`, never
+//! load a wrong daemon state.
+
+use ncl_online::checkpoint::Checkpoint;
+use ncl_online::daemon::EVENT_DIGEST_SEED;
+use ncl_snn::{Network, NetworkConfig};
+use ncl_spike::codec::{self, CompressionFactor};
+use ncl_spike::memory::Alignment;
+use ncl_spike::SpikeRaster;
+use proptest::prelude::*;
+use replay4ncl::buffer::{LatentEntry, LatentReplayBuffer};
+
+/// Builds a structurally varied checkpoint (entry count, labels, raster
+/// contents, codec vs reduced storage, counters) from scalar knobs.
+fn build_checkpoint(
+    seed: u64,
+    cursor: u64,
+    entries: usize,
+    digest_salt: u64,
+    bounded: bool,
+) -> Checkpoint {
+    let mut rng = ncl_tensor::Rng::seed_from_u64(seed);
+    let mut network = Network::new(NetworkConfig::tiny(6, 3)).unwrap();
+    // Perturb one weight so model payloads differ across cases.
+    network.layer_mut(0).w_ff_mut().set(0, 0, rng.uniform_f32());
+    let capacity = if bounded { Some(1u64 << 20) } else { None };
+    let mut buffer = match capacity {
+        Some(bits) => LatentReplayBuffer::with_capacity_bits(Alignment::Byte, bits),
+        None => LatentReplayBuffer::new(Alignment::Byte),
+    };
+    for i in 0..entries {
+        let raster = SpikeRaster::from_fn(5, 12, |_, _| rng.bernoulli(0.25));
+        if i % 2 == 0 {
+            buffer.push(LatentEntry::reduced(raster, 24, (i % 4) as u16));
+        } else {
+            buffer.push(LatentEntry::compressed(
+                codec::compress(&raster, CompressionFactor::new(2).unwrap()),
+                (i % 4) as u16,
+            ));
+        }
+    }
+    let pending = (0..entries % 3)
+        .map(|i| {
+            (
+                10 + i as u16,
+                SpikeRaster::from_fn(5, 8, |_, _| rng.bernoulli(0.3)),
+            )
+        })
+        .collect();
+    Checkpoint {
+        version: 1 + entries as u64,
+        cursor,
+        event_digest: EVENT_DIGEST_SEED ^ digest_salt,
+        config_digest: EVENT_DIGEST_SEED ^ digest_salt.rotate_left(17),
+        known_classes: vec![0, 1, 2],
+        network,
+        buffer,
+        pending,
+    }
+}
+
+/// Strategy producing the checkpoint knobs.
+fn knobs() -> impl Strategy<Value = (u64, u64, usize, u64, bool)> {
+    (any::<u64>(), 1u64..1000, 0usize..6, any::<u64>(), 0u8..2)
+        .prop_map(|(seed, cursor, entries, salt, b)| (seed, cursor, entries, salt, b == 1))
+}
+
+proptest! {
+    /// The canonical-form guarantee: encode → decode → encode is the
+    /// identity on bytes, and decode is the identity on state.
+    #[test]
+    fn checkpoint_round_trip_is_exact(k in knobs()) {
+        let ckpt = build_checkpoint(k.0, k.1, k.2, k.3, k.4);
+        let bytes = ckpt.to_bytes();
+        let restored = Checkpoint::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&restored, &ckpt);
+        prop_assert_eq!(restored.to_bytes(), bytes);
+    }
+
+    /// The strictness guarantee: flipping any single byte anywhere in the
+    /// encoding — header, counters, model weights, RLE frames, offsets or
+    /// the trailing CRC — must fail the restore. A wrong buffer or model
+    /// may never load silently.
+    #[test]
+    fn corrupt_one_byte_never_restores(
+        k in knobs(),
+        position in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let ckpt = build_checkpoint(k.0, k.1, k.2, k.3, k.4);
+        let bytes = ckpt.to_bytes();
+        let index = (position % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[index] ^= flip;
+        prop_assert!(
+            Checkpoint::from_bytes(&corrupt).is_err(),
+            "flipping byte {} with {:#04x} was accepted", index, flip
+        );
+    }
+
+    /// Truncation at any point fails cleanly (no panics, no partial
+    /// state).
+    #[test]
+    fn truncated_checkpoints_never_restore(k in knobs(), cut in any::<u64>()) {
+        let ckpt = build_checkpoint(k.0, k.1, k.2, k.3, k.4);
+        let bytes = ckpt.to_bytes();
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err());
+    }
+}

@@ -53,13 +53,25 @@ impl ModelRegistry {
     /// Creates a registry serving `network` as version 1.
     #[must_use]
     pub fn new(network: Network, source: &str) -> Self {
+        ModelRegistry::with_initial_version(network, source, 1)
+    }
+
+    /// Creates a registry serving `network` at a caller-chosen initial
+    /// version (clamped to at least 1). A process that restores its model
+    /// from a checkpoint uses this to keep the wire-visible
+    /// `model_version` monotonic across restarts — clients that observed
+    /// version N before a crash must never see the same-or-newer weights
+    /// re-announced as version 1.
+    #[must_use]
+    pub fn with_initial_version(network: Network, source: &str, version: u64) -> Self {
+        let version = version.max(1);
         ModelRegistry {
             slot: RwLock::new(Arc::new(ServingModel {
                 network,
-                version: 1,
+                version,
                 source: source.to_owned(),
             })),
-            next_version: AtomicU64::new(2),
+            next_version: AtomicU64::new(version + 1),
         }
     }
 
@@ -143,6 +155,20 @@ mod tests {
     }
 
     #[test]
+    fn initial_version_carries_across_restores() {
+        let registry = ModelRegistry::with_initial_version(net(1), "checkpoint:x", 7);
+        assert_eq!(registry.version(), 7);
+        assert_eq!(registry.current().source, "checkpoint:x");
+        // The next swap continues the sequence, never regressing.
+        assert_eq!(registry.swap_network(net(2), "increment").unwrap(), 8);
+        // Zero is clamped to the floor version 1.
+        assert_eq!(
+            ModelRegistry::with_initial_version(net(1), "x", 0).version(),
+            1
+        );
+    }
+
+    #[test]
     fn swap_bumps_version_and_replaces_network() {
         let registry = ModelRegistry::new(net(1), "initial");
         assert_eq!(registry.version(), 1);
@@ -181,6 +207,98 @@ mod tests {
         // Garbage bytes are rejected without disturbing the slot.
         assert!(registry.swap_from_bytes(b"nonsense", "bad").is_err());
         assert_eq!(registry.version(), 2);
+    }
+
+    /// The serving behaviour that must survive any failed swap: same
+    /// version, same source, and bit-identical logits for a probe input.
+    fn serving_fingerprint(registry: &ModelRegistry) -> (u64, String, Vec<f32>) {
+        let model = registry.current();
+        let probe = ncl_spike::SpikeRaster::from_fn(6, 8, |n, t| (n + t) % 3 == 0);
+        let logits = model.network.forward(&probe).unwrap();
+        (model.version, model.source.clone(), logits)
+    }
+
+    #[test]
+    fn failed_byte_swaps_keep_the_old_model_serving() {
+        let registry = ModelRegistry::new(net(1), "initial");
+        let before = serving_fingerprint(&registry);
+
+        // Shape mismatch: a valid checkpoint of an incompatible network.
+        let wrong_in = Network::new(NetworkConfig::tiny(7, 3)).unwrap();
+        assert!(matches!(
+            registry.swap_from_bytes(&serialize::to_bytes(&wrong_in), "wrong-in"),
+            Err(ServeError::IncompatibleModel { .. })
+        ));
+        let wrong_out = Network::new(NetworkConfig::tiny(6, 4)).unwrap();
+        assert!(matches!(
+            registry.swap_from_bytes(&serialize::to_bytes(&wrong_out), "wrong-out"),
+            Err(ServeError::IncompatibleModel { .. })
+        ));
+
+        // Corrupt payloads: bad magic, truncation, trailing garbage.
+        let good = serialize::to_bytes(&net(2));
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            registry.swap_from_bytes(&bad_magic, "bad-magic"),
+            Err(ServeError::Snn(_))
+        ));
+        assert!(registry
+            .swap_from_bytes(&good[..good.len() - 3], "truncated")
+            .is_err());
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(&[0u8; 2]);
+        assert!(registry.swap_from_bytes(&trailing, "trailing").is_err());
+
+        assert_eq!(
+            serving_fingerprint(&registry),
+            before,
+            "old model must keep serving unchanged after every failed swap"
+        );
+        // And the slot still accepts a good swap afterwards.
+        assert_eq!(registry.swap_from_bytes(&good, "good").unwrap(), 2);
+    }
+
+    #[test]
+    fn failed_file_swaps_keep_the_old_model_serving() {
+        let dir = std::env::temp_dir().join("ncl-serve-registry-swap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let registry = ModelRegistry::new(net(1), "initial");
+        let before = serving_fingerprint(&registry);
+
+        // A checkpoint file with an incompatible shape.
+        let wrong = Network::new(NetworkConfig::tiny(9, 3)).unwrap();
+        let wrong_path = dir.join("wrong-shape.bin");
+        serialize::to_file(&wrong, &wrong_path).unwrap();
+        assert!(matches!(
+            registry.swap_from_file(&wrong_path),
+            Err(ServeError::IncompatibleModel { .. })
+        ));
+
+        // A corrupt checkpoint file: an implausible hidden-layer count
+        // (byte 19 is the high byte of the u32 at offset 16) and a
+        // truncated weight payload both fail deserialization cleanly.
+        let good = serialize::to_bytes(&net(3));
+        let mut corrupt = good.clone();
+        corrupt[19] = 0xFF;
+        let corrupt_path = dir.join("corrupt.bin");
+        std::fs::write(&corrupt_path, &corrupt).unwrap();
+        assert!(registry.swap_from_file(&corrupt_path).is_err());
+        let truncated_path = dir.join("truncated.bin");
+        std::fs::write(&truncated_path, &good[..good.len() - 5]).unwrap();
+        assert!(registry.swap_from_file(&truncated_path).is_err());
+
+        // A missing file.
+        assert!(registry.swap_from_file(&dir.join("missing.bin")).is_err());
+
+        assert_eq!(
+            serving_fingerprint(&registry),
+            before,
+            "old model must keep serving unchanged after every failed file swap"
+        );
+        std::fs::remove_file(&wrong_path).ok();
+        std::fs::remove_file(&corrupt_path).ok();
+        std::fs::remove_file(&truncated_path).ok();
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! expand. The `fig12` reproduction can be re-run against this codec to
 //! see why the paper chose decimation.
 
+use bytes::{Buf, BufMut};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SpikeError;
@@ -156,6 +157,101 @@ impl RleRaster {
         (self.payload.len() as u64 + 4 * self.offsets.len() as u64) * 8
     }
 
+    /// Appends the encoded raster to a byte stream (the persistence wire
+    /// format): `u64 neurons`, `u64 steps`, `u64 payload length`, the
+    /// per-neuron `u32` offsets, then the payload bytes — all
+    /// little-endian. [`read_from`] is the strict inverse.
+    ///
+    /// [`read_from`]: RleRaster::read_from
+    pub fn write_into(&self, buf: &mut Vec<u8>) {
+        buf.put_u64_le(self.neurons as u64);
+        buf.put_u64_le(self.steps as u64);
+        buf.put_u64_le(self.payload.len() as u64);
+        for &o in &self.offsets {
+            buf.put_u32_le(o);
+        }
+        buf.put_slice(&self.payload);
+    }
+
+    /// The encoded raster as a standalone byte vector ([`write_into`] into
+    /// a fresh buffer).
+    ///
+    /// [`write_into`]: RleRaster::write_into
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24 + 4 * self.offsets.len() + self.payload.len());
+        self.write_into(&mut buf);
+        buf
+    }
+
+    /// Reads one [`write_into`] frame from the front of `buf`, advancing it
+    /// past the consumed bytes. The header is validated strictly
+    /// (truncation, implausible dimensions, offsets outside the payload all
+    /// fail) and the returned raster still goes through [`decode`]'s full
+    /// payload validation — so corrupt persisted bytes surface as `Err`,
+    /// never as a silently wrong raster.
+    ///
+    /// [`write_into`]: RleRaster::write_into
+    /// [`decode`]: RleRaster::decode
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpikeError::InvalidParameter`] describing the first
+    /// malformed field.
+    pub fn read_from(buf: &mut &[u8]) -> Result<Self, SpikeError> {
+        let invalid = |detail: String| SpikeError::InvalidParameter {
+            what: "rle frame",
+            detail,
+        };
+        let need = |buf: &&[u8], n: usize, what: &str| {
+            if buf.remaining() < n {
+                return Err(invalid(format!("truncated while reading {what}")));
+            }
+            Ok(())
+        };
+        need(buf, 24, "header")?;
+        let neurons = buf.get_u64_le();
+        let steps = buf.get_u64_le();
+        let payload_len = buf.get_u64_le();
+        // A terminator varint per neuron is at least one payload byte, so
+        // any genuine encoding satisfies payload >= neurons; combined with
+        // the remaining-bytes check this bounds every allocation below by
+        // the input size.
+        if neurons > buf.remaining() as u64 || steps > u64::from(u32::MAX) {
+            return Err(invalid(format!(
+                "implausible dimensions {neurons}x{steps} for {} remaining bytes",
+                buf.remaining()
+            )));
+        }
+        let neurons = neurons as usize;
+        let steps = steps as usize;
+        need(buf, 4 * neurons, "offset table")?;
+        let mut offsets = Vec::with_capacity(neurons);
+        for _ in 0..neurons {
+            offsets.push(buf.get_u32_le());
+        }
+        if payload_len > buf.remaining() as u64 {
+            return Err(invalid(format!(
+                "payload length {payload_len} exceeds the {} remaining bytes",
+                buf.remaining()
+            )));
+        }
+        let payload_len = payload_len as usize;
+        if let Some(&out) = offsets.iter().find(|&&o| o as usize > payload_len) {
+            return Err(invalid(format!(
+                "offset {out} outside the {payload_len}-byte payload"
+            )));
+        }
+        let payload = buf[..payload_len].to_vec();
+        *buf = &buf[payload_len..];
+        Ok(RleRaster {
+            neurons,
+            steps,
+            payload,
+            offsets,
+        })
+    }
+
     /// Losslessly decodes back to the original raster.
     ///
     /// Decoding is strict: every neuron stream must consist of in-range
@@ -243,6 +339,64 @@ mod tests {
     fn random_raster(neurons: usize, steps: usize, density: f64, seed: u64) -> SpikeRaster {
         let mut rng = Rng::seed_from_u64(seed);
         SpikeRaster::from_fn(neurons, steps, |_, _| rng.bernoulli(density))
+    }
+
+    #[test]
+    fn wire_format_round_trips() {
+        for (density, seed) in [(0.0, 11), (0.05, 12), (0.4, 13), (1.0, 14)] {
+            let r = random_raster(19, 31, density, seed);
+            let encoded = RleRaster::encode(&r);
+            let bytes = encoded.to_bytes();
+            let mut cursor = bytes.as_slice();
+            let read = RleRaster::read_from(&mut cursor).unwrap();
+            assert!(cursor.is_empty(), "frame fully consumed");
+            assert_eq!(read, encoded);
+            assert_eq!(read.decode().unwrap(), r, "density {density}");
+        }
+    }
+
+    #[test]
+    fn wire_format_frames_concatenate() {
+        let a = RleRaster::encode(&random_raster(5, 9, 0.3, 1));
+        let b = RleRaster::encode(&random_raster(7, 4, 0.6, 2));
+        let mut buf = Vec::new();
+        a.write_into(&mut buf);
+        b.write_into(&mut buf);
+        let mut cursor = buf.as_slice();
+        assert_eq!(RleRaster::read_from(&mut cursor).unwrap(), a);
+        assert_eq!(RleRaster::read_from(&mut cursor).unwrap(), b);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn wire_format_rejects_malformed_frames() {
+        let r = random_raster(6, 12, 0.25, 3);
+        let bytes = RleRaster::encode(&r).to_bytes();
+        // Every strict prefix fails cleanly.
+        for cut in [0, 7, 8, 16, 23, 24, bytes.len() - 1] {
+            let mut cursor = &bytes[..cut];
+            assert!(
+                RleRaster::read_from(&mut cursor).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+        // An offset pointing past the payload is rejected at read time
+        // (not deferred to decode): byte 24 is the first offset's low
+        // byte, and this raster's payload is well under 255 bytes.
+        let mut bad_offset = bytes.clone();
+        bad_offset[24] = 0xFF;
+        assert!(RleRaster::read_from(&mut bad_offset.as_slice()).is_err());
+        // Implausible dimensions are rejected before any allocation.
+        let mut huge = bytes.clone();
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(RleRaster::read_from(&mut huge.as_slice()).is_err());
+        let mut long = bytes.clone();
+        long[8..16].copy_from_slice(&(u64::from(u32::MAX) + 1).to_le_bytes());
+        assert!(RleRaster::read_from(&mut long.as_slice()).is_err());
+        // An oversold payload length is rejected.
+        let mut oversold = bytes;
+        oversold[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(RleRaster::read_from(&mut oversold.as_slice()).is_err());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 pub use ncl_bench as bench;
 pub use ncl_data as data;
 pub use ncl_hw as hw;
+pub use ncl_online as online;
 pub use ncl_runtime as runtime;
+pub use ncl_serve as serve;
 pub use ncl_snn as snn;
 pub use ncl_spike as spike;
 pub use ncl_tensor as tensor;

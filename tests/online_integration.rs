@@ -1,0 +1,244 @@
+//! End-to-end tests of the online continual-learning daemon: a live
+//! `OnlineLearner` + `ncl-serve` pair ingests a stream, learns a novel
+//! class, hot-swaps under prediction load with zero failures, survives a
+//! kill/restore cycle bit-exactly, and produces byte-identical
+//! checkpoints at every worker count.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ncl_online::daemon::{OnlineConfig, OnlineLearner};
+use ncl_online::stream::{SampleStream, StreamConfig};
+use ncl_online::Checkpoint;
+use ncl_serve::client::NclClient;
+use ncl_serve::protocol;
+use ncl_serve::server::{Server, ServerConfig};
+use ncl_snn::serialize;
+use serde_json::Value;
+
+/// Daemon + stream configuration small enough for debug-mode CI but
+/// still exercising every path (bounded store, known-class refresh,
+/// novel arrival, increment, checkpoint).
+fn test_config(parallelism: usize) -> (OnlineConfig, StreamConfig) {
+    let mut config = OnlineConfig::smoke();
+    config.scenario.pretrain_epochs = 4;
+    config.scenario.cl_epochs = 3;
+    config.scenario.parallelism = parallelism;
+    config.arrival_threshold = 3;
+    let stream = StreamConfig {
+        scenario: config.scenario.clone(),
+        warmup_events: 10,
+        total_events: 26,
+        novel_every: 2,
+        seed: 0x0DDB,
+    };
+    (config, stream)
+}
+
+fn temp_checkpoint(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ncl-online-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn live_daemon_learns_swaps_without_drops_and_restores_bit_exactly() {
+    let (mut config, stream_config) = test_config(2);
+    let ckpt_path = temp_checkpoint("live-daemon.ckpt");
+    std::fs::remove_file(&ckpt_path).ok();
+    config.checkpoint_path = Some(ckpt_path.clone());
+    let stream = SampleStream::generate(&stream_config).unwrap();
+
+    let mut learner = OnlineLearner::bootstrap(config.clone()).unwrap();
+    let server = Server::start(learner.registry(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Background prediction traffic spanning bootstrap-serving, the
+    // increment's training window and the hot swap itself.
+    let stop = Arc::new(AtomicBool::new(false));
+    let ok = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let probe = stream.events()[0].raster.clone();
+    let traffic = {
+        let (stop, ok, failed) = (Arc::clone(&stop), Arc::clone(&ok), Arc::clone(&failed));
+        std::thread::spawn(move || {
+            let Ok(mut client) = NclClient::connect(addr) else {
+                failed.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            let mut id = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                match client.round_trip(&protocol::predict_request_line(id, &probe)) {
+                    Ok(reply) if reply.get("ok").and_then(Value::as_bool) == Some(true) => {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                id += 1;
+            }
+        })
+    };
+
+    let summary = learner.run_stream(&stream).unwrap();
+    assert!(
+        !summary.increments.is_empty(),
+        "the novel class must trigger an increment"
+    );
+    assert_eq!(summary.events_applied, stream.len());
+    assert_eq!(learner.version(), 2);
+    assert_eq!(
+        learner.registry().version(),
+        2,
+        "the increment hot-swapped into the serving registry"
+    );
+    assert!(learner.known_classes().contains(&stream.novel_class()));
+
+    // The swapped model must actually serve over the wire.
+    let mut client = NclClient::connect(addr).unwrap();
+    let pong = client.ping().unwrap();
+    assert_eq!(pong.get("model_version").and_then(Value::as_u64), Some(2));
+
+    stop.store(true, Ordering::Relaxed);
+    traffic.join().unwrap();
+    assert!(ok.load(Ordering::Relaxed) > 0, "traffic flowed");
+    assert_eq!(
+        failed.load(Ordering::Relaxed),
+        0,
+        "zero dropped predictions across training + hot swap"
+    );
+    server.shutdown();
+
+    // "Kill" the daemon: capture its state, drop it, restore from the
+    // checkpoint the increment wrote. Everything must come back
+    // bit-identically.
+    learner.write_checkpoint().unwrap();
+    let model_bytes = serialize::to_bytes(learner.network());
+    let buffer_before = learner.buffer().clone();
+    let (cursor, version, digest) = (learner.cursor(), learner.version(), learner.event_digest());
+    let checkpoint_bytes = learner.checkpoint_bytes();
+    drop(learner);
+
+    let restored = OnlineLearner::resume(config).unwrap();
+    assert_eq!(
+        serialize::to_bytes(restored.network()),
+        model_bytes,
+        "restored model is byte-identical"
+    );
+    assert_eq!(
+        restored.buffer(),
+        &buffer_before,
+        "restored replay buffer is identical"
+    );
+    assert_eq!(restored.cursor(), cursor);
+    assert_eq!(restored.version(), version);
+    assert_eq!(restored.event_digest(), digest);
+    assert_eq!(
+        restored.registry().version(),
+        version,
+        "wire-visible model_version must not regress across a restart"
+    );
+    assert_eq!(
+        restored.checkpoint_bytes(),
+        checkpoint_bytes,
+        "re-encoded checkpoint is byte-identical (canonical form)"
+    );
+    // The restored daemon keeps going: feeding it the already-consumed
+    // stream applies nothing, a longer stream resumes mid-way.
+    let mut restored = restored;
+    let replay_summary = restored.run_stream(&stream).unwrap();
+    assert_eq!(replay_summary.events_applied, 0);
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
+fn one_and_four_worker_runs_write_byte_identical_checkpoints() {
+    let mut checkpoints = Vec::new();
+    let mut digests = Vec::new();
+    for parallelism in [1usize, 4] {
+        let (config, stream_config) = test_config(parallelism);
+        let stream = SampleStream::generate(&stream_config).unwrap();
+        let mut learner = OnlineLearner::bootstrap(config).unwrap();
+        let summary = learner.run_stream(&stream).unwrap();
+        assert!(!summary.increments.is_empty());
+        checkpoints.push(learner.checkpoint_bytes());
+        digests.push(learner.event_digest());
+    }
+    assert_eq!(digests[0], digests[1], "event logs agree");
+    assert_eq!(
+        checkpoints[0], checkpoints[1],
+        "1-worker and 4-worker daemons must checkpoint byte-identically"
+    );
+}
+
+#[test]
+fn mid_pending_checkpoint_resumes_identically_to_an_uninterrupted_run() {
+    let (config, stream_config) = test_config(2);
+    let stream = SampleStream::generate(&stream_config).unwrap();
+
+    // Find an event index where novel samples are pending but the
+    // threshold has not fired yet (warmup 10, novel every 2nd, threshold
+    // 3: the first arrival is seq 10, so cutting after seq 12 leaves 2
+    // pending).
+    let cut = 13u64;
+
+    // Run A: uninterrupted.
+    let mut uninterrupted = OnlineLearner::bootstrap(config.clone()).unwrap();
+    uninterrupted.run_stream(&stream).unwrap();
+
+    // Run B: checkpoint mid-pending, "die", resume, finish.
+    let ckpt_path = temp_checkpoint("mid-pending.ckpt");
+    std::fs::remove_file(&ckpt_path).ok();
+    let mut cfg_b = config;
+    cfg_b.checkpoint_path = Some(ckpt_path.clone());
+    let mut first_half = OnlineLearner::bootstrap(cfg_b.clone()).unwrap();
+    for event in stream.events().iter().take(cut as usize) {
+        first_half.ingest(event).unwrap();
+    }
+    assert!(
+        first_half.pending_samples() > 0,
+        "the cut must land mid-arrival for this test to bite"
+    );
+    first_half.write_checkpoint().unwrap();
+    drop(first_half);
+    let mut resumed = OnlineLearner::resume(cfg_b).unwrap();
+    assert!(resumed.pending_samples() > 0, "pending latents restored");
+    resumed.run_stream(&stream).unwrap();
+
+    assert_eq!(resumed.event_digest(), uninterrupted.event_digest());
+    assert_eq!(
+        resumed.checkpoint_bytes(),
+        uninterrupted.checkpoint_bytes(),
+        "a mid-pending kill/resume must converge to the uninterrupted run's exact state"
+    );
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
+fn corrupted_checkpoint_files_never_restore() {
+    let (mut config, stream_config) = test_config(2);
+    let ckpt_path = temp_checkpoint("corrupt-restore.ckpt");
+    std::fs::remove_file(&ckpt_path).ok();
+    config.checkpoint_path = Some(ckpt_path.clone());
+    let stream = SampleStream::generate(&stream_config).unwrap();
+    let mut learner = OnlineLearner::bootstrap(config.clone()).unwrap();
+    learner.run_stream(&stream).unwrap();
+    learner.write_checkpoint().unwrap();
+    drop(learner);
+
+    let good = std::fs::read(&ckpt_path).unwrap();
+    assert!(Checkpoint::from_bytes(&good).is_ok());
+    // One flipped byte anywhere — header, model, RLE payload, CRC — must
+    // fail the restore; spot-check positions across every region.
+    for i in [0, 9, 47, good.len() / 3, good.len() / 2, good.len() - 1] {
+        let mut corrupt = good.clone();
+        corrupt[i] ^= 0x10;
+        std::fs::write(&ckpt_path, &corrupt).unwrap();
+        assert!(
+            OnlineLearner::resume(config.clone()).is_err(),
+            "corruption at byte {i} restored"
+        );
+    }
+    std::fs::remove_file(&ckpt_path).ok();
+}
