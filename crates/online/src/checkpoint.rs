@@ -90,17 +90,81 @@ fn alignment_from_tag(tag: u8) -> Result<Alignment, OnlineError> {
     }
 }
 
-fn bad(detail: impl Into<String>) -> OnlineError {
+pub(crate) fn bad(detail: impl Into<String>) -> OnlineError {
     OnlineError::Checkpoint {
         detail: detail.into(),
     }
 }
 
-fn need(buf: &&[u8], n: usize, what: &str) -> Result<(), OnlineError> {
+pub(crate) fn need(buf: &&[u8], n: usize, what: &str) -> Result<(), OnlineError> {
     if buf.remaining() < n {
         return Err(bad(format!("truncated while reading {what}")));
     }
     Ok(())
+}
+
+/// Encodes one latent entry (label, original steps, codec factor,
+/// RLE-coded frames) — the per-entry wire format shared by the full
+/// checkpoint and the checkpoint delta's store tail.
+pub(crate) fn write_entry(buf: &mut Vec<u8>, entry: &LatentEntry) {
+    buf.put_u32_le(u32::from(entry.label()));
+    buf.put_u64_le(entry.original_steps() as u64);
+    match entry.codec_factor() {
+        Some(factor) => {
+            buf.put_u8(1);
+            buf.put_u32_le(factor.get());
+        }
+        None => {
+            buf.put_u8(0);
+            buf.put_u32_le(0);
+        }
+    }
+    RleRaster::encode(entry.frames()).write_into(buf);
+}
+
+/// Decodes one latent entry written by [`write_entry`]; `i` labels the
+/// entry in error messages.
+pub(crate) fn read_entry(buf: &mut &[u8], i: u64) -> Result<LatentEntry, OnlineError> {
+    need(buf, 4 + 8 + 1 + 4, "entry header")?;
+    let raw_label = buf.get_u32_le();
+    let label = u16::try_from(raw_label)
+        .map_err(|_| bad(format!("entry {i}: label {raw_label} overflows u16")))?;
+    let original_steps = buf.get_u64_le() as usize;
+    let has_factor = buf.get_u8();
+    let factor_raw = buf.get_u32_le();
+    let codec_factor = match has_factor {
+        0 => None,
+        1 => Some(CompressionFactor::new(factor_raw).map_err(|e| bad(format!("entry {i}: {e}")))?),
+        other => return Err(bad(format!("entry {i}: bad factor flag {other}"))),
+    };
+    let rle = RleRaster::read_from(buf).map_err(|e| bad(format!("entry {i} frames: {e}")))?;
+    let frames = rle
+        .decode()
+        .map_err(|e| bad(format!("entry {i} frames: {e}")))?;
+    LatentEntry::from_parts(frames, original_steps, codec_factor, label)
+        .map_err(|e| bad(format!("entry {i}: {e}")))
+}
+
+/// Encodes one pending novel-class latent (label + RLE-coded raster).
+pub(crate) fn write_pending(buf: &mut Vec<u8>, label: u16, raster: &ncl_spike::SpikeRaster) {
+    buf.put_u32_le(u32::from(label));
+    RleRaster::encode(raster).write_into(buf);
+}
+
+/// Decodes one pending latent written by [`write_pending`].
+pub(crate) fn read_pending(
+    buf: &mut &[u8],
+    i: u64,
+) -> Result<(u16, ncl_spike::SpikeRaster), OnlineError> {
+    need(buf, 4, "pending label")?;
+    let raw_label = buf.get_u32_le();
+    let label = u16::try_from(raw_label)
+        .map_err(|_| bad(format!("pending {i}: label {raw_label} overflows u16")))?;
+    let rle = RleRaster::read_from(buf).map_err(|e| bad(format!("pending {i} frames: {e}")))?;
+    let raster = rle
+        .decode()
+        .map_err(|e| bad(format!("pending {i} frames: {e}")))?;
+    Ok((label, raster))
 }
 
 /// Borrowed view of the resumable state — what [`Checkpoint::to_bytes`]
@@ -160,26 +224,13 @@ impl CheckpointView<'_> {
         }
         buf.put_u64_le(self.buffer.len() as u64);
         for entry in self.buffer {
-            buf.put_u32_le(u32::from(entry.label()));
-            buf.put_u64_le(entry.original_steps() as u64);
-            match entry.codec_factor() {
-                Some(factor) => {
-                    buf.put_u8(1);
-                    buf.put_u32_le(factor.get());
-                }
-                None => {
-                    buf.put_u8(0);
-                    buf.put_u32_le(0);
-                }
-            }
-            RleRaster::encode(entry.frames()).write_into(&mut buf);
+            write_entry(&mut buf, entry);
         }
 
         // Pending novel-class latents (captured, below the threshold).
         buf.put_u64_le(self.pending.len() as u64);
         for (label, raster) in self.pending {
-            buf.put_u32_le(u32::from(*label));
-            RleRaster::encode(raster).write_into(&mut buf);
+            write_pending(&mut buf, *label, raster);
         }
 
         let crc = crc32(&buf);
@@ -297,29 +348,7 @@ impl Checkpoint {
         }
         let mut entries = Vec::with_capacity(entry_count as usize);
         for i in 0..entry_count {
-            need(&buf, 4 + 8 + 1 + 4, "entry header")?;
-            let raw_label = buf.get_u32_le();
-            let label = u16::try_from(raw_label)
-                .map_err(|_| bad(format!("entry {i}: label {raw_label} overflows u16")))?;
-            let original_steps = buf.get_u64_le() as usize;
-            let has_factor = buf.get_u8();
-            let factor_raw = buf.get_u32_le();
-            let codec_factor = match has_factor {
-                0 => None,
-                1 => Some(
-                    CompressionFactor::new(factor_raw)
-                        .map_err(|e| bad(format!("entry {i}: {e}")))?,
-                ),
-                other => return Err(bad(format!("entry {i}: bad factor flag {other}"))),
-            };
-            let rle = RleRaster::read_from(&mut buf)
-                .map_err(|e| bad(format!("entry {i} frames: {e}")))?;
-            let frames = rle
-                .decode()
-                .map_err(|e| bad(format!("entry {i} frames: {e}")))?;
-            let entry = LatentEntry::from_parts(frames, original_steps, codec_factor, label)
-                .map_err(|e| bad(format!("entry {i}: {e}")))?;
-            entries.push(entry);
+            entries.push(read_entry(&mut buf, i)?);
         }
         let buffer = LatentReplayBuffer::from_entries(alignment, capacity_bits, entries)
             .map_err(|e| bad(format!("buffer snapshot: {e}")))?;
@@ -334,16 +363,7 @@ impl Checkpoint {
         }
         let mut pending = Vec::with_capacity(pending_count as usize);
         for i in 0..pending_count {
-            need(&buf, 4, "pending label")?;
-            let raw_label = buf.get_u32_le();
-            let label = u16::try_from(raw_label)
-                .map_err(|_| bad(format!("pending {i}: label {raw_label} overflows u16")))?;
-            let rle = RleRaster::read_from(&mut buf)
-                .map_err(|e| bad(format!("pending {i} frames: {e}")))?;
-            let raster = rle
-                .decode()
-                .map_err(|e| bad(format!("pending {i} frames: {e}")))?;
-            pending.push((label, raster));
+            pending.push(read_pending(&mut buf, i)?);
         }
         if !buf.is_empty() {
             return Err(bad(format!(

@@ -33,6 +33,15 @@ pub enum OnlineError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A checkpoint delta was built on a different base version than the
+    /// state it was applied to — replication must fall back to a full
+    /// checkpoint instead of guessing.
+    DeltaMismatch {
+        /// The base version the applying replica holds.
+        expected_base: u64,
+        /// The base version the delta was built on.
+        got_base: u64,
+    },
     /// Underlying methodology failure.
     Ncl(NclError),
     /// Underlying network failure.
@@ -53,6 +62,13 @@ impl fmt::Display for OnlineError {
                 write!(f, "out-of-order event: expected seq {expected}, got {got}")
             }
             OnlineError::Checkpoint { detail } => write!(f, "bad checkpoint: {detail}"),
+            OnlineError::DeltaMismatch {
+                expected_base,
+                got_base,
+            } => write!(
+                f,
+                "delta base mismatch: built on v{got_base}, this replica holds v{expected_base}"
+            ),
             OnlineError::Ncl(e) => write!(f, "methodology failure: {e}"),
             OnlineError::Snn(e) => write!(f, "network failure: {e}"),
             OnlineError::Spike(e) => write!(f, "spike failure: {e}"),

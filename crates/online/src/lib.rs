@@ -57,12 +57,16 @@
 
 pub mod checkpoint;
 pub mod daemon;
+pub mod delta;
 pub mod detector;
 pub mod error;
+pub mod publish;
 pub mod stream;
 
 pub use checkpoint::Checkpoint;
 pub use daemon::{IncrementReport, IngestOutcome, OnlineConfig, OnlineLearner, RunSummary};
+pub use delta::CheckpointDelta;
 pub use detector::NoveltyTracker;
 pub use error::OnlineError;
+pub use publish::DeltaPublisher;
 pub use stream::{SampleStream, StreamConfig, StreamEvent};

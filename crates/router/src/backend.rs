@@ -1,0 +1,266 @@
+//! One replica, as the router sees it.
+//!
+//! A [`Backend`] owns a small pool of NDJSON connections to its replica
+//! plus the router-side view of its state: health, role, served model
+//! version and per-replica request counters. All request traffic —
+//! client predicts, health probes, delta relays — goes through
+//! [`Backend::request`], which checks a pooled connection out, runs one
+//! line-for-line round trip, and returns the connection only if the
+//! round trip succeeded (an errored connection is dropped, never
+//! reused: the protocol has no way to resynchronize a half-read line).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde_json::Value;
+
+/// How long one backend round trip may take before the connection is
+/// considered dead. Generous next to sub-ms predicts, tight enough that
+/// a hung replica cannot stall the sync loop or a failover for long.
+const ROUND_TRIP_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Pooled connections per backend. Predict relays hold a connection
+/// only for one round trip, so a handful covers heavy concurrency.
+const POOL_LIMIT: usize = 8;
+
+/// One NDJSON connection to a replica.
+struct BackendConn {
+    stream: TcpStream,
+    /// Bytes read past the last returned line (partial next line).
+    pending: Vec<u8>,
+}
+
+impl BackendConn {
+    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, ROUND_TRIP_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(ROUND_TRIP_TIMEOUT))?;
+        Ok(BackendConn {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    /// One request line out, one response line back.
+    fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let line_bytes: Vec<u8> = self.pending.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line_bytes).trim().to_owned());
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "replica closed mid-response",
+                    ))
+                }
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Router-side state of one replica.
+pub struct Backend {
+    /// Stable replica id (position in the router's backend list).
+    pub id: usize,
+    /// The replica's listen address.
+    pub addr: SocketAddr,
+    healthy: AtomicBool,
+    inflight: AtomicUsize,
+    requests_ok: AtomicU64,
+    requests_failed: AtomicU64,
+    model_version: AtomicU64,
+    role: Mutex<String>,
+    pool: Mutex<Vec<BackendConn>>,
+}
+
+impl Backend {
+    /// A backend starts unknown-unhealthy; the first health probe (or
+    /// successful request) marks it up.
+    #[must_use]
+    pub fn new(id: usize, addr: SocketAddr) -> Self {
+        Backend {
+            id,
+            addr,
+            healthy: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            requests_ok: AtomicU64::new(0),
+            requests_failed: AtomicU64::new(0),
+            model_version: AtomicU64::new(0),
+            role: Mutex::new("unknown".to_owned()),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether the last probe/request reached this replica.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Acquire)
+    }
+
+    /// Requests currently relayed to this replica.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// The model version the replica reported last.
+    #[must_use]
+    pub fn model_version(&self) -> u64 {
+        self.model_version.load(Ordering::Acquire)
+    }
+
+    /// The replication role the replica reported last.
+    #[must_use]
+    pub fn role(&self) -> String {
+        self.role.lock().expect("role poisoned").clone()
+    }
+
+    /// Requests this backend answered (any valid response line).
+    #[must_use]
+    pub fn ok_count(&self) -> u64 {
+        self.requests_ok.load(Ordering::Relaxed)
+    }
+
+    /// Requests that failed on this backend at the transport level.
+    #[must_use]
+    pub fn failed_count(&self) -> u64 {
+        self.requests_failed.load(Ordering::Relaxed)
+    }
+
+    /// Runs one round trip against this replica, tracking inflight and
+    /// success counters. A transport failure marks the backend
+    /// unhealthy (the sync loop's next probe can bring it back).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error. A returned `Ok` line may still
+    /// be a protocol-level `{"ok":false,...}` — that is the replica's
+    /// answer, not a transport failure, and is relayed as such.
+    pub fn request(&self, line: &str) -> std::io::Result<String> {
+        self.inflight.fetch_add(1, Ordering::AcqRel);
+        let result = self.request_inner(line);
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+        match &result {
+            Ok(_) => {
+                self.requests_ok.fetch_add(1, Ordering::Relaxed);
+                self.healthy.store(true, Ordering::Release);
+            }
+            Err(_) => {
+                self.requests_failed.fetch_add(1, Ordering::Relaxed);
+                self.healthy.store(false, Ordering::Release);
+            }
+        }
+        result
+    }
+
+    fn request_inner(&self, line: &str) -> std::io::Result<String> {
+        let pooled = self.pool.lock().expect("pool poisoned").pop();
+        let mut conn = match pooled {
+            Some(conn) => conn,
+            None => BackendConn::connect(self.addr)?,
+        };
+        match conn.round_trip(line) {
+            Ok(response) => {
+                let mut pool = self.pool.lock().expect("pool poisoned");
+                if pool.len() < POOL_LIMIT {
+                    pool.push(conn);
+                }
+                Ok(response)
+            }
+            Err(e) => Err(e), // drop the connection: its stream state is unknown
+        }
+    }
+
+    /// Probes `{"op":"health"}` and refreshes health, role and version.
+    /// Returns the parsed response when the replica answered.
+    pub fn probe_health(&self) -> Option<Value> {
+        let response = match self.request(r#"{"op":"health"}"#) {
+            Ok(response) => response,
+            Err(_) => {
+                // request() already marked us unhealthy; also drop every
+                // pooled connection so recovery starts from fresh sockets.
+                self.pool.lock().expect("pool poisoned").clear();
+                return None;
+            }
+        };
+        let Ok(value) = serde_json::from_str(&response) else {
+            self.healthy.store(false, Ordering::Release);
+            return None;
+        };
+        let value: Value = value;
+        if value.get("ok").and_then(Value::as_bool) != Some(true) {
+            self.healthy.store(false, Ordering::Release);
+            return None;
+        }
+        if let Some(version) = value.get("model_version").and_then(Value::as_u64) {
+            self.model_version.store(version, Ordering::Release);
+        }
+        if let Some(role) = value.get("role").and_then(Value::as_str) {
+            *self.role.lock().expect("role poisoned") = role.to_owned();
+        }
+        Some(value)
+    }
+
+    /// The router's stats entry for this replica.
+    #[must_use]
+    pub fn status(&self) -> Value {
+        ncl_serve::protocol::object(vec![
+            ("id", Value::from(self.id as u64)),
+            ("addr", Value::from(self.addr.to_string())),
+            ("healthy", Value::from(self.is_healthy())),
+            ("role", Value::from(self.role())),
+            ("model_version", Value::from(self.model_version())),
+            ("requests_ok", Value::from(self.ok_count())),
+            ("requests_failed", Value::from(self.failed_count())),
+            ("inflight", Value::from(self.inflight() as u64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_serve::registry::ModelRegistry;
+    use ncl_serve::server::{Server, ServerConfig};
+    use ncl_snn::{Network, NetworkConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn request_pools_connections_and_tracks_health() {
+        let network = Network::new(NetworkConfig::tiny(6, 3)).unwrap();
+        let registry = Arc::new(ModelRegistry::new(network, "test"));
+        let server = Server::start(registry, ServerConfig::default()).unwrap();
+        let backend = Backend::new(0, server.local_addr());
+        assert!(!backend.is_healthy(), "unknown until the first probe");
+
+        let health = backend.probe_health().unwrap();
+        assert_eq!(health.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(backend.is_healthy());
+        assert_eq!(backend.model_version(), 1);
+        assert_eq!(backend.role(), "standalone");
+
+        // A second request reuses the pooled connection.
+        let pong = backend.request(r#"{"op":"ping"}"#).unwrap();
+        assert!(pong.contains("pong"));
+        assert_eq!(backend.ok_count(), 2);
+        assert_eq!(backend.failed_count(), 0);
+
+        // Kill the replica: the next request fails and flips health.
+        server.shutdown();
+        assert!(backend.request(r#"{"op":"ping"}"#).is_err());
+        assert!(!backend.is_healthy());
+        assert!(backend.probe_health().is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! `ncl-replica` — one member of a sharded serving fleet.
+//!
+//! Both roles bootstrap the same deterministic daemon state (identical
+//! configs produce bit-identical v1 checkpoints, so every replica
+//! starts from the same base — the property the delta chain relies on),
+//! then diverge:
+//!
+//! * `--role learner` runs the continual-learning stream: it ingests
+//!   events (paced by `--pace-ms` so increments land mid-load),
+//!   publishes a checkpoint delta after every increment, and answers
+//!   `delta`/`checkpoint` fetches.
+//! * `--role follower` just serves, applying whatever deltas the
+//!   router relays (`apply_delta`/`apply_checkpoint`), hot-swapping at
+//!   the learner's exact version.
+//!
+//! ```sh
+//! ncl-replica --role learner|follower [--port N] [--workers N]
+//!             [--events N] [--warmup N] [--novel-every N] [--pace-ms N]
+//!             [--arrival-threshold N] [--cl-epochs N] [--pretrain-epochs N]
+//!             [--seed N] [--quiet]
+//! ```
+//!
+//! The stream flags only matter for the learner; followers accept them
+//! (so a launcher can pass one flag set to the whole fleet) and ignore
+//! the stream itself.
+
+use std::sync::Arc;
+
+use ncl_online::daemon::{IngestOutcome, OnlineConfig, OnlineLearner};
+use ncl_online::publish::DeltaPublisher;
+use ncl_online::stream::{SampleStream, StreamConfig};
+use ncl_router::replica::{FollowerReplica, LearnerReplica};
+use ncl_serve::server::{Server, ServerConfig};
+use ncl_serve::sync::ReplicaSync;
+
+#[derive(PartialEq)]
+enum Role {
+    Learner,
+    Follower,
+}
+
+struct Args {
+    role: Role,
+    port: u16,
+    workers: usize,
+    events: usize,
+    warmup: usize,
+    novel_every: usize,
+    pace_ms: u64,
+    arrival_threshold: usize,
+    cl_epochs: usize,
+    pretrain_epochs: usize,
+    seed: u64,
+    quiet: bool,
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("ncl-replica: {problem}");
+    eprintln!(
+        "usage: ncl-replica --role learner|follower [--port N] [--workers N] [--events N] \
+         [--warmup N] [--novel-every N] [--pace-ms N] [--arrival-threshold N] [--cl-epochs N] \
+         [--pretrain-epochs N] [--seed N] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        role: Role::Follower,
+        port: 0,
+        workers: 2,
+        events: 60,
+        warmup: 24,
+        novel_every: 3,
+        pace_ms: 0,
+        arrival_threshold: 4,
+        cl_epochs: 6,
+        pretrain_epochs: 10,
+        seed: 0x57EA4,
+        quiet: false,
+    };
+    let mut role_given = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .unwrap_or_else(|| usage(&format!("{what} needs a value")))
+        };
+        macro_rules! parse {
+            ($flag:literal) => {
+                value($flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage(concat!($flag, " must be a non-negative integer")))
+            };
+        }
+        match arg.as_str() {
+            "--role" => {
+                role_given = true;
+                args.role = match value("--role").as_str() {
+                    "learner" => Role::Learner,
+                    "follower" => Role::Follower,
+                    other => usage(&format!("--role must be learner or follower, got {other}")),
+                };
+            }
+            "--port" => args.port = parse!("--port"),
+            "--workers" => args.workers = parse!("--workers"),
+            "--events" => args.events = parse!("--events"),
+            "--warmup" => args.warmup = parse!("--warmup"),
+            "--novel-every" => args.novel_every = parse!("--novel-every"),
+            "--pace-ms" => args.pace_ms = parse!("--pace-ms"),
+            "--arrival-threshold" => args.arrival_threshold = parse!("--arrival-threshold"),
+            "--cl-epochs" => args.cl_epochs = parse!("--cl-epochs"),
+            "--pretrain-epochs" => args.pretrain_epochs = parse!("--pretrain-epochs"),
+            "--seed" => args.seed = parse!("--seed"),
+            "--quiet" => args.quiet = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if !role_given {
+        usage("--role is required");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if let Err(e) = run(&args) {
+        eprintln!("ncl-replica: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = OnlineConfig::smoke();
+    config.scenario.parallelism = args.workers.max(1);
+    config.scenario.cl_epochs = args.cl_epochs.max(1);
+    config.scenario.pretrain_epochs = args.pretrain_epochs.max(1);
+    config.arrival_threshold = args.arrival_threshold;
+
+    // Every replica bootstraps the same state: the config digest pins
+    // the determinism-relevant fields, and bootstrap is a deterministic
+    // function of them.
+    let mut learner = OnlineLearner::bootstrap(config.clone())?;
+    if !args.quiet {
+        println!(
+            "bootstrapped: {} classes at {:.1}% test accuracy, {} latent entries",
+            learner.known_classes().len(),
+            learner.pretrain_acc() * 100.0,
+            learner.buffer().len()
+        );
+    }
+
+    let server_config = ServerConfig {
+        port: args.port,
+        ..ServerConfig::default()
+    };
+    match args.role {
+        Role::Follower => {
+            let follower = Arc::new(FollowerReplica::new(learner.checkpoint()));
+            let registry = follower.registry();
+            let sync: Arc<dyn ReplicaSync> = follower;
+            let server = Server::start_with_sync(registry, server_config, Some(sync))?;
+            println!(
+                "listening on {} (model v{}, role follower)",
+                server.local_addr(),
+                server.registry().version()
+            );
+            server.wait();
+        }
+        Role::Learner => {
+            let publisher = Arc::new(DeltaPublisher::new(learner.checkpoint()));
+            let sync: Arc<dyn ReplicaSync> = Arc::new(LearnerReplica::new(Arc::clone(&publisher)));
+            let server = Server::start_with_sync(learner.registry(), server_config, Some(sync))?;
+            println!(
+                "listening on {} (model v{}, role learner)",
+                server.local_addr(),
+                learner.version()
+            );
+
+            let stream = SampleStream::generate(&StreamConfig {
+                scenario: config.scenario.clone(),
+                warmup_events: args.warmup,
+                total_events: args.events,
+                novel_every: args.novel_every.max(1),
+                seed: args.seed,
+            })?;
+            let mut increments = 0usize;
+            for event in stream.events_from(learner.cursor()) {
+                if let IngestOutcome::Increment(report) = learner.ingest(event)? {
+                    increments += 1;
+                    let delta_bytes = publisher.publish(learner.checkpoint())?;
+                    println!(
+                        "increment v{}: learned class(es) {:?}, published a {} B delta",
+                        report.version, report.classes, delta_bytes
+                    );
+                }
+                if args.pace_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(args.pace_ms));
+                }
+            }
+            println!(
+                "stream done: {} events, {} increment(s), model v{}",
+                args.events,
+                increments,
+                learner.version()
+            );
+            server.wait();
+        }
+    }
+    println!("drained and stopped.");
+    Ok(())
+}

@@ -1,0 +1,379 @@
+//! `ncl-router-bench` — measures the sharded-serving fleet and emits
+//! `BENCH_router.json`.
+//!
+//! Boots an in-process two-replica fleet (learner + follower, both
+//! from the same deterministic bootstrap) behind a router, then
+//! measures the three numbers the sharding design is accountable for:
+//!
+//! 1. **Routing overhead** — predict latency/throughput direct to a
+//!    replica vs through the router.
+//! 2. **Delta economy** — published checkpoint-delta size vs the full
+//!    checkpoint per increment (the scenario puts the insertion layer
+//!    at the last hidden layer, so increments only touch the readout —
+//!    the regime the paper's frozen-backbone design creates).
+//! 3. **Propagation latency** — time from the learner publishing an
+//!    increment to the follower serving that exact version, while
+//!    routed load keeps flowing.
+//!
+//! Gates (exit 1 on violation): zero failed requests anywhere, every
+//! delta ≤ 10% of its full checkpoint, and the follower's final state
+//! **bit-identical** to the learner's checkpoint.
+//!
+//! ```sh
+//! ncl-router-bench [--quick] [--requests N] [--out PATH]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncl_data::ShdLikeConfig;
+use ncl_online::daemon::{IngestOutcome, OnlineConfig, OnlineLearner};
+use ncl_online::publish::DeltaPublisher;
+use ncl_online::stream::{SampleStream, StreamConfig};
+use ncl_router::backend::Backend;
+use ncl_router::replica::{FollowerReplica, LearnerReplica};
+use ncl_router::router::{Router, RouterConfig};
+use ncl_serve::client::NclClient;
+use ncl_serve::protocol::object;
+use ncl_serve::server::{Server, ServerConfig};
+use ncl_serve::sync::ReplicaSync;
+use ncl_snn::NetworkConfig;
+use ncl_spike::SpikeRaster;
+use serde_json::Value;
+
+struct Args {
+    quick: bool,
+    requests: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        requests: 400,
+        out: "BENCH_router.json".to_owned(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--requests" => {
+                args.requests = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("ncl-router-bench: --requests needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                args.out = iter.next().unwrap_or_else(|| {
+                    eprintln!("ncl-router-bench: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("ncl-router-bench: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.quick {
+        args.requests = args.requests.min(120);
+    }
+    args
+}
+
+/// The fleet scenario: the insertion layer sits at the last hidden
+/// layer, so an increment's learning stage is the readout alone —
+/// deltas ship ~2% of the parameters. (The smoke scenario's insertion
+/// layer 1 would retrain most of the network and make deltas pointless.)
+fn fleet_config() -> OnlineConfig {
+    let mut config = OnlineConfig::smoke();
+    let mut data = ShdLikeConfig::smoke_test();
+    data.classes = 5;
+    data.channels = 64;
+    data.steps = 40;
+    data.train_per_class = 8;
+    data.test_per_class = 4;
+    let mut network = NetworkConfig::tiny(64, 5);
+    network.hidden_sizes = vec![48, 24];
+    config.scenario.data = data;
+    config.scenario.network = network;
+    config.scenario.insertion_layer = 2;
+    config.scenario.pretrain_epochs = 6;
+    config.scenario.cl_epochs = 4;
+    config.scenario.seed = 11;
+    config.capacity_bits = Some(24 * 1024);
+    config
+}
+
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Drives `count` predicts against `addr`; returns (ok, failed,
+/// latencies µs, wall).
+fn drive(
+    addr: std::net::SocketAddr,
+    raster: &SpikeRaster,
+    count: usize,
+) -> (u64, u64, Vec<u64>, Duration) {
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut latencies = Vec::with_capacity(count);
+    let started = Instant::now();
+    let mut client = NclClient::connect(addr).expect("connect");
+    for i in 0..count {
+        let sent = Instant::now();
+        match client.predict(i as u64, raster) {
+            Ok(reply) if reply.get("ok").and_then(Value::as_bool) == Some(true) => {
+                ok += 1;
+                latencies.push(sent.elapsed().as_micros() as u64);
+            }
+            _ => failed += 1,
+        }
+    }
+    (ok, failed, latencies, started.elapsed())
+}
+
+fn load_block(ok: u64, failed: u64, latencies: &mut [u64], wall: Duration) -> Value {
+    latencies.sort_unstable();
+    object(vec![
+        ("requests_ok", Value::from(ok)),
+        ("requests_failed", Value::from(failed)),
+        (
+            "requests_per_sec",
+            Value::from(ok as f64 / wall.as_secs_f64().max(1e-9)),
+        ),
+        ("p50_us", Value::from(percentile_us(latencies, 0.50))),
+        ("p95_us", Value::from(percentile_us(latencies, 0.95))),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let total_start = Instant::now();
+    let config = fleet_config();
+
+    // --- fleet bootstrap ------------------------------------------------
+    eprintln!("bootstrapping the fleet (shared deterministic base)...");
+    let mut learner = OnlineLearner::bootstrap(config.clone()).expect("bootstrap");
+    let publisher = Arc::new(DeltaPublisher::new(learner.checkpoint()));
+    let learner_sync: Arc<dyn ReplicaSync> = Arc::new(LearnerReplica::new(Arc::clone(&publisher)));
+    let learner_server = Server::start_with_sync(
+        learner.registry(),
+        ServerConfig::default(),
+        Some(learner_sync),
+    )
+    .expect("learner server");
+
+    // The follower starts from the learner's checkpoint *bytes* — the
+    // same payload a cold follower would fetch over the wire.
+    let follower_ckpt = ncl_online::Checkpoint::from_bytes(&learner.checkpoint_bytes())
+        .expect("decode bootstrap checkpoint");
+    let follower = Arc::new(FollowerReplica::new(follower_ckpt));
+    let follower_sync: Arc<dyn ReplicaSync> = Arc::clone(&follower) as Arc<dyn ReplicaSync>;
+    let follower_server = Server::start_with_sync(
+        follower.registry(),
+        ServerConfig::default(),
+        Some(follower_sync),
+    )
+    .expect("follower server");
+
+    let backends = vec![
+        Arc::new(Backend::new(0, learner_server.local_addr())),
+        Arc::new(Backend::new(1, follower_server.local_addr())),
+    ];
+    let router = Router::start(
+        backends,
+        RouterConfig {
+            sync_interval: Duration::from_millis(25),
+            ..RouterConfig::default()
+        },
+    )
+    .expect("router");
+
+    let input_size = config.scenario.data.channels;
+    let raster = SpikeRaster::from_fn(input_size, 24, |n, t| (n * 5 + t * 3) % 11 == 0);
+
+    // --- 1. routing overhead -------------------------------------------
+    eprintln!("measuring direct vs routed predict paths...");
+    let (d_ok, d_failed, mut d_lat, d_wall) =
+        drive(learner_server.local_addr(), &raster, args.requests);
+    let (r_ok, r_failed, mut r_lat, r_wall) = drive(router.local_addr(), &raster, args.requests);
+    let direct = load_block(d_ok, d_failed, &mut d_lat, d_wall);
+    let routed = load_block(r_ok, r_failed, &mut r_lat, r_wall);
+    let overhead_pct = {
+        let direct_p50 = percentile_us(&d_lat, 0.50).max(1) as f64;
+        let routed_p50 = percentile_us(&r_lat, 0.50) as f64;
+        (routed_p50 - direct_p50) / direct_p50 * 100.0
+    };
+
+    // --- 2 + 3. stream increments: delta economy + propagation ----------
+    eprintln!("running the learning stream under routed load...");
+    let stream = SampleStream::generate(&StreamConfig {
+        scenario: config.scenario.clone(),
+        warmup_events: 16,
+        total_events: if args.quick { 40 } else { 56 },
+        novel_every: 3,
+        seed: 0xF1EE7,
+    })
+    .expect("stream");
+
+    // Background routed load while increments propagate.
+    let stop_load = Arc::new(AtomicBool::new(false));
+    let bg_ok = Arc::new(AtomicU64::new(0));
+    let bg_failed = Arc::new(AtomicU64::new(0));
+    let bg_handle = {
+        let stop = Arc::clone(&stop_load);
+        let ok = Arc::clone(&bg_ok);
+        let failed = Arc::clone(&bg_failed);
+        let addr = router.local_addr();
+        let raster = raster.clone();
+        std::thread::spawn(move || {
+            let mut client = NclClient::connect(addr).expect("bg connect");
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                match client.predict(i, &raster) {
+                    Ok(reply) if reply.get("ok").and_then(Value::as_bool) == Some(true) => {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                i += 1;
+            }
+        })
+    };
+
+    let mut increments: Vec<Value> = Vec::new();
+    let mut max_ratio = 0.0f64;
+    let mut propagation_ms: Vec<u64> = Vec::new();
+    for event in stream.events_from(learner.cursor()) {
+        let outcome = learner.ingest(event).expect("ingest");
+        if let IngestOutcome::Increment(report) = outcome {
+            let delta_bytes = publisher.publish(learner.checkpoint()).expect("publish");
+            let full_bytes = publisher.checkpoint_bytes().len();
+            let ratio = delta_bytes as f64 / full_bytes as f64;
+            max_ratio = max_ratio.max(ratio);
+            // Propagation: publish -> follower registry serves the
+            // learner's exact version (the 25 ms sync loop relays it).
+            let published = Instant::now();
+            let target = learner.version();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while follower.registry().version() < target {
+                if Instant::now() > deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let reached = follower.registry().version() >= target;
+            let elapsed_ms = published.elapsed().as_millis() as u64;
+            propagation_ms.push(elapsed_ms);
+            eprintln!(
+                "increment v{}: delta {delta_bytes} B / full {full_bytes} B \
+                 (ratio {:.1}%), propagated in {elapsed_ms} ms{}",
+                report.version,
+                ratio * 100.0,
+                if reached { "" } else { " [TIMED OUT]" },
+            );
+            increments.push(object(vec![
+                ("version", Value::from(report.version)),
+                ("delta_bytes", Value::from(delta_bytes)),
+                ("full_checkpoint_bytes", Value::from(full_bytes)),
+                ("ratio", Value::from(ratio)),
+                ("propagation_ms", Value::from(elapsed_ms)),
+                ("propagated", Value::from(reached)),
+            ]));
+        }
+    }
+    stop_load.store(true, Ordering::Release);
+    bg_handle.join().expect("bg load thread");
+
+    // --- bit-identity ----------------------------------------------------
+    // The follower converges to the last *published* checkpoint; the
+    // learner's live state keeps drifting (cursor/pending advance on
+    // non-increment events), so the publisher's bytes are the target.
+    router.sync_now();
+    let published_bytes = publisher.checkpoint_bytes();
+    let follower_bytes = follower.checkpoint_bytes();
+    let bit_identical = published_bytes == follower_bytes;
+
+    propagation_ms.sort_unstable();
+    let report = object(vec![
+        ("bench", Value::from("router")),
+        ("replicas", Value::from(2u64)),
+        ("requests_per_phase", Value::from(args.requests)),
+        ("direct", direct),
+        ("routed", routed),
+        ("router_overhead_pct", Value::from(overhead_pct)),
+        (
+            "background",
+            object(vec![
+                ("requests_ok", Value::from(bg_ok.load(Ordering::Relaxed))),
+                (
+                    "requests_failed",
+                    Value::from(bg_failed.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        (
+            "delta",
+            object(vec![
+                ("increments", Value::from(increments.len())),
+                ("max_ratio", Value::from(max_ratio)),
+                ("deltas_applied", Value::from(follower.deltas_applied())),
+                ("full_syncs", Value::from(follower.full_syncs())),
+                ("per_increment", increments.into_iter().collect::<Value>()),
+            ]),
+        ),
+        (
+            "propagation",
+            object(vec![
+                ("p50_ms", Value::from(percentile_us(&propagation_ms, 0.50))),
+                ("max_ms", Value::from(percentile_us(&propagation_ms, 1.0))),
+            ]),
+        ),
+        ("follower_bit_identical", Value::from(bit_identical)),
+        (
+            "total_wall_s",
+            Value::from(total_start.elapsed().as_secs_f64()),
+        ),
+    ]);
+    std::fs::write(&args.out, format!("{}\n", report.to_json_pretty())).expect("write report");
+    println!("{}", report.to_json_pretty());
+    eprintln!("wrote {}", args.out);
+
+    router.shutdown();
+    learner_server.shutdown();
+    follower_server.shutdown();
+
+    // --- gates -----------------------------------------------------------
+    let mut bad = Vec::new();
+    if d_failed + r_failed + bg_failed.load(Ordering::Relaxed) > 0 {
+        bad.push("requests failed".to_owned());
+    }
+    if propagation_ms.is_empty() {
+        bad.push("no increments ran".to_owned());
+    }
+    if max_ratio > 0.10 {
+        bad.push(format!(
+            "delta ratio {:.1}% exceeds the 10% gate",
+            max_ratio * 100.0
+        ));
+    }
+    if !bit_identical {
+        bad.push("follower checkpoint is not bit-identical to the learner's".to_owned());
+    }
+    if !bad.is_empty() {
+        for problem in &bad {
+            eprintln!("ncl-router-bench: GATE FAILED: {problem}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("all gates passed");
+}

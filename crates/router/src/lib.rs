@@ -1,0 +1,44 @@
+//! **ncl-router** — a sharded serving fleet for Replay4NCL models.
+//!
+//! One learner replica keeps learning from the stream; N follower
+//! replicas serve the same model. The router fronts them all on the
+//! existing NDJSON-over-TCP protocol, so clients see one address and
+//! one monotonic `model_version`:
+//!
+//! ```text
+//!              ┌────────────┐   predict    ┌──────────────────┐
+//!   clients ──▶│ ncl-router │─────────────▶│ replica 0 learner │──┐
+//!              │  dispatch  │─────────────▶│ replica 1 follower│  │ delta
+//!              │  + sync    │─────────────▶│ replica 2 follower│◀─┘ (KB)
+//!              └────────────┘   health/    └──────────────────┘
+//!                               delta relay
+//! ```
+//!
+//! * [`backend::Backend`] — one replica as the router sees it: a pooled
+//!   NDJSON connection, health state, per-replica counters.
+//! * [`router::Router`] — the front server: least-loaded (or
+//!   consistent-hash) predict dispatch with failover, aggregate stats.
+//! * [`sync`] — the replication loop: after each learner increment the
+//!   router pulls the published [`ncl_online::CheckpointDelta`] and
+//!   pushes it to every follower that is behind; any mismatch falls
+//!   back to a full checkpoint. Followers apply bit-identically (the
+//!   delta's `target_crc` guarantees it) and hot-swap at the learner's
+//!   exact version.
+//! * [`replica`] — the [`ncl_serve::ReplicaSync`] implementations the
+//!   `ncl-replica` binary mounts: [`replica::LearnerReplica`] (publishes
+//!   deltas) and [`replica::FollowerReplica`] (applies them).
+//!
+//! The `ncl-router` and `ncl-replica` binaries wrap this into
+//! processes; `ncl-router-bench` measures routing overhead, delta size
+//! vs full checkpoints, and propagation latency into
+//! `BENCH_router.json`.
+
+pub mod backend;
+pub mod replica;
+pub mod router;
+pub mod sync;
+
+pub use backend::Backend;
+pub use replica::{FollowerReplica, LearnerReplica};
+pub use router::{DispatchPolicy, Router, RouterConfig};
+pub use sync::SyncStats;

@@ -1,0 +1,323 @@
+//! The fleet members: what a learner and a follower each contribute to
+//! the replication protocol.
+//!
+//! Both types implement [`ncl_serve::ReplicaSync`] and are mounted on a
+//! serve instance via [`ncl_serve::Server::start_with_sync`]:
+//!
+//! * [`LearnerReplica`] wraps a [`DeltaPublisher`]. The learner process
+//!   publishes a fresh checkpoint after every committed increment; the
+//!   wire side answers `delta`/`checkpoint` fetches from the publisher
+//!   and refuses applies (nothing overwrites the learner's state but
+//!   its own training).
+//! * [`FollowerReplica`] holds the follower's full daemon state (a
+//!   [`Checkpoint`]) behind a mutex. `apply_delta` decodes, applies
+//!   against the held base — bit-identity enforced by the delta's
+//!   target CRC — and hot-swaps the registry at the learner's exact
+//!   version. Any mismatch reports an error precise enough for the
+//!   router to fall back to a full checkpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ncl_online::checkpoint::Checkpoint;
+use ncl_online::delta::CheckpointDelta;
+use ncl_online::error::OnlineError;
+use ncl_online::publish::DeltaPublisher;
+use ncl_serve::error::ServeError;
+use ncl_serve::registry::ModelRegistry;
+use ncl_serve::sync::ReplicaSync;
+use serde_json::Value;
+
+/// Maps a replication-layer decode/apply failure onto the wire error.
+fn repl(e: &OnlineError) -> ServeError {
+    ServeError::Replication {
+        detail: e.to_string(),
+    }
+}
+
+/// The learner's side of replication: serves deltas and checkpoints
+/// from its [`DeltaPublisher`], accepts nothing.
+pub struct LearnerReplica {
+    publisher: Arc<DeltaPublisher>,
+}
+
+impl LearnerReplica {
+    /// Wraps the publisher the learner process feeds after increments.
+    #[must_use]
+    pub fn new(publisher: Arc<DeltaPublisher>) -> Self {
+        LearnerReplica { publisher }
+    }
+}
+
+impl ReplicaSync for LearnerReplica {
+    fn role(&self) -> &'static str {
+        "learner"
+    }
+
+    fn health_extra(&self) -> Vec<(&'static str, Value)> {
+        vec![("published_version", Value::from(self.publisher.version()))]
+    }
+
+    fn fetch_delta(&self, base_version: u64) -> Result<(u64, Vec<u8>), ServeError> {
+        self.publisher
+            .delta_from(base_version)
+            .ok_or_else(|| ServeError::Replication {
+                detail: format!(
+                    "no retained delta from v{base_version} (published v{})",
+                    self.publisher.version()
+                ),
+            })
+    }
+
+    fn apply_delta(&self, _payload: &[u8]) -> Result<u64, ServeError> {
+        Err(ServeError::Replication {
+            detail: "the learner's state comes from training, not pushed deltas".into(),
+        })
+    }
+
+    fn fetch_checkpoint(&self) -> Result<Vec<u8>, ServeError> {
+        Ok(self.publisher.checkpoint_bytes())
+    }
+
+    fn apply_checkpoint(&self, _payload: &[u8]) -> Result<u64, ServeError> {
+        Err(ServeError::Replication {
+            detail: "the learner's state comes from training, not pushed checkpoints".into(),
+        })
+    }
+}
+
+/// A follower's replication state: the daemon checkpoint it currently
+/// mirrors, the registry it hot-swaps, and sync counters for `health`.
+pub struct FollowerReplica {
+    registry: Arc<ModelRegistry>,
+    state: Mutex<Checkpoint>,
+    deltas_applied: AtomicU64,
+    full_syncs: AtomicU64,
+}
+
+impl FollowerReplica {
+    /// Builds a follower from its bootstrap checkpoint, creating the
+    /// registry that serves it (version mirrored from the checkpoint).
+    #[must_use]
+    pub fn new(initial: Checkpoint) -> Self {
+        let registry = Arc::new(ModelRegistry::with_initial_version(
+            initial.network.clone(),
+            "bootstrap",
+            initial.version,
+        ));
+        FollowerReplica {
+            registry,
+            state: Mutex::new(initial),
+            deltas_applied: AtomicU64::new(0),
+            full_syncs: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry this follower serves through.
+    #[must_use]
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The mirrored checkpoint's full encoding (bit-identity checks).
+    #[must_use]
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        self.state.lock().expect("state poisoned").to_bytes()
+    }
+
+    /// Deltas applied since startup.
+    #[must_use]
+    pub fn deltas_applied(&self) -> u64 {
+        self.deltas_applied.load(Ordering::Relaxed)
+    }
+
+    /// Full-checkpoint resyncs since startup.
+    #[must_use]
+    pub fn full_syncs(&self) -> u64 {
+        self.full_syncs.load(Ordering::Relaxed)
+    }
+}
+
+impl ReplicaSync for FollowerReplica {
+    fn role(&self) -> &'static str {
+        "follower"
+    }
+
+    fn health_extra(&self) -> Vec<(&'static str, Value)> {
+        vec![
+            ("deltas_applied", Value::from(self.deltas_applied())),
+            ("full_syncs", Value::from(self.full_syncs())),
+        ]
+    }
+
+    fn fetch_delta(&self, _base_version: u64) -> Result<(u64, Vec<u8>), ServeError> {
+        Err(ServeError::Replication {
+            detail: "followers do not publish deltas".into(),
+        })
+    }
+
+    fn apply_delta(&self, payload: &[u8]) -> Result<u64, ServeError> {
+        let delta = CheckpointDelta::from_bytes(payload).map_err(|e| repl(&e))?;
+        let mut state = self.state.lock().expect("state poisoned");
+        if delta.version <= state.version {
+            return Err(ServeError::StaleVersion {
+                current: state.version,
+                proposed: delta.version,
+            });
+        }
+        let next = delta.apply(&state).map_err(|e| repl(&e))?;
+        // Swap first: if the registry refuses (shape/stale), the held
+        // state must not advance either.
+        let version = self.registry.swap_network_at(
+            next.network.clone(),
+            &format!("delta-v{}", next.version),
+            next.version,
+        )?;
+        *state = next;
+        self.deltas_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+
+    fn fetch_checkpoint(&self) -> Result<Vec<u8>, ServeError> {
+        Ok(self.checkpoint_bytes())
+    }
+
+    fn apply_checkpoint(&self, payload: &[u8]) -> Result<u64, ServeError> {
+        let next = Checkpoint::from_bytes(payload).map_err(|e| repl(&e))?;
+        let mut state = self.state.lock().expect("state poisoned");
+        if next.config_digest != state.config_digest {
+            return Err(ServeError::Replication {
+                detail: "checkpoint from a differently-configured fleet".into(),
+            });
+        }
+        if next.version <= state.version {
+            return Err(ServeError::StaleVersion {
+                current: state.version,
+                proposed: next.version,
+            });
+        }
+        let version = self.registry.swap_network_at(
+            next.network.clone(),
+            &format!("checkpoint-v{}", next.version),
+            next.version,
+        )?;
+        *state = next;
+        self.full_syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_snn::{Network, NetworkConfig};
+    use ncl_spike::memory::Alignment;
+    use ncl_spike::SpikeRaster;
+    use replay4ncl::buffer::{LatentEntry, LatentReplayBuffer};
+
+    fn checkpoint(version: u64) -> Checkpoint {
+        let mut network = Network::new(NetworkConfig::tiny(6, 3)).unwrap();
+        network
+            .visit_trainable_mut(1, |slice| {
+                for v in slice.iter_mut() {
+                    *v += version as f32 * 0.5;
+                }
+            })
+            .unwrap();
+        let mut buffer = LatentReplayBuffer::with_capacity_bits(Alignment::Byte, 8_192);
+        for i in 0..version.min(4) as u16 {
+            let act = SpikeRaster::from_fn(4, 8, |n, t| (n + t + i as usize).is_multiple_of(3));
+            buffer.push(LatentEntry::reduced(act, 16, i));
+        }
+        Checkpoint {
+            version,
+            cursor: version * 5,
+            event_digest: version ^ 0x99,
+            config_digest: 1234,
+            known_classes: vec![0, 1],
+            network,
+            buffer,
+            pending: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn follower_applies_deltas_bit_identically_and_rejects_mismatches() {
+        let base = checkpoint(1);
+        let next = checkpoint(2);
+        let after = checkpoint(3);
+        let follower = FollowerReplica::new(base.clone());
+        assert_eq!(follower.registry().version(), 1);
+
+        let delta = CheckpointDelta::between(&base, &next).unwrap();
+        let version = follower.apply_delta(&delta.to_bytes()).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(follower.registry().version(), 2);
+        assert_eq!(follower.checkpoint_bytes(), next.to_bytes());
+        assert_eq!(follower.registry().current().network, next.network);
+        assert_eq!(follower.deltas_applied(), 1);
+
+        // The same delta again: stale, state untouched.
+        assert!(matches!(
+            follower.apply_delta(&delta.to_bytes()),
+            Err(ServeError::StaleVersion {
+                current: 2,
+                proposed: 2
+            })
+        ));
+
+        // A delta skipping the held base: replication error (router
+        // falls back to a full checkpoint), state untouched.
+        let wrong_base = CheckpointDelta::between(&after, &checkpoint(4)).unwrap();
+        assert!(matches!(
+            follower.apply_delta(&wrong_base.to_bytes()),
+            Err(ServeError::Replication { .. })
+        ));
+        // Garbage bytes too.
+        assert!(follower.apply_delta(&[0xFF; 16]).is_err());
+        assert_eq!(follower.checkpoint_bytes(), next.to_bytes());
+
+        // The fallback: a full checkpoint jumps straight to v4.
+        let v = follower
+            .apply_checkpoint(&checkpoint(4).to_bytes())
+            .unwrap();
+        assert_eq!(v, 4);
+        assert_eq!(follower.full_syncs(), 1);
+        assert_eq!(follower.registry().version(), 4);
+    }
+
+    #[test]
+    fn follower_rejects_foreign_and_stale_checkpoints() {
+        let follower = FollowerReplica::new(checkpoint(3));
+        let mut foreign = checkpoint(5);
+        foreign.config_digest ^= 1;
+        assert!(matches!(
+            follower.apply_checkpoint(&foreign.to_bytes()),
+            Err(ServeError::Replication { .. })
+        ));
+        assert!(matches!(
+            follower.apply_checkpoint(&checkpoint(3).to_bytes()),
+            Err(ServeError::StaleVersion { .. })
+        ));
+        assert_eq!(follower.registry().version(), 3);
+    }
+
+    #[test]
+    fn learner_serves_its_publisher_and_refuses_applies() {
+        let publisher = Arc::new(DeltaPublisher::new(checkpoint(1)));
+        publisher.publish(checkpoint(2)).unwrap();
+        let learner = LearnerReplica::new(Arc::clone(&publisher));
+        assert_eq!(learner.role(), "learner");
+
+        let (version, bytes) = learner.fetch_delta(1).unwrap();
+        assert_eq!(version, 2);
+        assert!(CheckpointDelta::from_bytes(&bytes).is_ok());
+        assert!(learner.fetch_delta(9).is_err());
+        assert_eq!(
+            learner.fetch_checkpoint().unwrap(),
+            checkpoint(2).to_bytes()
+        );
+        assert!(learner.apply_delta(&bytes).is_err());
+        assert!(learner.apply_checkpoint(&[]).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! The router front end: one address, N replicas behind it.
+//!
+//! Clients speak the ordinary serving protocol. `predict` is relayed to
+//! a replica chosen by the dispatch policy, with failover: a transport
+//! failure marks the replica unhealthy and retries the remaining
+//! healthy ones, so killing a replica mid-load costs zero requests
+//! (predicts are stateless and idempotent). A protocol-level error from
+//! a replica is *not* retried — that is the fleet's answer. `stats`
+//! merges a replica's model block with router-level counters and the
+//! per-replica table; `health` reports the fleet; `swap` is refused
+//! (models change by replication, not by client pushes).
+
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncl_serve::error::ServeError;
+use ncl_serve::protocol::object;
+use serde_json::Value;
+
+use crate::backend::Backend;
+use crate::sync::{sync_once, SyncStats};
+
+/// How `predict` picks a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// The healthy replica with the fewest in-flight relays (ties go to
+    /// the lowest id). Best latency under mixed load.
+    #[default]
+    LeastLoaded,
+    /// Rendezvous (highest-random-weight) hash of the request `id`, so
+    /// a given id sticks to a replica while the fleet is stable. Falls
+    /// back to least-loaded for id-less requests.
+    ConsistentHash,
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// TCP port on 127.0.0.1 (0 picks an ephemeral port).
+    pub port: u16,
+    /// Predict dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Period of the health-probe + delta-propagation loop.
+    pub sync_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            port: 0,
+            policy: DispatchPolicy::LeastLoaded,
+            sync_interval: Duration::from_millis(150),
+        }
+    }
+}
+
+pub(crate) struct RouterShared {
+    pub(crate) backends: Vec<Arc<Backend>>,
+    pub(crate) policy: DispatchPolicy,
+    pub(crate) stopping: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    pub(crate) requests_ok: AtomicU64,
+    pub(crate) requests_failed: AtomicU64,
+    pub(crate) sync: SyncStats,
+}
+
+/// A running router.
+pub struct Router {
+    shared: Arc<RouterShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    sync_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds 127.0.0.1 and starts fronting `backends`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(backends: Vec<Arc<Backend>>, config: RouterConfig) -> std::io::Result<Router> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            backends,
+            policy: config.policy,
+            stopping: AtomicBool::new(false),
+            addr,
+            requests_ok: AtomicU64::new(0),
+            requests_failed: AtomicU64::new(0),
+            sync: SyncStats::default(),
+        });
+        // Probe the fleet once before accepting, so the first client
+        // request already sees health/role/version state.
+        sync_once(&shared);
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("ncl-router-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        let sync_shared = Arc::clone(&shared);
+        let interval = config.sync_interval;
+        let sync_thread = std::thread::Builder::new()
+            .name("ncl-router-sync".into())
+            .spawn(move || {
+                while !sync_shared.stopping.load(Ordering::Acquire) {
+                    sync_once(&sync_shared);
+                    std::thread::sleep(interval);
+                }
+            })?;
+        Ok(Router {
+            shared,
+            accept_thread: Some(accept_thread),
+            sync_thread: Some(sync_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The fleet, for inspection.
+    #[must_use]
+    pub fn backends(&self) -> &[Arc<Backend>] {
+        &self.shared.backends
+    }
+
+    /// Replication-loop counters.
+    #[must_use]
+    pub fn sync_stats(&self) -> &SyncStats {
+        &self.shared.sync
+    }
+
+    /// Runs one health-probe + delta-propagation pass right now (the
+    /// background loop keeps running on its own period).
+    pub fn sync_now(&self) {
+        sync_once(&self.shared);
+    }
+
+    /// Blocks until the router stops (a client sent `shutdown`, or
+    /// another thread called [`Router::shutdown`]).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.sync_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting and joins every thread. Replicas stay up.
+    pub fn shutdown(self) {
+        request_stop(&self.shared);
+        self.wait();
+    }
+}
+
+fn request_stop(shared: &RouterShared) {
+    if shared.stopping.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("ncl-router-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &conn_shared);
+            })
+        {
+            connections.push(handle);
+        }
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Same bound as the serve layer: a client cannot grow router memory
+/// without sending a newline.
+const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
+fn handle_connection(stream: TcpStream, shared: &Arc<RouterShared>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_nodelay(true)?;
+    let mut read_half = stream.try_clone()?;
+    let mut writer = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match read_half.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line_bytes);
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let (response, stop) = handle_line(trimmed, shared);
+                    writer.write_all(response.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    if stop {
+                        return Ok(());
+                    }
+                }
+                if pending.len() > MAX_LINE_BYTES {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "request line exceeds the size limit",
+                    ));
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.stopping.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn error_line(id: Option<u64>, error: &ServeError) -> String {
+    ncl_serve::protocol::error_response(id, error)
+}
+
+fn handle_line(line: &str, shared: &RouterShared) -> (String, bool) {
+    let parsed: Result<Value, _> = serde_json::from_str(line);
+    let Ok(request) = parsed else {
+        shared.requests_failed.fetch_add(1, Ordering::Relaxed);
+        let e = ServeError::InvalidRequest {
+            detail: "bad JSON".into(),
+        };
+        return (error_line(None, &e), false);
+    };
+    let op = request.get("op").and_then(Value::as_str).unwrap_or("");
+    let response = match op {
+        "predict" => relay_predict(line, &request, shared),
+        "stats" => stats_response(shared),
+        "health" => health_response(shared),
+        "ping" => object(vec![
+            ("ok", Value::from(true)),
+            ("op", Value::from("pong")),
+            ("router", Value::from(true)),
+        ])
+        .to_json(),
+        "shutdown" => {
+            request_stop(shared);
+            object(vec![
+                ("ok", Value::from(true)),
+                ("op", Value::from("shutdown")),
+            ])
+            .to_json()
+        }
+        "swap" => error_line(
+            None,
+            &ServeError::InvalidRequest {
+                detail: "the router does not swap models; the fleet replicates the learner's \
+                         increments"
+                    .into(),
+            },
+        ),
+        other => error_line(
+            None,
+            &ServeError::InvalidRequest {
+                detail: format!("unknown router op {other:?}"),
+            },
+        ),
+    };
+    let stop = shared.stopping.load(Ordering::Acquire);
+    (response, stop)
+}
+
+/// FNV-1a over the request id + replica id: the rendezvous-hash weight.
+fn rendezvous_weight(id: u64, backend_id: usize) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in id
+        .to_le_bytes()
+        .iter()
+        .chain(&(backend_id as u64).to_le_bytes())
+    {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Healthy replicas in dispatch-preference order for this request.
+fn dispatch_order(shared: &RouterShared, request: &Value) -> Vec<Arc<Backend>> {
+    let mut healthy: Vec<Arc<Backend>> = shared
+        .backends
+        .iter()
+        .filter(|b| b.is_healthy())
+        .map(Arc::clone)
+        .collect();
+    let key = request.get("id").and_then(Value::as_u64);
+    match (shared.policy, key) {
+        (DispatchPolicy::ConsistentHash, Some(id)) => {
+            healthy.sort_by_key(|b| std::cmp::Reverse(rendezvous_weight(id, b.id)));
+        }
+        _ => {
+            healthy.sort_by_key(|b| (b.inflight(), b.id));
+        }
+    }
+    healthy
+}
+
+/// Relays a predict line, failing over across healthy replicas on
+/// transport errors only.
+fn relay_predict(line: &str, request: &Value, shared: &RouterShared) -> String {
+    let id = request.get("id").and_then(Value::as_u64);
+    let order = dispatch_order(shared, request);
+    if order.is_empty() {
+        shared.requests_failed.fetch_add(1, Ordering::Relaxed);
+        return error_line(
+            id,
+            &ServeError::Replication {
+                detail: "no healthy replica".into(),
+            },
+        );
+    }
+    for backend in &order {
+        match backend.request(line) {
+            Ok(response) => {
+                shared.requests_ok.fetch_add(1, Ordering::Relaxed);
+                return response;
+            }
+            Err(_) => {
+                // backend.request already marked it unhealthy; try the
+                // next replica — the predict never reached a model.
+            }
+        }
+    }
+    shared.requests_failed.fetch_add(1, Ordering::Relaxed);
+    error_line(
+        id,
+        &ServeError::Replication {
+            detail: format!("all {} dispatch candidates failed", order.len()),
+        },
+    )
+}
+
+fn replicas_table(shared: &RouterShared) -> Value {
+    shared.backends.iter().map(|b| b.status()).collect()
+}
+
+fn stats_response(shared: &RouterShared) -> String {
+    // The model block comes from any healthy replica (the fleet
+    // converges on the learner's model, so any one is representative).
+    let model = shared
+        .backends
+        .iter()
+        .filter(|b| b.is_healthy())
+        .find_map(|b| {
+            let response = b.request(r#"{"op":"stats"}"#).ok()?;
+            let value: Value = serde_json::from_str(&response).ok()?;
+            value.get("model").cloned()
+        })
+        .unwrap_or(Value::Null);
+    object(vec![
+        ("ok", Value::from(true)),
+        ("op", Value::from("stats")),
+        ("model", model),
+        (
+            "serving",
+            object(vec![
+                (
+                    "requests_ok",
+                    Value::from(shared.requests_ok.load(Ordering::Relaxed)),
+                ),
+                (
+                    "requests_failed",
+                    Value::from(shared.requests_failed.load(Ordering::Relaxed)),
+                ),
+                ("routed", Value::from(true)),
+            ]),
+        ),
+        ("replicas", replicas_table(shared)),
+        ("sync", shared.sync.snapshot()),
+    ])
+    .to_json()
+}
+
+fn health_response(shared: &RouterShared) -> String {
+    let healthy = shared.backends.iter().filter(|b| b.is_healthy()).count();
+    object(vec![
+        ("ok", Value::from(true)),
+        ("op", Value::from("health")),
+        ("role", Value::from("router")),
+        ("replicas_total", Value::from(shared.backends.len() as u64)),
+        ("replicas_healthy", Value::from(healthy as u64)),
+        ("replicas", replicas_table(shared)),
+        ("sync", shared.sync.snapshot()),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_weights_are_stable_and_spread() {
+        // Same (id, backend) always hashes the same.
+        assert_eq!(rendezvous_weight(7, 1), rendezvous_weight(7, 1));
+        // Different backends get different weights for the same id.
+        assert_ne!(rendezvous_weight(7, 0), rendezvous_weight(7, 1));
+        // Keys spread: over many ids, both of two backends win sometimes.
+        let wins_0 = (0..64u64)
+            .filter(|&id| rendezvous_weight(id, 0) > rendezvous_weight(id, 1))
+            .count();
+        assert!(wins_0 > 8 && wins_0 < 56, "degenerate spread: {wins_0}/64");
+    }
+}

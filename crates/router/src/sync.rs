@@ -1,0 +1,148 @@
+//! The router-driven replication loop.
+//!
+//! Every tick: probe each replica's `health` (role, version), identify
+//! the learner (the healthy replica reporting `role == "learner"`;
+//! lowest id wins if several claim it), and for every healthy follower
+//! that is behind, pull the delta covering *that follower's* version
+//! from the learner and push it via `apply_delta`. Any step failing —
+//! the learner no longer retains that delta, the follower's base
+//! mismatches (its `target_crc` check makes wrong bytes impossible to
+//! apply silently) — falls back to relaying the learner's full
+//! checkpoint. Followers therefore converge to the learner's exact
+//! bytes, normally paying only KB-scale deltas.
+//!
+//! The loop runs in the router because replicas stay deliberately
+//! unaware of each other: a replica only answers its own wire ops,
+//! which keeps fleet topology (who replicates from whom) in exactly one
+//! place.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ncl_serve::protocol::object;
+use serde_json::Value;
+
+use crate::backend::Backend;
+use crate::router::RouterShared;
+
+/// Counters of the replication loop (reported under `"sync"` in the
+/// router's `stats`/`health` responses).
+#[derive(Debug, Default)]
+pub struct SyncStats {
+    /// Deltas successfully applied to a follower.
+    pub deltas_applied: AtomicU64,
+    /// Full-checkpoint fallbacks successfully applied.
+    pub full_syncs: AtomicU64,
+    /// Propagation attempts that failed entirely (follower still
+    /// behind; retried next tick).
+    pub failures: AtomicU64,
+}
+
+impl SyncStats {
+    /// JSON snapshot for stats/health responses.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        object(vec![
+            (
+                "deltas_applied",
+                Value::from(self.deltas_applied.load(Ordering::Relaxed)),
+            ),
+            (
+                "full_syncs",
+                Value::from(self.full_syncs.load(Ordering::Relaxed)),
+            ),
+            (
+                "failures",
+                Value::from(self.failures.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+}
+
+/// Extracts the `payload` hex string of an `{"ok":true}` response.
+fn ok_payload(response: &str) -> Option<(Option<u64>, String)> {
+    let value: Value = serde_json::from_str(response).ok()?;
+    if value.get("ok").and_then(Value::as_bool) != Some(true) {
+        return None;
+    }
+    let version = value.get("version").and_then(Value::as_u64);
+    let payload = value.get("payload").and_then(Value::as_str)?.to_owned();
+    Some((version, payload))
+}
+
+/// Whether an apply response succeeded (a stale-version refusal counts:
+/// the follower is already at or past the target).
+fn apply_succeeded(response: &str) -> bool {
+    let Ok(value) = serde_json::from_str(response) else {
+        return false;
+    };
+    let value: Value = value;
+    if value.get("ok").and_then(Value::as_bool) == Some(true) {
+        return true;
+    }
+    value
+        .get("error")
+        .and_then(Value::as_str)
+        .is_some_and(|e| e.contains("stale version"))
+}
+
+/// Brings `follower` up to the learner's version: delta first, full
+/// checkpoint on any failure. Returns whether the follower advanced.
+fn propagate(learner: &Backend, follower: &Backend, stats: &SyncStats) -> bool {
+    let follower_version = follower.model_version();
+    // The delta path: ask the learner for exactly this follower's gap.
+    if let Ok(response) = learner.request(&format!(
+        r#"{{"op":"delta","base_version":{follower_version}}}"#
+    )) {
+        if let Some((_, payload)) = ok_payload(&response) {
+            if let Ok(apply) =
+                follower.request(&format!(r#"{{"op":"apply_delta","payload":"{payload}"}}"#))
+            {
+                if apply_succeeded(&apply) {
+                    stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                    follower.probe_health();
+                    return true;
+                }
+            }
+        }
+    }
+    // Fallback: relay the full checkpoint.
+    if let Ok(response) = learner.request(r#"{"op":"checkpoint"}"#) {
+        if let Some((_, payload)) = ok_payload(&response) {
+            if let Ok(apply) = follower.request(&format!(
+                r#"{{"op":"apply_checkpoint","payload":"{payload}"}}"#
+            )) {
+                if apply_succeeded(&apply) {
+                    stats.full_syncs.fetch_add(1, Ordering::Relaxed);
+                    follower.probe_health();
+                    return true;
+                }
+            }
+        }
+    }
+    stats.failures.fetch_add(1, Ordering::Relaxed);
+    false
+}
+
+/// One pass of the loop: probe everyone, then propagate to laggards.
+pub(crate) fn sync_once(shared: &RouterShared) {
+    for backend in &shared.backends {
+        backend.probe_health();
+    }
+    let learner: Option<&Arc<Backend>> = shared
+        .backends
+        .iter()
+        .filter(|b| b.is_healthy() && b.role() == "learner")
+        .min_by_key(|b| b.id);
+    let Some(learner) = learner else { return };
+    let learner_version = learner.model_version();
+    for follower in &shared.backends {
+        if follower.id == learner.id
+            || !follower.is_healthy()
+            || follower.model_version() >= learner_version
+        {
+            continue;
+        }
+        propagate(learner, follower, &shared.sync);
+    }
+}

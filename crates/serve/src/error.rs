@@ -29,6 +29,21 @@ pub enum ServeError {
     Io(std::io::Error),
     /// The service is draining; no new work is accepted.
     ShuttingDown,
+    /// A replication operation (delta/checkpoint fetch or apply) failed,
+    /// or this replica does not participate in replication.
+    Replication {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A swap/apply proposed a version at or behind the one already
+    /// serving — wire-visible versions are monotonic, so the stale
+    /// update is refused instead of silently regressing.
+    StaleVersion {
+        /// The version currently serving.
+        current: u64,
+        /// The version the rejected update proposed.
+        proposed: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -41,6 +56,11 @@ impl fmt::Display for ServeError {
             }
             ServeError::Io(e) => write!(f, "i/o failure: {e}"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Replication { detail } => write!(f, "replication failure: {detail}"),
+            ServeError::StaleVersion { current, proposed } => write!(
+                f,
+                "stale version: serving v{current}, refused proposed v{proposed}"
+            ),
         }
     }
 }
@@ -80,5 +100,15 @@ mod tests {
         assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
         let io = ServeError::from(std::io::Error::other("x"));
         assert!(io.source().is_some());
+        let e = ServeError::StaleVersion {
+            current: 5,
+            proposed: 3,
+        };
+        assert!(e.to_string().contains("serving v5"));
+        assert!(e.to_string().contains("v3"));
+        let e = ServeError::Replication {
+            detail: "no sync handler".into(),
+        };
+        assert!(e.to_string().contains("no sync handler"));
     }
 }

@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod sync;
 
 pub use batcher::{BatchConfig, Batcher, PredictReply};
 pub use client::NclClient;
@@ -59,3 +60,4 @@ pub use error::ServeError;
 pub use metrics::Metrics;
 pub use registry::{ModelRegistry, ServingModel};
 pub use server::{Server, ServerConfig};
+pub use sync::ReplicaSync;

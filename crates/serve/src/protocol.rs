@@ -10,11 +10,22 @@
 //! | `{"op":"swap","path":"ckpt.bin"}` | `{"ok":true,"op":"swap","model_version":4}` |
 //! | `{"op":"ping"}` | `{"ok":true,"op":"pong","model_version":3}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` |
+//! | `{"op":"health"}` | `{"ok":true,"op":"health","model_version":3,"role":"follower",...}` |
+//! | `{"op":"delta","base_version":3}` | `{"ok":true,"op":"delta","version":4,"payload":"<hex>"}` |
+//! | `{"op":"apply_delta","payload":"<hex>"}` | `{"ok":true,"op":"apply_delta","model_version":4}` |
+//! | `{"op":"checkpoint"}` | `{"ok":true,"op":"checkpoint","payload":"<hex>"}` |
+//! | `{"op":"apply_checkpoint","payload":"<hex>"}` | `{"ok":true,"op":"apply_checkpoint","model_version":4}` |
 //!
 //! `input` is the spike raster as one array per timestep listing the
 //! active input-neuron indices at that step. Failures answer
 //! `{"ok":false,"error":"...","id":...}` and keep the connection open;
 //! only `shutdown` (or client EOF) closes it.
+//!
+//! The replication ops (`health`, `delta`, `apply_delta`, `checkpoint`,
+//! `apply_checkpoint`) are answered only by replicas started with a
+//! [`crate::sync::ReplicaSync`] handler; a plain `ncl-serve` process
+//! declines them with a replication error. Binary payloads travel as
+//! lowercase hex — bulky, but dependency-free and line-safe.
 
 use std::collections::BTreeMap;
 
@@ -48,6 +59,62 @@ pub enum Request {
     Ping,
     /// Drain and stop the server.
     Shutdown,
+    /// Replication probe: version, role and sync state.
+    Health,
+    /// Fetch the delta advancing a replica at `base_version`.
+    DeltaFetch {
+        /// The requesting replica's current version.
+        base_version: u64,
+    },
+    /// Apply an encoded checkpoint delta (learner → follower push, or
+    /// router-relayed).
+    DeltaApply {
+        /// The `ncl_online::delta` encoding.
+        payload: Vec<u8>,
+    },
+    /// Fetch the full checkpoint (delta fallback path).
+    CheckpointFetch,
+    /// Apply an encoded full checkpoint.
+    CheckpointApply {
+        /// The `ncl_online::checkpoint` encoding.
+        payload: Vec<u8>,
+    },
+}
+
+/// Renders bytes as lowercase hex (the wire form of binary payloads —
+/// no base64 dependency in the tree).
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        out.push(char::from_digit(u32::from(b & 0xF), 16).expect("nibble"));
+    }
+    out
+}
+
+/// Decodes the hex produced by [`to_hex`] (case-insensitive).
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidRequest`] for odd lengths or non-hex
+/// characters.
+pub fn from_hex(hex: &str) -> Result<Vec<u8>, ServeError> {
+    if !hex.len().is_multiple_of(2) {
+        return Err(invalid(format!("odd hex length {}", hex.len())));
+    }
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    let digits = hex.as_bytes();
+    for pair in digits.chunks_exact(2) {
+        let nibble = |c: u8| -> Result<u8, ServeError> {
+            (c as char)
+                .to_digit(16)
+                .map(|d| d as u8)
+                .ok_or_else(|| invalid(format!("non-hex character {:?}", c as char)))
+        };
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
 }
 
 fn invalid(detail: impl Into<String>) -> ServeError {
@@ -117,8 +184,32 @@ pub fn parse_request(line: &str, input_size: usize) -> Result<Request, ServeErro
         }
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
+        "health" => Ok(Request::Health),
+        "delta" => {
+            let base_version = value
+                .get("base_version")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| invalid("delta needs \"base_version\""))?;
+            Ok(Request::DeltaFetch { base_version })
+        }
+        "apply_delta" => Ok(Request::DeltaApply {
+            payload: payload_field(&value, "apply_delta")?,
+        }),
+        "checkpoint" => Ok(Request::CheckpointFetch),
+        "apply_checkpoint" => Ok(Request::CheckpointApply {
+            payload: payload_field(&value, "apply_checkpoint")?,
+        }),
         other => Err(invalid(format!("unknown op {other:?}"))),
     }
+}
+
+/// Extracts and hex-decodes the `payload` field of an apply op.
+fn payload_field(value: &Value, op: &str) -> Result<Vec<u8>, ServeError> {
+    let hex = value
+        .get("payload")
+        .and_then(Value::as_str)
+        .ok_or_else(|| invalid(format!("{op} needs \"payload\" (hex)")))?;
+    from_hex(hex)
 }
 
 /// Builds a JSON object from key/value pairs (insertion into the sorted
@@ -222,6 +313,42 @@ mod tests {
     }
 
     #[test]
+    fn parses_replication_ops() {
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#, 4).unwrap(),
+            Request::Health
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"delta","base_version":3}"#, 4).unwrap(),
+            Request::DeltaFetch { base_version: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"apply_delta","payload":"00ffA5"}"#, 4).unwrap(),
+            Request::DeltaApply {
+                payload: vec![0x00, 0xFF, 0xA5]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"checkpoint"}"#, 4).unwrap(),
+            Request::CheckpointFetch
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"apply_checkpoint","payload":""}"#, 4).unwrap(),
+            Request::CheckpointApply { payload: vec![] }
+        );
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(to_hex(&[0xDE, 0xAD]), "dead");
+        assert!(from_hex("abc").is_err(), "odd length");
+        assert!(from_hex("zz").is_err(), "non-hex digit");
+        assert!(from_hex("0x").is_err(), "non-hex digit");
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         let cases = [
             "not json",
@@ -233,6 +360,10 @@ mod tests {
             r#"{"op":"predict","input":[["x"]]}"#,
             r#"{"op":"predict","input":[[7]]}"#,
             r#"{"op":"swap"}"#,
+            r#"{"op":"delta"}"#,
+            r#"{"op":"apply_delta"}"#,
+            r#"{"op":"apply_delta","payload":"xyz"}"#,
+            r#"{"op":"apply_checkpoint","payload":5}"#,
         ];
         for line in cases {
             assert!(

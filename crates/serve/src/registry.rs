@@ -118,6 +118,49 @@ impl ModelRegistry {
         Ok(version)
     }
 
+    /// Atomically replaces the serving model at an **exact** version —
+    /// the replication path, where a follower must mirror the learner's
+    /// version rather than invent its own. Future auto-allocated
+    /// versions continue above `version`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::StaleVersion`] if `version` does not
+    /// advance the currently served one (an out-of-order or duplicate
+    /// delta must not regress the wire-visible version), and
+    /// [`ServeError::IncompatibleModel`] for shape changes.
+    pub fn swap_network_at(
+        &self,
+        network: Network,
+        source: &str,
+        version: u64,
+    ) -> Result<u64, ServeError> {
+        let mut slot = self.slot.write();
+        if version <= slot.version {
+            return Err(ServeError::StaleVersion {
+                current: slot.version,
+                proposed: version,
+            });
+        }
+        let (cur_in, cur_out) = (slot.input_size(), slot.output_size());
+        let (new_in, new_out) = (network.config().input_size, network.config().output_size);
+        if (cur_in, cur_out) != (new_in, new_out) {
+            return Err(ServeError::IncompatibleModel {
+                detail: format!("serving {cur_in}->{cur_out}, replacement is {new_in}->{new_out}"),
+            });
+        }
+        // Keep the auto-allocation sequence ahead of the mirrored
+        // version (same write lock as the store, so no swap can
+        // interleave and observe the intermediate counter).
+        self.next_version.fetch_max(version + 1, Ordering::Relaxed);
+        *slot = Arc::new(ServingModel {
+            network,
+            version,
+            source: source.to_owned(),
+        });
+        Ok(version)
+    }
+
     /// Loads a checkpoint (the `ncl_snn::serialize` format) and swaps it
     /// in.
     ///
@@ -193,6 +236,34 @@ mod tests {
         let wrong_out = Network::new(NetworkConfig::tiny(6, 4)).unwrap();
         assert!(registry.swap_network(wrong_out, "bad").is_err());
         assert_eq!(registry.version(), 1, "failed swap leaves version alone");
+    }
+
+    #[test]
+    fn swap_at_mirrors_versions_and_rejects_stale_ones() {
+        let registry = ModelRegistry::new(net(1), "bootstrap");
+        // A follower mirrors the learner's v2 exactly.
+        assert_eq!(registry.swap_network_at(net(2), "delta-2", 2).unwrap(), 2);
+        // Jumping ahead (learner ran increments we missed) is fine.
+        assert_eq!(registry.swap_network_at(net(3), "delta-5", 5).unwrap(), 5);
+        // A duplicate or out-of-order delta must not regress.
+        for stale in [5, 4, 1] {
+            assert!(matches!(
+                registry.swap_network_at(net(4), "stale", stale),
+                Err(ServeError::StaleVersion {
+                    current: 5,
+                    proposed
+                }) if proposed == stale
+            ));
+        }
+        assert_eq!(registry.version(), 5);
+        // Auto-allocated versions continue above the mirrored one.
+        assert_eq!(registry.swap_network(net(5), "local").unwrap(), 6);
+        // Shape changes are still refused.
+        let wrong = Network::new(NetworkConfig::tiny(7, 3)).unwrap();
+        assert!(matches!(
+            registry.swap_network_at(wrong, "bad", 9),
+            Err(ServeError::IncompatibleModel { .. })
+        ));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::error::ServeError;
 use crate::metrics::Metrics;
 use crate::protocol::{self, Request};
 use crate::registry::ModelRegistry;
+use crate::sync::{not_replicating, ReplicaSync};
 
 /// Server tuning knobs. The default binds an ephemeral port (0) with the
 /// default [`BatchConfig`].
@@ -40,6 +41,8 @@ struct Shared {
     batcher: Arc<Batcher>,
     stopping: AtomicBool,
     addr: SocketAddr,
+    /// Replication handler, if this server is part of a fleet.
+    sync: Option<Arc<dyn ReplicaSync>>,
 }
 
 /// A running inference service.
@@ -55,6 +58,21 @@ impl Server {
     ///
     /// Returns the bind error.
     pub fn start(registry: Arc<ModelRegistry>, config: ServerConfig) -> std::io::Result<Server> {
+        Server::start_with_sync(registry, config, None)
+    }
+
+    /// Like [`Server::start`], but with a replication handler: the
+    /// `health`/`delta`/`apply_delta`/`checkpoint`/`apply_checkpoint`
+    /// ops are forwarded to it instead of being declined.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start_with_sync(
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+        sync: Option<Arc<dyn ReplicaSync>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::default());
@@ -65,6 +83,7 @@ impl Server {
             batcher,
             stopping: AtomicBool::new(false),
             addr,
+            sync,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -273,6 +292,34 @@ fn handle_line(line: &str, shared: &Shared) -> (String, bool) {
             ])
             .to_json()
         }
+        Request::Health => health_response(shared),
+        Request::DeltaFetch { base_version } => {
+            match sync_handler(shared).and_then(|s| s.fetch_delta(base_version)) {
+                Ok((version, bytes)) => protocol::object(vec![
+                    ("ok", Value::from(true)),
+                    ("op", Value::from("delta")),
+                    ("version", Value::from(version)),
+                    ("payload", Value::from(protocol::to_hex(&bytes))),
+                ])
+                .to_json(),
+                Err(e) => protocol::error_response(None, &e),
+            }
+        }
+        Request::DeltaApply { payload } => {
+            replication_apply(shared, "apply_delta", |s| s.apply_delta(&payload))
+        }
+        Request::CheckpointFetch => match sync_handler(shared).and_then(|s| s.fetch_checkpoint()) {
+            Ok(bytes) => protocol::object(vec![
+                ("ok", Value::from(true)),
+                ("op", Value::from("checkpoint")),
+                ("payload", Value::from(protocol::to_hex(&bytes))),
+            ])
+            .to_json(),
+            Err(e) => protocol::error_response(None, &e),
+        },
+        Request::CheckpointApply { payload } => {
+            replication_apply(shared, "apply_checkpoint", |s| s.apply_checkpoint(&payload))
+        }
     };
     let stop = shared.stopping.load(Ordering::Acquire);
     (response, stop)
@@ -285,6 +332,54 @@ fn predict(
     let rx = shared.batcher.submit(raster)?;
     let reply = rx.recv().map_err(|_| ServeError::ShuttingDown)??;
     Ok((reply.prediction, reply.logits, reply.model_version))
+}
+
+/// The replication handler, or the standard decline error.
+fn sync_handler(shared: &Shared) -> Result<&Arc<dyn ReplicaSync>, ServeError> {
+    shared.sync.as_ref().ok_or_else(not_replicating)
+}
+
+/// Runs a replication apply op (delta or checkpoint) and renders the
+/// response. Applies count as swaps in the metrics.
+fn replication_apply(
+    shared: &Shared,
+    op: &str,
+    apply: impl FnOnce(&Arc<dyn ReplicaSync>) -> Result<u64, ServeError>,
+) -> String {
+    match sync_handler(shared).and_then(apply) {
+        Ok(version) => {
+            shared.metrics.record_swap();
+            protocol::object(vec![
+                ("ok", Value::from(true)),
+                ("op", Value::from(op)),
+                ("model_version", Value::from(version)),
+            ])
+            .to_json()
+        }
+        Err(e) => protocol::error_response(None, &e),
+    }
+}
+
+/// The `health` response: version + role + handler-specific fields.
+fn health_response(shared: &Shared) -> String {
+    let mut pairs = vec![
+        ("ok", Value::from(true)),
+        ("op", Value::from("health")),
+        ("model_version", Value::from(shared.registry.version())),
+        (
+            "role",
+            Value::from(shared.sync.as_ref().map_or("standalone", |s| s.role())),
+        ),
+        ("requests_ok", Value::from(shared.metrics.ok_count())),
+        (
+            "requests_failed",
+            Value::from(shared.metrics.failed_count()),
+        ),
+    ];
+    if let Some(sync) = &shared.sync {
+        pairs.extend(sync.health_extra());
+    }
+    protocol::object(pairs).to_json()
 }
 
 fn stats_response(shared: &Shared) -> String {
@@ -362,6 +457,129 @@ mod tests {
                 .and_then(Value::as_u64),
             Some(8)
         );
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_and_replication_ops_without_a_handler() {
+        let server = start_server();
+        let mut client = NclClient::connect(server.local_addr()).unwrap();
+
+        // Health works on any server and reports the standalone role.
+        let health = client.round_trip(r#"{"op":"health"}"#).unwrap();
+        assert_eq!(health.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            health.get("role").and_then(Value::as_str),
+            Some("standalone")
+        );
+        assert_eq!(health.get("model_version").and_then(Value::as_u64), Some(1));
+
+        // Replication ops are declined, and the connection stays open.
+        for line in [
+            r#"{"op":"delta","base_version":1}"#,
+            r#"{"op":"apply_delta","payload":"00"}"#,
+            r#"{"op":"checkpoint"}"#,
+            r#"{"op":"apply_checkpoint","payload":"00"}"#,
+        ] {
+            let reply = client.round_trip(line).unwrap();
+            assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(false));
+            assert!(reply
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap()
+                .contains("replication"));
+        }
+        assert!(client.ping().is_ok(), "connection survived the declines");
+        server.shutdown();
+    }
+
+    /// A handler stub: serves a fixed delta and mirrors applies into the
+    /// registry, exercising the full wire path without ncl_online.
+    struct StubSync {
+        registry: Arc<ModelRegistry>,
+    }
+
+    impl ReplicaSync for StubSync {
+        fn role(&self) -> &'static str {
+            "follower"
+        }
+        fn health_extra(&self) -> Vec<(&'static str, Value)> {
+            vec![("syncs", Value::from(7u64))]
+        }
+        fn fetch_delta(&self, base_version: u64) -> Result<(u64, Vec<u8>), ServeError> {
+            if base_version == 1 {
+                Ok((2, vec![0xAB, 0xCD]))
+            } else {
+                Err(ServeError::Replication {
+                    detail: format!("no delta from v{base_version}"),
+                })
+            }
+        }
+        fn apply_delta(&self, payload: &[u8]) -> Result<u64, ServeError> {
+            if payload == [0xAB, 0xCD] {
+                let network = self.registry.current().network.clone();
+                self.registry.swap_network_at(network, "delta-2", 2)
+            } else {
+                Err(ServeError::Replication {
+                    detail: "bad payload".into(),
+                })
+            }
+        }
+        fn fetch_checkpoint(&self) -> Result<Vec<u8>, ServeError> {
+            Ok(vec![0x01])
+        }
+        fn apply_checkpoint(&self, _payload: &[u8]) -> Result<u64, ServeError> {
+            Ok(self.registry.version())
+        }
+    }
+
+    #[test]
+    fn replication_ops_reach_the_handler() {
+        let network = Network::new(NetworkConfig::tiny(8, 3)).unwrap();
+        let registry = Arc::new(ModelRegistry::new(network, "test"));
+        let sync = Arc::new(StubSync {
+            registry: Arc::clone(&registry),
+        });
+        let server =
+            Server::start_with_sync(Arc::clone(&registry), ServerConfig::default(), Some(sync))
+                .unwrap();
+        let mut client = NclClient::connect(server.local_addr()).unwrap();
+
+        let health = client.round_trip(r#"{"op":"health"}"#).unwrap();
+        assert_eq!(health.get("role").and_then(Value::as_str), Some("follower"));
+        assert_eq!(health.get("syncs").and_then(Value::as_u64), Some(7));
+
+        let delta = client
+            .round_trip(r#"{"op":"delta","base_version":1}"#)
+            .unwrap();
+        assert_eq!(delta.get("version").and_then(Value::as_u64), Some(2));
+        let payload = delta.get("payload").and_then(Value::as_str).unwrap();
+        assert_eq!(payload, "abcd");
+
+        let applied = client
+            .round_trip(&format!(r#"{{"op":"apply_delta","payload":"{payload}"}}"#))
+            .unwrap();
+        assert_eq!(applied.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            applied.get("model_version").and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(registry.version(), 2, "the apply really swapped");
+
+        // A duplicate apply is refused as stale; the server keeps serving.
+        let dup = client
+            .round_trip(&format!(r#"{{"op":"apply_delta","payload":"{payload}"}}"#))
+            .unwrap();
+        assert_eq!(dup.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(dup
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("stale version"));
+
+        let ckpt = client.round_trip(r#"{"op":"checkpoint"}"#).unwrap();
+        assert_eq!(ckpt.get("payload").and_then(Value::as_str), Some("01"));
 
         server.shutdown();
     }

@@ -1,0 +1,77 @@
+//! Replica synchronization hooks.
+//!
+//! The serving layer does not know how models are trained or how
+//! checkpoints are encoded — that lives above it (`ncl_online`). What it
+//! *does* own is the wire: the `health` / `delta` / `apply_delta` /
+//! `checkpoint` / `apply_checkpoint` ops a fleet uses to keep replicas
+//! converged. [`ReplicaSync`] is the seam between the two: a server
+//! started with [`crate::server::Server::start_with_sync`] forwards
+//! those ops to its handler, and the handler (a learner publishing
+//! deltas, or a follower applying them) does the format-aware work and
+//! swaps the registry.
+//!
+//! A server started without a handler answers every replication op with
+//! [`ServeError::Replication`] — a plain inference process is not
+//! silently part of a fleet.
+
+use serde_json::Value;
+
+use crate::error::ServeError;
+
+/// What a replica contributes to the replication protocol. All methods
+/// are called from connection-handler threads and must be thread-safe.
+pub trait ReplicaSync: Send + Sync {
+    /// This replica's role, reported by `health` (`"learner"` or
+    /// `"follower"`).
+    fn role(&self) -> &'static str;
+
+    /// Extra role-specific fields merged into the `health` response
+    /// (e.g. a follower's sync state).
+    fn health_extra(&self) -> Vec<(&'static str, Value)> {
+        Vec::new()
+    }
+
+    /// Returns `(target_version, delta_bytes)` advancing a replica at
+    /// `base_version`, if this replica publishes deltas and still
+    /// retains that one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Replication`] if this replica does not publish
+    /// (followers) or no longer holds a delta from `base_version` — the
+    /// caller falls back to [`ReplicaSync::fetch_checkpoint`].
+    fn fetch_delta(&self, base_version: u64) -> Result<(u64, Vec<u8>), ServeError>;
+
+    /// Applies an encoded delta and hot-swaps the result, returning the
+    /// new model version.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Replication`] for undecodable/mismatched deltas
+    /// (the caller falls back to a full checkpoint) and
+    /// [`ServeError::StaleVersion`] for duplicates.
+    fn apply_delta(&self, payload: &[u8]) -> Result<u64, ServeError>;
+
+    /// The full encoding of this replica's latest checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Replication`] if this replica does not publish.
+    fn fetch_checkpoint(&self) -> Result<Vec<u8>, ServeError>;
+
+    /// Applies an encoded full checkpoint and hot-swaps the result,
+    /// returning the new model version.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Replication`] for undecodable/foreign checkpoints
+    /// and [`ServeError::StaleVersion`] for non-advancing ones.
+    fn apply_checkpoint(&self, payload: &[u8]) -> Result<u64, ServeError>;
+}
+
+/// The error every replication op gets on a server with no handler.
+pub(crate) fn not_replicating() -> ServeError {
+    ServeError::Replication {
+        detail: "this server does not participate in replication".into(),
+    }
+}

@@ -802,6 +802,32 @@ impl Network {
     }
 
     /// Visits every trainable parameter slice (training from `from_stage`)
+    /// in the same fixed order as [`Network::visit_trainable_mut`],
+    /// without requiring mutable access — serialization and the
+    /// checkpoint-delta plane diff read weights through this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidStage`] for a bad stage.
+    pub fn visit_trainable(
+        &self,
+        from_stage: usize,
+        mut f: impl FnMut(&[f32]),
+    ) -> Result<(), SnnError> {
+        self.config.stage_width(from_stage)?;
+        for layer in &self.layers[from_stage..] {
+            f(layer.w_ff().as_slice());
+            if let Some(w) = layer.w_rec() {
+                f(w.as_slice());
+            }
+            f(layer.bias());
+        }
+        f(self.readout.w().as_slice());
+        f(self.readout.bias());
+        Ok(())
+    }
+
+    /// Visits every trainable parameter slice (training from `from_stage`)
     /// in a fixed order: per hidden layer ascending — `w_ff`, `w_rec`
     /// (if present), `bias` — then readout `w`, readout `bias`.
     ///

@@ -73,14 +73,12 @@ pub fn to_bytes(net: &Network) -> Vec<u8> {
     buf.put_u64_le(config.seed);
 
     // Weights in the canonical visitation order (stage 0 = everything).
-    let mut clone = net.clone();
-    clone
-        .visit_trainable_mut(0, |slice| {
-            for &v in slice.iter() {
-                buf.put_f32_le(v);
-            }
-        })
-        .expect("stage 0 is always valid");
+    net.visit_trainable(0, |slice| {
+        for &v in slice.iter() {
+            buf.put_f32_le(v);
+        }
+    })
+    .expect("stage 0 is always valid");
     buf
 }
 

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Shared validator for the committed/fresh BENCH_*.json datapoints.
+
+CI previously carried three near-identical inline Python validators (one
+per smoke job); this script is the single source of truth they now call:
+
+    python3 scripts/check_bench.py <kind> <file> [<file> ...]
+
+Kinds: train, serve, online, router. Each check enforces the report
+schema plus the perf/correctness floors the corresponding bench gates on
+(nonzero throughput, zero failed requests, bit-identity flags, delta
+ratio). Exits nonzero with a pointed message on the first violation.
+"""
+
+import json
+import sys
+
+
+class CheckFailure(AssertionError):
+    pass
+
+
+def ensure(condition, message):
+    if not condition:
+        raise CheckFailure(message)
+
+
+def require_keys(obj, keys, where):
+    for key in keys:
+        ensure(key in obj, f"{where} lacks {key}")
+
+
+def check_train(r, path):
+    ensure(r["bench"] == "train", f"{path}: bench kind is not train")
+    ensure(
+        r["bit_identical_to_reference"] is True,
+        f"{path}: pool diverged from the reference weights",
+    )
+    ensure(r["scenarios"], f"{path}: no scenarios")
+    for s in r["scenarios"]:
+        where = f"{path}:{s.get('name')}"
+        require_keys(
+            s,
+            (
+                "name",
+                "config",
+                "reference",
+                "reference_serial",
+                "pool",
+                "best_speedup_vs_reference",
+                "bit_identical_to_reference",
+            ),
+            where,
+        )
+        ensure(s["reference"]["samples_per_sec"] > 0, f"{where}: zero reference throughput")
+        ensure(s["reference"]["epoch_p50_us"] > 0, f"{where}: zero reference epoch time")
+        ensure(s["pool"], f"{where}: no pool entries")
+        for p in s["pool"]:
+            ensure(
+                p["samples_per_sec"] > 0,
+                f"{where}: zero throughput at w{p['workers']}",
+            )
+    ensure("allocs_note" in r, f"{path} lacks allocs_note")
+    cl = next(s for s in r["scenarios"] if s["name"] == "cl_phase")
+    return (
+        f"CL-phase pool best "
+        f"{max(p['samples_per_sec'] for p in cl['pool']):.0f} samples/s "
+        f"({cl['best_speedup_vs_reference']:.2f}x vs reference), "
+        f"bit-identical weights"
+    )
+
+
+def check_serve(r, path):
+    ensure(r["bench"] == "serve", f"{path}: bench kind is not serve")
+    require_keys(
+        r,
+        (
+            "requests_ok",
+            "requests_failed",
+            "requests_per_sec",
+            "latency_us",
+            "hot_swap",
+            "requests_by_model_version",
+        ),
+        path,
+    )
+    for q in ("p50", "p95", "p99", "mean"):
+        ensure(q in r["latency_us"], f"{path} lacks latency_us.{q}")
+    ensure(r["requests_ok"] > 0, f"{path}: zero throughput")
+    ensure(r["requests_failed"] == 0, f"{path}: requests failed")
+    if r["hot_swap"].get("requested"):
+        ensure(r["hot_swap"]["succeeded"] is True, f"{path}: hot swap failed")
+    return (
+        f"{r['requests_ok']} requests at {r['requests_per_sec']:.0f} req/s, "
+        f"p99 {r['latency_us']['p99']} us"
+        + (" across a hot swap" if r["hot_swap"].get("requested") else "")
+    )
+
+
+def check_online(r, path):
+    ensure(r["bench"] == "online", f"{path}: bench kind is not online")
+    require_keys(
+        r,
+        (
+            "config",
+            "ingest",
+            "increments",
+            "swap",
+            "checkpoint",
+            "final_version",
+            "event_digest",
+        ),
+        path,
+    )
+    ensure(r["ingest"]["events_per_sec"] > 0, f"{path}: zero ingest throughput")
+    ensure(r["ingest"]["warm_events_per_sec"] > 0, f"{path}: zero warm throughput")
+    ensure(r["increments"], f"{path}: no increments")
+    for inc in r["increments"]:
+        ensure(inc["train_wall_ms"] > 0, f"{path}: an increment trained in zero time")
+    ensure(r["swap"]["stall_free"] is True, f"{path}: swap stalled")
+    ensure(r["swap"]["predictions_failed"] == 0, f"{path}: predictions dropped")
+    ensure(r["checkpoint"]["round_trip_ok"] is True, f"{path}: checkpoint round trip failed")
+    ensure(r["final_version"] >= 2, f"{path}: no increment reached the registry")
+    return (
+        f"{r['ingest']['events_per_sec']:.0f} events/s, "
+        f"swap {r['swap']['latency_us_max']} us max, "
+        f"checkpoint {r['checkpoint']['bytes']} bytes"
+    )
+
+
+def check_router(r, path):
+    ensure(r["bench"] == "router", f"{path}: bench kind is not router")
+    require_keys(
+        r,
+        (
+            "replicas",
+            "direct",
+            "routed",
+            "background",
+            "delta",
+            "propagation",
+            "follower_bit_identical",
+        ),
+        path,
+    )
+    ensure(r["replicas"] >= 2, f"{path}: a fleet needs at least 2 replicas")
+    for phase in ("direct", "routed"):
+        ensure(r[phase]["requests_ok"] > 0, f"{path}: zero {phase} throughput")
+        ensure(r[phase]["requests_failed"] == 0, f"{path}: {phase} requests failed")
+    ensure(
+        r["background"]["requests_failed"] == 0,
+        f"{path}: routed requests failed during replication",
+    )
+    delta = r["delta"]
+    ensure(delta["increments"] >= 1, f"{path}: no increments ran")
+    ensure(
+        delta["max_ratio"] <= 0.10,
+        f"{path}: delta ratio {delta['max_ratio']:.1%} exceeds the 10% gate",
+    )
+    for inc in delta["per_increment"]:
+        ensure(inc["propagated"] is True, f"{path}: v{inc['version']} never propagated")
+        ensure(
+            inc["delta_bytes"] < inc["full_checkpoint_bytes"],
+            f"{path}: v{inc['version']} delta is not smaller than the checkpoint",
+        )
+    ensure(
+        r["follower_bit_identical"] is True,
+        f"{path}: follower diverged from the published checkpoint",
+    )
+    ensure("p50_ms" in r["propagation"], f"{path} lacks propagation.p50_ms")
+    return (
+        f"{delta['increments']} increment(s), delta ratio "
+        f"{delta['max_ratio']:.1%} of full checkpoint, propagation p50 "
+        f"{r['propagation']['p50_ms']} ms, routed p50 {r['routed']['p50_us']} us "
+        f"(direct {r['direct']['p50_us']} us), bit-identical follower"
+    )
+
+
+CHECKS = {
+    "train": check_train,
+    "serve": check_serve,
+    "online": check_online,
+    "router": check_router,
+}
+
+
+def main(argv):
+    if len(argv) < 3 or argv[1] not in CHECKS:
+        kinds = "|".join(sorted(CHECKS))
+        print(f"usage: check_bench.py <{kinds}> <file> [<file> ...]", file=sys.stderr)
+        return 2
+    kind, paths = argv[1], argv[2:]
+    check = CHECKS[kind]
+    for path in paths:
+        try:
+            with open(path) as handle:
+                report = json.load(handle)
+            summary = check(report, path)
+        except CheckFailure as failure:
+            print(f"check_bench: FAILED: {failure}", file=sys.stderr)
+            return 1
+        except (OSError, ValueError, KeyError, StopIteration) as problem:
+            print(f"check_bench: FAILED: {path}: {problem!r}", file=sys.stderr)
+            return 1
+        print(f"{kind} bench ok ({path}): {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
