@@ -1,0 +1,51 @@
+//! Instrumentation overhead: what one counter increment, one
+//! histogram record, and one span enter/exit actually cost. These are
+//! the primitives sitting on the request path and inside the training
+//! loop, so their cost bounds the observability tax on every
+//! throughput number in BENCH_serve / BENCH_online.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ncl_obs::Registry;
+
+fn bench_obs(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("bench_total", "Bench counter.");
+    let gauge = registry.gauge("bench_depth", "Bench gauge.");
+    let hist = registry.histogram("bench_us", "Bench histogram.");
+    let stage = registry.stage("bench_stage_us", "bench");
+
+    let mut group = c.benchmark_group("obs");
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        });
+    });
+    group.bench_function("gauge_set", |b| {
+        let mut v = 0i64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            gauge.set(black_box(v));
+        });
+    });
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(977);
+            hist.record(black_box(v & 0xFFFF));
+        });
+    });
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| {
+            let span = stage.enter();
+            black_box(&span);
+        });
+    });
+    group.bench_function("render_small_registry", |b| {
+        b.iter(|| black_box(registry.render().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Structured events: leveled, key/value-tagged diagnostics replacing
+//! scattered `eprintln!` calls.
+//!
+//! Every event increments a per-level counter (exposed as
+//! `obs_events_total{level=...}`), lands in a bounded ring for
+//! inspection over the wire, and — for `Warn`/`Error` — echoes one
+//! structured line to stderr so operator logs and CI greps keep
+//! working without a log pipeline.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::registry::Counter;
+
+/// Event severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Debug,
+    Info,
+    Warn,
+    Error,
+}
+
+impl Level {
+    /// All levels, lowest first.
+    pub const ALL: [Level; 4] = [Level::Debug, Level::Info, Level::Warn, Level::Error];
+
+    /// The lowercase label value.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Level::Debug => 0,
+            Level::Info => 1,
+            Level::Warn => 2,
+            Level::Error => 3,
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (1-based, never reused).
+    pub seq: u64,
+    /// Severity.
+    pub level: Level,
+    /// Human-readable message.
+    pub message: String,
+    /// Key/value context fields, in call order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// The single-line rendering used for the stderr echo:
+    /// `[warn] message key="value" ...`.
+    #[must_use]
+    pub fn render_line(&self) -> String {
+        let mut line = format!("[{}] {}", self.level.as_str(), self.message);
+        for (k, v) in &self.fields {
+            line.push_str(&format!(" {k}={v:?}"));
+        }
+        line
+    }
+}
+
+/// Bounded ring of recent events plus per-level counters.
+pub struct EventLog {
+    ring: Mutex<VecDeque<Event>>,
+    cap: usize,
+    seq: AtomicU64,
+    counters: [Arc<Counter>; 4],
+    echo: AtomicBool,
+}
+
+impl EventLog {
+    /// An empty log retaining at most `cap` events.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        EventLog {
+            ring: Mutex::new(VecDeque::with_capacity(cap)),
+            cap: cap.max(1),
+            seq: AtomicU64::new(0),
+            counters: std::array::from_fn(|_| Arc::new(Counter::new())),
+            echo: AtomicBool::new(true),
+        }
+    }
+
+    /// The per-level counter (what the registry adopts for exposition).
+    #[must_use]
+    pub fn counter(&self, level: Level) -> Arc<Counter> {
+        Arc::clone(&self.counters[level.index()])
+    }
+
+    /// Enables/disables the `Warn`/`Error` stderr echo.
+    pub fn set_echo(&self, on: bool) {
+        self.echo.store(on, Ordering::Relaxed);
+    }
+
+    /// Records an event.
+    pub fn record(&self, level: Level, message: &str, fields: &[(&str, &str)]) {
+        self.counters[level.index()].inc();
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            level,
+            message: message.to_owned(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+        };
+        if level >= Level::Warn && self.echo.load(Ordering::Relaxed) {
+            eprintln!("{}", event.render_line());
+        }
+        let mut ring = self.ring.lock().expect("event ring poisoned");
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .expect("event ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_count_per_level_and_stay_bounded() {
+        let log = EventLog::new(2);
+        log.set_echo(false);
+        log.record(Level::Info, "first", &[]);
+        log.record(Level::Warn, "second", &[("k", "v")]);
+        log.record(Level::Warn, "third", &[]);
+        assert_eq!(log.counter(Level::Info).get(), 1);
+        assert_eq!(log.counter(Level::Warn).get(), 2);
+        assert_eq!(log.counter(Level::Error).get(), 0);
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].message, "second");
+        assert_eq!(recent[1].message, "third");
+        assert_eq!(recent[0].seq, 2);
+        assert_eq!(recent[0].fields, vec![("k".to_owned(), "v".to_owned())]);
+    }
+
+    #[test]
+    fn render_line_is_greppable() {
+        let event = Event {
+            seq: 1,
+            level: Level::Warn,
+            message: "checkpoint write failed".to_owned(),
+            fields: vec![("error".to_owned(), "disk \"full\"".to_owned())],
+        };
+        assert_eq!(
+            event.render_line(),
+            "[warn] checkpoint write failed error=\"disk \\\"full\\\"\""
+        );
+    }
+}

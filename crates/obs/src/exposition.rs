@@ -1,0 +1,267 @@
+//! Working with rendered exposition text: relabeling a scraped
+//! replica's metrics and merging several expositions into one fleet
+//! view.
+//!
+//! The router scrapes each replica's `metrics` op, stamps every
+//! sample with a `replica="N"` label via [`relabel`], and folds the
+//! results together with [`merge`] so one document covers the whole
+//! fleet. Both functions operate line-by-line on the text format the
+//! registry renders (and that real Prometheus clients render), so the
+//! router never needs a replica's registry in-process.
+
+use std::collections::BTreeMap;
+
+use crate::registry::escape_label;
+
+/// Splits a sample line into `(name, labels-inside-braces, rest)`.
+/// `rest` starts at the space before the value. Returns `None` for
+/// lines that don't look like samples (comments, blanks).
+fn split_sample(line: &str) -> Option<(&str, Option<&str>, &str)> {
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let name_end = line.find(['{', ' '])?;
+    let name = &line[..name_end];
+    if name.is_empty() {
+        return None;
+    }
+    if line.as_bytes()[name_end] == b' ' {
+        return Some((name, None, &line[name_end..]));
+    }
+    // Scan for the closing brace, honoring escapes inside quoted
+    // label values.
+    let body = &line[name_end + 1..];
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => {
+                return Some((name, Some(&body[..i]), &body[i + 1..]));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses `k="v",k2="v2"` into pairs, unescaping values.
+fn parse_labels(body: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    let mut rest = body;
+    loop {
+        let rest_trimmed = rest.trim_start_matches(',');
+        if rest_trimmed.is_empty() {
+            return pairs;
+        }
+        let Some(eq) = rest_trimmed.find("=\"") else {
+            return pairs;
+        };
+        let key = rest_trimmed[..eq].to_owned();
+        let value_body = &rest_trimmed[eq + 2..];
+        let mut value = String::new();
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in value_body.char_indices() {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    other => other,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let Some(end) = end else {
+            return pairs;
+        };
+        pairs.push((key, value));
+        rest = &value_body[end + 1..];
+    }
+}
+
+/// Stamps every sample in `text` with an extra `key="value"` label,
+/// re-sorting the label set (the `le` bucket label stays last when
+/// present, matching renderer convention). Comment and blank lines
+/// pass through untouched.
+#[must_use]
+pub fn relabel(text: &str, key: &str, value: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 64);
+    for line in text.lines() {
+        match split_sample(line) {
+            None => {
+                out.push_str(line);
+                out.push('\n');
+            }
+            Some((name, labels, rest)) => {
+                let mut pairs = labels.map(parse_labels).unwrap_or_default();
+                pairs.retain(|(k, _)| k != key);
+                pairs.push((key.to_owned(), value.to_owned()));
+                let le = pairs
+                    .iter()
+                    .position(|(k, _)| k == "le")
+                    .map(|i| pairs.remove(i));
+                pairs.sort();
+                if let Some(le) = le {
+                    pairs.push(le);
+                }
+                let rendered: Vec<String> = pairs
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                    .collect();
+                out.push_str(name);
+                out.push('{');
+                out.push_str(&rendered.join(","));
+                out.push('}');
+                out.push_str(rest);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Merges several exposition documents into one: samples regroup
+/// under their family so each `# HELP`/`# TYPE` appears once (first
+/// definition wins), families sort by name, and within a family the
+/// samples keep section order then line order — deterministic for
+/// deterministic inputs.
+#[must_use]
+pub fn merge(sections: &[String]) -> String {
+    struct MergedFamily {
+        comments: Vec<String>,
+        samples: Vec<String>,
+    }
+    let mut families: BTreeMap<String, MergedFamily> = BTreeMap::new();
+    for section in sections {
+        // Samples attach to the family declared by the preceding
+        // `# TYPE` line; a bare sample falls back to its own name.
+        let mut current: Option<String> = None;
+        for line in section.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                let mut words = comment.split_whitespace();
+                let kind = words.next();
+                let name = words.next();
+                if let (Some("HELP" | "TYPE"), Some(name)) = (kind, name) {
+                    let family = families
+                        .entry(name.to_owned())
+                        .or_insert_with(|| MergedFamily {
+                            comments: Vec::new(),
+                            samples: Vec::new(),
+                        });
+                    if kind == Some("TYPE") {
+                        current = Some(name.to_owned());
+                        if !family.comments.iter().any(|c| c.starts_with("# TYPE ")) {
+                            family.comments.push(line.to_owned());
+                        }
+                    } else if !family.comments.iter().any(|c| c.starts_with("# HELP ")) {
+                        family.comments.push(line.to_owned());
+                    }
+                }
+                continue;
+            }
+            let Some((name, _, _)) = split_sample(line) else {
+                continue;
+            };
+            let family_name = match &current {
+                Some(current) if name.starts_with(current.as_str()) => current.clone(),
+                _ => name.to_owned(),
+            };
+            families
+                .entry(family_name)
+                .or_insert_with(|| MergedFamily {
+                    comments: Vec::new(),
+                    samples: Vec::new(),
+                })
+                .samples
+                .push(line.to_owned());
+        }
+    }
+    let mut out = String::new();
+    for (_, family) in families {
+        // HELP before TYPE, as the renderer emits them.
+        let mut comments = family.comments;
+        comments.sort_by_key(|c| !c.starts_with("# HELP "));
+        for comment in comments {
+            out.push_str(&comment);
+            out.push('\n');
+        }
+        for sample in family.samples {
+            out.push_str(&sample);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn relabel_stamps_every_sample_sorted() {
+        let text = "# HELP x_total help\n# TYPE x_total counter\nx_total 3\n\
+                    y_us_bucket{stage=\"a\",le=\"+Inf\"} 1\ny_us_sum{stage=\"a\"} 9\n";
+        let stamped = relabel(text, "replica", "2");
+        assert!(stamped.contains("# HELP x_total help"));
+        assert!(stamped.contains("x_total{replica=\"2\"} 3"));
+        // `le` stays last; other labels sort around the new one.
+        assert!(stamped.contains("y_us_bucket{replica=\"2\",stage=\"a\",le=\"+Inf\"} 1"));
+        assert!(stamped.contains("y_us_sum{replica=\"2\",stage=\"a\"} 9"));
+    }
+
+    #[test]
+    fn relabel_handles_escaped_quotes_in_values() {
+        let text = "e_total{err=\"a\\\"b\\\\c\"} 1\n";
+        let stamped = relabel(text, "r", "0");
+        assert_eq!(stamped, "e_total{err=\"a\\\"b\\\\c\",r=\"0\"} 1\n");
+    }
+
+    #[test]
+    fn merge_groups_families_and_keeps_one_type_line() {
+        let own = Registry::new();
+        own.counter("router_dispatch_total", "Dispatches.").add(5);
+        let replica = Registry::new();
+        replica.counter("serve_requests_ok_total", "OK.").add(7);
+        let merged = merge(&[
+            own.render(),
+            relabel(&replica.render(), "replica", "0"),
+            relabel(&replica.render(), "replica", "1"),
+        ]);
+        assert_eq!(merged.matches("# TYPE serve_requests_ok_total").count(), 1);
+        assert!(merged.contains("serve_requests_ok_total{replica=\"0\"} 7"));
+        assert!(merged.contains("serve_requests_ok_total{replica=\"1\"} 7"));
+        assert!(merged.contains("router_dispatch_total 5"));
+        // Deterministic: merging the same inputs yields the same bytes.
+        let again = merge(&[
+            own.render(),
+            relabel(&replica.render(), "replica", "0"),
+            relabel(&replica.render(), "replica", "1"),
+        ]);
+        assert_eq!(merged, again);
+    }
+
+    #[test]
+    fn merge_keeps_histogram_series_under_their_family() {
+        let r = Registry::new();
+        r.histogram("lat_us", "Latency.").record(100);
+        let merged = merge(&[relabel(&r.render(), "replica", "3")]);
+        let type_pos = merged.find("# TYPE lat_us histogram").unwrap();
+        let bucket_pos = merged.find("lat_us_bucket").unwrap();
+        let count_pos = merged.find("lat_us_count").unwrap();
+        assert!(type_pos < bucket_pos && bucket_pos < count_pos);
+        assert_eq!(merged.matches("# TYPE lat_us ").count(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Stage spans: `Instant`-pair timers that record into a histogram
+//! and a bounded ring of recent spans.
+//!
+//! A [`Stage`] is created once (cold path, one registry lookup) and
+//! held by the instrumented loop; entering it costs two `Instant`
+//! reads plus one histogram record and one ring push on drop. The
+//! ring is a mutex-guarded `VecDeque`, which is fine because spans
+//! time *stages* (ingest, train, checkpoint) — millisecond-scale work
+//! off the request path — not individual requests.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::histogram::Log2Histogram;
+
+/// One completed span, timestamped relative to the registry's epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The stage name (e.g. `"train"`).
+    pub name: &'static str,
+    /// Microseconds from registry creation to span start.
+    pub start_us: u64,
+    /// Span wall time in microseconds.
+    pub duration_us: u64,
+}
+
+/// Bounded ring of the most recent spans.
+#[derive(Debug)]
+pub struct SpanRing {
+    inner: Mutex<VecDeque<SpanRecord>>,
+    cap: usize,
+    total: AtomicU64,
+}
+
+impl SpanRing {
+    /// An empty ring holding at most `cap` spans.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        SpanRing {
+            inner: Mutex::new(VecDeque::with_capacity(cap)),
+            cap: cap.max(1),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&self, record: SpanRecord) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.inner.lock().expect("span ring poisoned");
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// The retained spans, oldest first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.inner
+            .lock()
+            .expect("span ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Spans ever pushed (including evicted ones).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// A named, reusable stage timer bound to one histogram series.
+pub struct Stage {
+    name: &'static str,
+    hist: Arc<Log2Histogram>,
+    ring: Arc<SpanRing>,
+    epoch: Instant,
+}
+
+impl Stage {
+    pub(crate) fn new(
+        name: &'static str,
+        hist: Arc<Log2Histogram>,
+        ring: Arc<SpanRing>,
+        epoch: Instant,
+    ) -> Self {
+        Stage {
+            name,
+            hist,
+            ring,
+            epoch,
+        }
+    }
+
+    /// The stage's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The histogram this stage records into (µs).
+    #[must_use]
+    pub fn histogram(&self) -> &Arc<Log2Histogram> {
+        &self.hist
+    }
+
+    /// Starts a span; the guard records on drop.
+    #[must_use]
+    pub fn enter(&self) -> Span<'_> {
+        Span {
+            stage: self,
+            started: Instant::now(),
+        }
+    }
+
+    /// Times a closure as one span of this stage.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _span = self.enter();
+        f()
+    }
+}
+
+/// An in-flight span; completes (and records) when dropped.
+pub struct Span<'a> {
+    stage: &'a Stage,
+    started: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let duration_us = self.started.elapsed().as_micros() as u64;
+        self.stage.hist.record(duration_us);
+        self.stage.ring.push(SpanRecord {
+            name: self.stage.name,
+            start_us: self
+                .started
+                .saturating_duration_since(self.stage.epoch)
+                .as_micros() as u64,
+            duration_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn spans_record_into_histogram_and_ring() {
+        let r = Registry::new();
+        let stage = r.stage("test_stage_us", "work");
+        stage.time(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        {
+            let _guard = stage.enter();
+        }
+        assert_eq!(stage.histogram().count(), 2);
+        assert!(stage.histogram().max() >= 2_000);
+        let spans = r.recent_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.name == "work"));
+        assert!(spans[0].start_us <= spans[1].start_us);
+        assert_eq!(r.spans_recorded(), 2);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let ring = SpanRing::new(3);
+        for i in 0..10u64 {
+            ring.push(SpanRecord {
+                name: "s",
+                start_us: i,
+                duration_us: i,
+            });
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(
+            recent.iter().map(|s| s.start_us).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(ring.total(), 10);
+    }
+}

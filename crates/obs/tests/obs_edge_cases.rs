@@ -1,0 +1,131 @@
+//! Edge-case coverage for the observability layer: empty-histogram
+//! quantiles, max-bucket overflow, concurrent exactness, and
+//! exposition determinism.
+
+use std::sync::Arc;
+
+use ncl_obs::{exposition, Level, Log2Histogram, Registry};
+
+#[test]
+fn empty_histogram_quantiles_are_all_zero() {
+    let h = Log2Histogram::new();
+    for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 0, "q={q}");
+    }
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.max(), 0);
+}
+
+#[test]
+fn quantile_handles_out_of_range_q() {
+    let h = Log2Histogram::new();
+    h.record(10);
+    assert_eq!(h.quantile(-1.0), 16);
+    assert_eq!(h.quantile(2.0), 16);
+}
+
+#[test]
+fn max_bucket_overflow_never_under_reports() {
+    let h = Log2Histogram::new();
+    // Values past the second-to-last bucket's bound all land in the
+    // open last bucket, whose reported upper bound is u64::MAX.
+    for v in [1u64 << 62, (1u64 << 63) + 1, u64::MAX - 1, u64::MAX] {
+        h.record(v);
+    }
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.max(), u64::MAX);
+    assert!(h.quantile(1.0) >= u64::MAX - 1);
+    // quantile(0.25) is the first recorded value's bucket bound.
+    assert_eq!(h.quantile(0.25), 1u64 << 62);
+}
+
+#[test]
+fn concurrent_increments_from_n_threads_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("conc_total", "Concurrency test counter.");
+    let hist = registry.histogram("conc_us", "Concurrency test histogram.");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record(t as u64 + i % 7 + 1);
+                }
+            });
+        }
+    });
+    let n = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), n);
+    assert_eq!(hist.count(), n);
+    // Cumulative buckets must also account for every observation.
+    assert_eq!(hist.cumulative_buckets().last().unwrap().1, n);
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|t| (0..PER_THREAD).map(|i| t + i % 7 + 1).sum::<u64>())
+        .sum();
+    assert_eq!(hist.sum(), expected_sum);
+}
+
+#[test]
+fn exposition_rendering_is_deterministic_and_sorted() {
+    let build = || {
+        let r = Registry::new();
+        r.mute_event_echo();
+        // Register in shuffled order; render must not care.
+        r.counter_with("z_total", &[("zz", "1"), ("aa", "2")], "Z.")
+            .add(4);
+        r.gauge("a_depth", "A.").set(7);
+        let h = r.histogram_with("m_us", &[("stage", "x")], "M.");
+        for v in [1, 10, 100, 1000] {
+            h.record(v);
+        }
+        r.event(Level::Warn, "w", &[("k", "v")]);
+        r.render()
+    };
+    let first = build();
+    let second = build();
+    assert_eq!(
+        first, second,
+        "two identically-built registries must render identically"
+    );
+    // Families appear in name order, labels in key order.
+    let a = first.find("# TYPE a_depth gauge").unwrap();
+    let m = first.find("# TYPE m_us histogram").unwrap();
+    let o = first.find("# TYPE obs_events_total counter").unwrap();
+    let z = first.find("# TYPE z_total counter").unwrap();
+    assert!(a < m && m < o && o < z);
+    assert!(first.contains("z_total{aa=\"2\",zz=\"1\"} 4"));
+    assert!(first.contains("obs_events_total{level=\"warn\"} 1"));
+    assert!(first.contains("m_us_bucket{stage=\"x\",le=\"1\"} 1"));
+    assert!(first.contains("m_us_bucket{stage=\"x\",le=\"+Inf\"} 4"));
+    assert!(first.contains("m_us_sum{stage=\"x\"} 1111"));
+    assert!(first.contains("m_us_count{stage=\"x\"} 4"));
+}
+
+#[test]
+fn relabeled_merge_of_identical_replicas_is_stable() {
+    let make = || {
+        let r = Registry::new();
+        r.counter("serve_requests_ok_total", "OK.").add(3);
+        r.histogram("serve_latency_us", "Latency.").record(50);
+        r.render()
+    };
+    let sections: Vec<String> = (0..3)
+        .map(|i| exposition::relabel(&make(), "replica", &i.to_string()))
+        .collect();
+    let merged = exposition::merge(&sections);
+    let again = exposition::merge(&sections);
+    assert_eq!(merged, again);
+    for i in 0..3 {
+        assert!(merged.contains(&format!("serve_requests_ok_total{{replica=\"{i}\"}} 3")));
+        assert!(merged.contains(&format!("serve_latency_us_count{{replica=\"{i}\"}} 1")));
+    }
+    assert_eq!(
+        merged.matches("# TYPE serve_latency_us histogram").count(),
+        1
+    );
+}

@@ -24,7 +24,9 @@
 //! summary — the CI smoke uses it to assert clean restores.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use ncl_obs::Level;
 use ncl_online::checkpoint::Checkpoint;
 use ncl_online::daemon::{IngestOutcome, OnlineConfig, OnlineLearner};
 use ncl_online::stream::{SampleStream, StreamConfig};
@@ -212,8 +214,13 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .into());
         }
     }
+    // One observability registry spans the whole process: the learner's
+    // stage timings and events, the trainer's epoch histogram and the
+    // server's request metrics all land in it, so one `metrics` scrape
+    // covers every layer.
+    let obs = Arc::new(ncl_obs::Registry::new());
     let mut learner = if args.resume {
-        let learner = OnlineLearner::resume(config.clone())?;
+        let learner = OnlineLearner::resume_with_obs(config.clone(), Arc::clone(&obs))?;
         if !args.quiet {
             println!(
                 "resumed from checkpoint: model v{}, cursor {}, {} latent entries",
@@ -240,7 +247,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         );
         learner
     } else {
-        let learner = OnlineLearner::bootstrap(config.clone())?;
+        let learner = OnlineLearner::bootstrap_with_obs(config.clone(), Arc::clone(&obs))?;
         if !args.quiet {
             println!(
                 "pre-trained on {} classes: {:.1}% test accuracy, {} latent entries seeded",
@@ -252,12 +259,14 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         learner
     };
 
-    let server = Server::start(
+    let server = Server::start_with_obs(
         learner.registry(),
         ServerConfig {
             port: args.port,
             ..ServerConfig::default()
         },
+        None,
+        Arc::clone(&obs),
     )?;
     println!(
         "listening on {} (model v{})",
@@ -273,20 +282,29 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         match learner.ingest(event)? {
             IngestOutcome::Increment(report) => {
                 increments += 1;
+                // Structured events (counted per level in the metric
+                // registry; Warn/Error still echo to stderr).
                 if let Some(e) = &report.checkpoint_error {
-                    eprintln!(
-                        "ncl-learnd: warning: increment v{} applied but its checkpoint write \
-                         failed ({e}); durable state lags until the next successful write",
-                        report.version
+                    obs.event(
+                        Level::Warn,
+                        "increment applied but its checkpoint write failed; durable state \
+                         lags until the next successful write",
+                        &[("version", &report.version.to_string()), ("error", e)],
                     );
                 }
                 if report.rejected_entries > 0 {
-                    eprintln!(
-                        "ncl-learnd: warning: the latent budget rejected {}/{} new-class \
-                         entries — class(es) {:?} are under-represented in replay",
-                        report.rejected_entries,
-                        report.rejected_entries + report.stored_entries,
-                        report.classes
+                    obs.event(
+                        Level::Warn,
+                        "the latent budget rejected new-class entries; the class is \
+                         under-represented in replay",
+                        &[
+                            ("rejected", &report.rejected_entries.to_string()),
+                            (
+                                "produced",
+                                &(report.rejected_entries + report.stored_entries).to_string(),
+                            ),
+                            ("classes", &format!("{:?}", report.classes)),
+                        ],
                     );
                 }
                 if !args.quiet {

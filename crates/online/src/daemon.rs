@@ -42,6 +42,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ncl_obs::{Counter, Gauge, Level, Registry as ObsRegistry, Stage};
 use ncl_serve::registry::ModelRegistry;
 use ncl_snn::trainer::{IncrementalTrainer, TrainOptions};
 use ncl_snn::Network;
@@ -299,10 +300,74 @@ pub struct RunSummary {
     pub increments: Vec<IncrementReport>,
 }
 
+/// Pre-registered observability handles for the daemon: one registry
+/// lookup per series at construction, plain atomic ops on the hot path.
+/// Held behind an `Arc` so spans never borrow the learner itself.
+struct Instruments {
+    registry: Arc<ObsRegistry>,
+    ingest: Stage,
+    capture: Stage,
+    replay_mix: Stage,
+    train: Stage,
+    swap: Stage,
+    checkpoint: Stage,
+    events: Arc<Counter>,
+    increments: Arc<Counter>,
+    checkpoint_errors: Arc<Counter>,
+    version: Arc<Gauge>,
+    buffer_entries: Arc<Gauge>,
+    buffer_bits: Arc<Gauge>,
+    pending_samples: Arc<Gauge>,
+}
+
+impl Instruments {
+    fn new(registry: Arc<ObsRegistry>) -> Self {
+        let stage = |name| registry.stage("online_stage_us", name);
+        Instruments {
+            ingest: stage("ingest"),
+            capture: stage("capture"),
+            replay_mix: stage("replay_mix"),
+            train: stage("train"),
+            swap: stage("swap"),
+            checkpoint: stage("checkpoint"),
+            events: registry.counter("online_events_total", "Stream events ingested."),
+            increments: registry.counter(
+                "online_increments_total",
+                "Continual-learning increments committed.",
+            ),
+            checkpoint_errors: registry.counter(
+                "online_checkpoint_errors_total",
+                "Checkpoint writes that failed after a committed increment.",
+            ),
+            version: registry.gauge("online_version", "Daemon model version."),
+            buffer_entries: registry.gauge(
+                "online_buffer_entries",
+                "Latent entries in the replay store.",
+            ),
+            buffer_bits: registry.gauge(
+                "online_buffer_bits",
+                "Latent-memory footprint of the replay store in bits.",
+            ),
+            pending_samples: registry.gauge(
+                "online_pending_samples",
+                "Novel-class samples awaiting the arrival threshold.",
+            ),
+            registry,
+        }
+    }
+}
+
+impl std::fmt::Debug for Instruments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instruments").finish_non_exhaustive()
+    }
+}
+
 /// The daemon state machine. See the module docs for the lifecycle.
 #[derive(Debug)]
 pub struct OnlineLearner {
     config: OnlineConfig,
+    obs: Arc<Instruments>,
     registry: Arc<ModelRegistry>,
     network: Network,
     buffer: LatentReplayBuffer,
@@ -327,6 +392,21 @@ impl OnlineLearner {
     /// Returns [`OnlineError`] for invalid configs and training/data
     /// failures.
     pub fn bootstrap(config: OnlineConfig) -> Result<Self, OnlineError> {
+        Self::bootstrap_with_obs(config, Arc::new(ObsRegistry::new()))
+    }
+
+    /// [`bootstrap`](OnlineLearner::bootstrap) publishing metrics,
+    /// spans and events into a shared observability registry (typically
+    /// the one the serving layer also renders through its `metrics`
+    /// op).
+    ///
+    /// # Errors
+    ///
+    /// As [`bootstrap`](OnlineLearner::bootstrap).
+    pub fn bootstrap_with_obs(
+        config: OnlineConfig,
+        obs: Arc<ObsRegistry>,
+    ) -> Result<Self, OnlineError> {
         config.validate()?;
         let (network, pretrain_acc) = cache::pretrained_network(&config.scenario)?;
         let data = phases::scenario_data(&config.scenario)?;
@@ -354,12 +434,21 @@ impl OnlineLearner {
             config.arrival_threshold,
         );
         let registry = Arc::new(ModelRegistry::new(network.clone(), "pretrained"));
+        let instruments = Arc::new(Instruments::new(obs));
+        let mut trainer = IncrementalTrainer::new();
+        trainer.attach_obs(&instruments.registry);
+        instruments.version.set(1);
+        instruments.buffer_entries.set(buffer.len() as i64);
+        instruments
+            .buffer_bits
+            .set(buffer.footprint().total_bits as i64);
         Ok(OnlineLearner {
             config,
+            obs: instruments,
             registry,
             network,
             buffer,
-            trainer: IncrementalTrainer::new(),
+            trainer,
             tracker,
             pending: Vec::new(),
             cursor: 0,
@@ -389,6 +478,19 @@ impl OnlineLearner {
     /// restored store — and [`OnlineError::Io`]/
     /// [`OnlineError::Checkpoint`] for unreadable or corrupt checkpoints.
     pub fn resume(config: OnlineConfig) -> Result<Self, OnlineError> {
+        Self::resume_with_obs(config, Arc::new(ObsRegistry::new()))
+    }
+
+    /// [`resume`](OnlineLearner::resume) publishing into a shared
+    /// observability registry.
+    ///
+    /// # Errors
+    ///
+    /// As [`resume`](OnlineLearner::resume).
+    pub fn resume_with_obs(
+        config: OnlineConfig,
+        obs: Arc<ObsRegistry>,
+    ) -> Result<Self, OnlineError> {
         config.validate()?;
         let path = config
             .checkpoint_path
@@ -428,14 +530,24 @@ impl OnlineLearner {
             &format!("checkpoint:{}", path.display()),
             ckpt.version,
         ));
+        let instruments = Arc::new(Instruments::new(obs));
+        // The trainer's arenas restart per process; the durable
+        // increment count lives in the version counter.
+        let mut trainer = IncrementalTrainer::new();
+        trainer.attach_obs(&instruments.registry);
+        instruments.version.set(ckpt.version as i64);
+        instruments.buffer_entries.set(ckpt.buffer.len() as i64);
+        instruments
+            .buffer_bits
+            .set(ckpt.buffer.footprint().total_bits as i64);
+        instruments.pending_samples.set(pending.len() as i64);
         Ok(OnlineLearner {
             config,
+            obs: instruments,
             registry,
             network: ckpt.network,
             buffer: ckpt.buffer,
-            // The trainer's arenas restart per process; the durable
-            // increment count lives in the version counter.
-            trainer: IncrementalTrainer::new(),
+            trainer,
             tracker,
             pending,
             cursor: ckpt.cursor,
@@ -457,6 +569,14 @@ impl OnlineLearner {
     #[must_use]
     pub fn registry(&self) -> Arc<ModelRegistry> {
         Arc::clone(&self.registry)
+    }
+
+    /// The observability registry this learner records into (stage
+    /// timings, counters, structured events) — share it with a server
+    /// via `Server::start_with_obs` to scrape one merged exposition.
+    #[must_use]
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.obs.registry
     }
 
     /// The current network (the last published model).
@@ -582,6 +702,7 @@ impl OnlineLearner {
     /// method's operating timestep, apply the method's threshold policy to
     /// the frozen stages, read the insertion-layer activation.
     fn capture_latent(&self, raster: &SpikeRaster) -> Result<SpikeRaster, OnlineError> {
+        let _span = self.obs.capture.enter();
         let (input, _ops) =
             phases::method_input(raster, &self.config.method, &self.config.scenario)?;
         let base = self.config.scenario.network.lif.v_threshold;
@@ -617,6 +738,9 @@ impl OnlineLearner {
                 got: event.seq,
             });
         }
+        let obs = Arc::clone(&self.obs);
+        let _span = obs.ingest.enter();
+        obs.events.inc();
         let (mut outcome, action) = if self.tracker.is_known(event.label) {
             let refresh = self.config.capture_every > 0
                 && event.seq.is_multiple_of(self.config.capture_every);
@@ -685,13 +809,31 @@ impl OnlineLearner {
         // live, the report says durable state lags.
         if let IngestOutcome::Increment(report) = &mut outcome {
             if self.config.checkpoint_path.is_some() {
+                let ckpt_span = obs.checkpoint.enter();
                 let started = Instant::now();
                 match self.write_checkpoint() {
                     Ok(_) => report.checkpoint_wall = started.elapsed(),
-                    Err(e) => report.checkpoint_error = Some(e.to_string()),
+                    Err(e) => {
+                        obs.checkpoint_errors.inc();
+                        obs.registry.event(
+                            Level::Error,
+                            "checkpoint write failed after a committed increment",
+                            &[
+                                ("version", &report.version.to_string()),
+                                ("error", &e.to_string()),
+                            ],
+                        );
+                        report.checkpoint_error = Some(e.to_string());
+                    }
                 }
+                drop(ckpt_span);
             }
         }
+        obs.version.set(self.version as i64);
+        obs.buffer_entries.set(self.buffer.len() as i64);
+        obs.buffer_bits
+            .set(self.buffer.footprint().total_bits as i64);
+        obs.pending_samples.set(self.pending.len() as i64);
         Ok(outcome)
     }
 
@@ -705,9 +847,11 @@ impl OnlineLearner {
     /// error leaves the learner exactly as it was, so the triggering
     /// event can be retried.
     fn run_increment(&mut self, trigger_class: u16) -> Result<IncrementReport, OnlineError> {
+        let obs = Arc::clone(&self.obs);
         let scenario = &self.config.scenario;
         let method = &self.config.method;
         let decompress = method.replay.as_ref().is_some_and(|r| r.decompress);
+        let mix_span = obs.replay_mix.enter();
         let replay = self.buffer.replay_samples(decompress)?;
 
         // Class-balance the update: the pending pool (arrival_threshold
@@ -731,6 +875,7 @@ impl OnlineLearner {
             train_set.extend(self.pending.iter().map(|(l, r)| (r, *l)));
         }
         train_set.extend(replay.iter().map(|(r, l)| (r, *l)));
+        drop(mix_span);
 
         let options = TrainOptions {
             from_stage: scenario.insertion_layer,
@@ -748,6 +893,7 @@ impl OnlineLearner {
         // partially-applied optimizer steps behind, and the learner must
         // stay untouched for the retry.
         let mut candidate = self.network.clone();
+        let train_span = obs.train.enter();
         let train_started = Instant::now();
         let outcome = self.trainer.run_increment(
             &mut candidate,
@@ -758,15 +904,19 @@ impl OnlineLearner {
             &mut rng,
         )?;
         let train_wall = train_started.elapsed();
+        drop(train_span);
         drop(train_set);
 
         // Publish first (the last fallible step), then commit.
         let next_version = self.version + 1;
+        let swap_span = obs.swap.enter();
         let swap_started = Instant::now();
         let registry_version = self
             .registry
             .swap_network(candidate.clone(), &format!("increment-{next_version}"))?;
         let swap_latency = swap_started.elapsed();
+        drop(swap_span);
+        obs.increments.inc();
 
         // --- commit (infallible from here) -------------------------------
         self.network = candidate;
@@ -946,6 +1096,30 @@ mod tests {
         // The increment checkpointed; the file restores to this state.
         let restored = Checkpoint::read(&ckpt_path).unwrap();
         assert!(restored.version >= 2);
+
+        // The run left a full observability trail: stage timings for
+        // every lifecycle phase, counters and gauges matching state.
+        let text = learner.obs().render();
+        for stage in [
+            "ingest",
+            "capture",
+            "replay_mix",
+            "train",
+            "swap",
+            "checkpoint",
+        ] {
+            assert!(
+                text.contains(&format!("online_stage_us_count{{stage=\"{stage}\"}}")),
+                "missing stage {stage}:\n{text}"
+            );
+        }
+        assert!(text.contains(&format!("online_events_total {}", summary.events_applied)));
+        assert!(text.contains(&format!(
+            "online_increments_total {}",
+            summary.increments.len()
+        )));
+        assert!(text.contains(&format!("online_version {}", learner.version())));
+        assert!(learner.obs().spans_recorded() > 0, "spans were recorded");
         std::fs::remove_file(&ckpt_path).ok();
     }
 

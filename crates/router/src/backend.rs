@@ -12,14 +12,16 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use ncl_obs::{Counter, Registry};
 use serde_json::Value;
 
-/// How long one backend round trip may take before the connection is
+/// Default cap on one backend round trip before the connection is
 /// considered dead. Generous next to sub-ms predicts, tight enough that
 /// a hung replica cannot stall the sync loop or a failover for long.
+/// Override per backend with [`Backend::with_timeout`].
 const ROUND_TRIP_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Pooled connections per backend. Predict relays hold a connection
@@ -34,10 +36,11 @@ struct BackendConn {
 }
 
 impl BackendConn {
-    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
-        let stream = TcpStream::connect_timeout(&addr, ROUND_TRIP_TIMEOUT)?;
+    fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(ROUND_TRIP_TIMEOUT))?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         Ok(BackendConn {
             stream,
             pending: Vec::new(),
@@ -70,16 +73,36 @@ impl BackendConn {
     }
 }
 
+/// Maps a socket timeout (surfaced by the OS as `WouldBlock` or
+/// `TimedOut` depending on platform) onto a uniform `TimedOut` error
+/// naming the replica, so "replica hung" never reads as "replica
+/// refused" in failover diagnostics.
+fn mark_timeout(e: std::io::Error, addr: SocketAddr) -> std::io::Error {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    ) {
+        std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            format!("timed out talking to replica {addr}"),
+        )
+    } else {
+        e
+    }
+}
+
 /// Router-side state of one replica.
 pub struct Backend {
     /// Stable replica id (position in the router's backend list).
     pub id: usize,
     /// The replica's listen address.
     pub addr: SocketAddr,
+    timeout: Duration,
     healthy: AtomicBool,
     inflight: AtomicUsize,
-    requests_ok: AtomicU64,
-    requests_failed: AtomicU64,
+    requests_ok: Arc<Counter>,
+    requests_failed: Arc<Counter>,
+    timeouts: Arc<Counter>,
     model_version: AtomicU64,
     role: Mutex<String>,
     pool: Mutex<Vec<BackendConn>>,
@@ -90,17 +113,53 @@ impl Backend {
     /// successful request) marks it up.
     #[must_use]
     pub fn new(id: usize, addr: SocketAddr) -> Self {
+        Backend::with_timeout(id, addr, ROUND_TRIP_TIMEOUT)
+    }
+
+    /// A backend with an explicit round-trip cap (connect, read and
+    /// write each get this bound).
+    #[must_use]
+    pub fn with_timeout(id: usize, addr: SocketAddr, timeout: Duration) -> Self {
         Backend {
             id,
             addr,
+            timeout,
             healthy: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
-            requests_ok: AtomicU64::new(0),
-            requests_failed: AtomicU64::new(0),
+            requests_ok: Arc::new(Counter::new()),
+            requests_failed: Arc::new(Counter::new()),
+            timeouts: Arc::new(Counter::new()),
             model_version: AtomicU64::new(0),
             role: Mutex::new("unknown".to_owned()),
             pool: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Exposes this backend's counters in `registry` as
+    /// `router_backend_*_total{replica="<id>"}` series. The handles are
+    /// shared, not copied: the hot path keeps incrementing the same
+    /// atomics the exposition reads.
+    pub fn register_into(&self, registry: &Registry) {
+        let replica = self.id.to_string();
+        let labels: &[(&str, &str)] = &[("replica", &replica)];
+        let _ = registry.adopt_counter(
+            "router_backend_requests_ok_total",
+            labels,
+            "Relayed requests this replica answered.",
+            Arc::clone(&self.requests_ok),
+        );
+        let _ = registry.adopt_counter(
+            "router_backend_requests_failed_total",
+            labels,
+            "Relayed requests that failed on this replica at the transport level.",
+            Arc::clone(&self.requests_failed),
+        );
+        let _ = registry.adopt_counter(
+            "router_backend_timeouts_total",
+            labels,
+            "Transport failures that were timeouts (hung replica, not a refusal).",
+            Arc::clone(&self.timeouts),
+        );
     }
 
     /// Whether the last probe/request reached this replica.
@@ -130,13 +189,19 @@ impl Backend {
     /// Requests this backend answered (any valid response line).
     #[must_use]
     pub fn ok_count(&self) -> u64 {
-        self.requests_ok.load(Ordering::Relaxed)
+        self.requests_ok.get()
     }
 
     /// Requests that failed on this backend at the transport level.
     #[must_use]
     pub fn failed_count(&self) -> u64 {
-        self.requests_failed.load(Ordering::Relaxed)
+        self.requests_failed.get()
+    }
+
+    /// Transport failures that were timeouts.
+    #[must_use]
+    pub fn timeout_count(&self) -> u64 {
+        self.timeouts.get()
     }
 
     /// Runs one round trip against this replica, tracking inflight and
@@ -150,15 +215,20 @@ impl Backend {
     /// answer, not a transport failure, and is relayed as such.
     pub fn request(&self, line: &str) -> std::io::Result<String> {
         self.inflight.fetch_add(1, Ordering::AcqRel);
-        let result = self.request_inner(line);
+        let result = self
+            .request_inner(line)
+            .map_err(|e| mark_timeout(e, self.addr));
         self.inflight.fetch_sub(1, Ordering::AcqRel);
         match &result {
             Ok(_) => {
-                self.requests_ok.fetch_add(1, Ordering::Relaxed);
+                self.requests_ok.inc();
                 self.healthy.store(true, Ordering::Release);
             }
-            Err(_) => {
-                self.requests_failed.fetch_add(1, Ordering::Relaxed);
+            Err(e) => {
+                self.requests_failed.inc();
+                if e.kind() == std::io::ErrorKind::TimedOut {
+                    self.timeouts.inc();
+                }
                 self.healthy.store(false, Ordering::Release);
             }
         }
@@ -169,7 +239,7 @@ impl Backend {
         let pooled = self.pool.lock().expect("pool poisoned").pop();
         let mut conn = match pooled {
             Some(conn) => conn,
-            None => BackendConn::connect(self.addr)?,
+            None => BackendConn::connect(self.addr, self.timeout)?,
         };
         match conn.round_trip(line) {
             Ok(response) => {
@@ -224,6 +294,7 @@ impl Backend {
             ("model_version", Value::from(self.model_version())),
             ("requests_ok", Value::from(self.ok_count())),
             ("requests_failed", Value::from(self.failed_count())),
+            ("timeouts", Value::from(self.timeout_count())),
             ("inflight", Value::from(self.inflight() as u64)),
         ])
     }
@@ -262,5 +333,50 @@ mod tests {
         assert!(backend.request(r#"{"op":"ping"}"#).is_err());
         assert!(!backend.is_healthy());
         assert!(backend.probe_health().is_none());
+    }
+
+    #[test]
+    fn hung_replica_surfaces_as_timeout_and_is_counted() {
+        // Accept and go silent: the request must time out, not hang,
+        // and the error must be distinguishable from a refusal.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let backend = Backend::with_timeout(0, addr, Duration::from_millis(50));
+        let err = backend.request(r#"{"op":"ping"}"#).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("timed out"), "{err}");
+        assert_eq!(backend.timeout_count(), 1);
+        assert_eq!(backend.failed_count(), 1);
+        drop(hold.join());
+
+        // A refusal (bind-then-drop port) is a failure but not a timeout.
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let refused = Backend::with_timeout(1, dead, Duration::from_secs(2));
+        let err = refused.request(r#"{"op":"ping"}"#).unwrap_err();
+        assert_ne!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert_eq!(refused.timeout_count(), 0);
+        assert_eq!(refused.failed_count(), 1);
+    }
+
+    #[test]
+    fn register_into_exposes_backend_counters() {
+        let registry = ncl_obs::Registry::new();
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let backend = Backend::new(3, dead);
+        backend.register_into(&registry);
+        let _ = backend.request(r#"{"op":"ping"}"#);
+        let text = registry.render();
+        assert!(
+            text.contains("router_backend_requests_failed_total{replica=\"3\"} 1"),
+            "exposition tracks the shared counter:\n{text}"
+        );
+        assert!(text.contains("router_backend_requests_ok_total{replica=\"3\"} 0"));
     }
 }

@@ -137,10 +137,14 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     config.scenario.pretrain_epochs = args.pretrain_epochs.max(1);
     config.arrival_threshold = args.arrival_threshold;
 
+    // One metric registry per process; the `metrics` wire op serves it,
+    // and the router merges it into the fleet exposition.
+    let obs = Arc::new(ncl_obs::Registry::new());
+
     // Every replica bootstraps the same state: the config digest pins
     // the determinism-relevant fields, and bootstrap is a deterministic
     // function of them.
-    let mut learner = OnlineLearner::bootstrap(config.clone())?;
+    let mut learner = OnlineLearner::bootstrap_with_obs(config.clone(), Arc::clone(&obs))?;
     if !args.quiet {
         println!(
             "bootstrapped: {} classes at {:.1}% test accuracy, {} latent entries",
@@ -157,9 +161,11 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     match args.role {
         Role::Follower => {
             let follower = Arc::new(FollowerReplica::new(learner.checkpoint()));
+            follower.register_into(&obs);
             let registry = follower.registry();
             let sync: Arc<dyn ReplicaSync> = follower;
-            let server = Server::start_with_sync(registry, server_config, Some(sync))?;
+            let server =
+                Server::start_with_obs(registry, server_config, Some(sync), Arc::clone(&obs))?;
             println!(
                 "listening on {} (model v{}, role follower)",
                 server.local_addr(),
@@ -170,7 +176,12 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         Role::Learner => {
             let publisher = Arc::new(DeltaPublisher::new(learner.checkpoint()));
             let sync: Arc<dyn ReplicaSync> = Arc::new(LearnerReplica::new(Arc::clone(&publisher)));
-            let server = Server::start_with_sync(learner.registry(), server_config, Some(sync))?;
+            let server = Server::start_with_obs(
+                learner.registry(),
+                server_config,
+                Some(sync),
+                Arc::clone(&obs),
+            )?;
             println!(
                 "listening on {} (model v{}, role learner)",
                 server.local_addr(),
@@ -184,11 +195,16 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 novel_every: args.novel_every.max(1),
                 seed: args.seed,
             })?;
+            let delta_hist = obs.histogram(
+                "online_delta_bytes",
+                "Encoded size of published checkpoint deltas in bytes.",
+            );
             let mut increments = 0usize;
             for event in stream.events_from(learner.cursor()) {
                 if let IngestOutcome::Increment(report) = learner.ingest(event)? {
                     increments += 1;
                     let delta_bytes = publisher.publish(learner.checkpoint())?;
+                    delta_hist.record(delta_bytes as u64);
                     println!(
                         "increment v{}: learned class(es) {:?}, published a {} B delta",
                         report.version, report.classes, delta_bytes

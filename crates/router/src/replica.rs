@@ -16,9 +16,9 @@
 //!   version. Any mismatch reports an error precise enough for the
 //!   router to fall back to a full checkpoint.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use ncl_obs::{Counter, Log2Histogram, Registry};
 use ncl_online::checkpoint::Checkpoint;
 use ncl_online::delta::CheckpointDelta;
 use ncl_online::error::OnlineError;
@@ -91,8 +91,9 @@ impl ReplicaSync for LearnerReplica {
 pub struct FollowerReplica {
     registry: Arc<ModelRegistry>,
     state: Mutex<Checkpoint>,
-    deltas_applied: AtomicU64,
-    full_syncs: AtomicU64,
+    deltas_applied: Arc<Counter>,
+    full_syncs: Arc<Counter>,
+    apply_bytes: Arc<Log2Histogram>,
 }
 
 impl FollowerReplica {
@@ -108,9 +109,33 @@ impl FollowerReplica {
         FollowerReplica {
             registry,
             state: Mutex::new(initial),
-            deltas_applied: AtomicU64::new(0),
-            full_syncs: AtomicU64::new(0),
+            deltas_applied: Arc::new(Counter::new()),
+            full_syncs: Arc::new(Counter::new()),
+            apply_bytes: Arc::new(Log2Histogram::new()),
         }
+    }
+
+    /// Exposes this follower's replication counters in `registry` as
+    /// `replica_*` series (shared handles, not copies).
+    pub fn register_into(&self, registry: &Registry) {
+        let _ = registry.adopt_counter(
+            "replica_deltas_applied_total",
+            &[],
+            "Checkpoint deltas this follower applied.",
+            Arc::clone(&self.deltas_applied),
+        );
+        let _ = registry.adopt_counter(
+            "replica_full_syncs_total",
+            &[],
+            "Full-checkpoint resyncs this follower applied.",
+            Arc::clone(&self.full_syncs),
+        );
+        let _ = registry.adopt_histogram(
+            "replica_apply_bytes",
+            &[],
+            "Payload size of applied deltas and checkpoints in bytes.",
+            Arc::clone(&self.apply_bytes),
+        );
     }
 
     /// The registry this follower serves through.
@@ -128,13 +153,13 @@ impl FollowerReplica {
     /// Deltas applied since startup.
     #[must_use]
     pub fn deltas_applied(&self) -> u64 {
-        self.deltas_applied.load(Ordering::Relaxed)
+        self.deltas_applied.get()
     }
 
     /// Full-checkpoint resyncs since startup.
     #[must_use]
     pub fn full_syncs(&self) -> u64 {
-        self.full_syncs.load(Ordering::Relaxed)
+        self.full_syncs.get()
     }
 }
 
@@ -174,7 +199,8 @@ impl ReplicaSync for FollowerReplica {
             next.version,
         )?;
         *state = next;
-        self.deltas_applied.fetch_add(1, Ordering::Relaxed);
+        self.deltas_applied.inc();
+        self.apply_bytes.record(payload.len() as u64);
         Ok(version)
     }
 
@@ -202,7 +228,8 @@ impl ReplicaSync for FollowerReplica {
             next.version,
         )?;
         *state = next;
-        self.full_syncs.fetch_add(1, Ordering::Relaxed);
+        self.full_syncs.inc();
+        self.apply_bytes.record(payload.len() as u64);
         Ok(version)
     }
 }

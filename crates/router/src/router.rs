@@ -12,10 +12,11 @@
 
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use ncl_obs::{exposition, Counter, Registry as ObsRegistry};
 use ncl_serve::error::ServeError;
 use ncl_serve::protocol::object;
 use serde_json::Value;
@@ -62,9 +63,11 @@ pub(crate) struct RouterShared {
     pub(crate) policy: DispatchPolicy,
     pub(crate) stopping: AtomicBool,
     pub(crate) addr: SocketAddr,
-    pub(crate) requests_ok: AtomicU64,
-    pub(crate) requests_failed: AtomicU64,
+    pub(crate) requests_ok: Arc<Counter>,
+    pub(crate) requests_failed: Arc<Counter>,
+    pub(crate) failovers: Arc<Counter>,
     pub(crate) sync: SyncStats,
+    pub(crate) obs: Arc<ObsRegistry>,
 }
 
 /// A running router.
@@ -83,14 +86,32 @@ impl Router {
     pub fn start(backends: Vec<Arc<Backend>>, config: RouterConfig) -> std::io::Result<Router> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
+        let obs = Arc::new(ObsRegistry::new());
+        let sync = SyncStats::default();
+        sync.register_into(&obs);
+        for backend in &backends {
+            backend.register_into(&obs);
+        }
         let shared = Arc::new(RouterShared {
             backends,
             policy: config.policy,
             stopping: AtomicBool::new(false),
             addr,
-            requests_ok: AtomicU64::new(0),
-            requests_failed: AtomicU64::new(0),
-            sync: SyncStats::default(),
+            requests_ok: obs.counter(
+                "router_requests_ok_total",
+                "Client requests the router answered.",
+            ),
+            requests_failed: obs.counter(
+                "router_requests_failed_total",
+                "Client requests the router could not answer.",
+            ),
+            failovers: obs.counter(
+                "router_failovers_total",
+                "Transport failures while relaying predicts (each fails over to the next \
+                 candidate while one remains).",
+            ),
+            sync,
+            obs,
         });
         // Probe the fleet once before accepting, so the first client
         // request already sees health/role/version state.
@@ -132,6 +153,13 @@ impl Router {
     #[must_use]
     pub fn sync_stats(&self) -> &SyncStats {
         &self.shared.sync
+    }
+
+    /// The router's own metric registry (dispatch, failover and
+    /// sync-loop series; the `metrics` op merges replica scrapes in).
+    #[must_use]
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.shared.obs
     }
 
     /// Runs one health-probe + delta-propagation pass right now (the
@@ -247,7 +275,7 @@ fn error_line(id: Option<u64>, error: &ServeError) -> String {
 fn handle_line(line: &str, shared: &RouterShared) -> (String, bool) {
     let parsed: Result<Value, _> = serde_json::from_str(line);
     let Ok(request) = parsed else {
-        shared.requests_failed.fetch_add(1, Ordering::Relaxed);
+        shared.requests_failed.inc();
         let e = ServeError::InvalidRequest {
             detail: "bad JSON".into(),
         };
@@ -258,6 +286,7 @@ fn handle_line(line: &str, shared: &RouterShared) -> (String, bool) {
         "predict" => relay_predict(line, &request, shared),
         "stats" => stats_response(shared),
         "health" => health_response(shared),
+        "metrics" => metrics_response(shared),
         "ping" => object(vec![
             ("ok", Value::from(true)),
             ("op", Value::from("pong")),
@@ -331,7 +360,7 @@ fn relay_predict(line: &str, request: &Value, shared: &RouterShared) -> String {
     let id = request.get("id").and_then(Value::as_u64);
     let order = dispatch_order(shared, request);
     if order.is_empty() {
-        shared.requests_failed.fetch_add(1, Ordering::Relaxed);
+        shared.requests_failed.inc();
         return error_line(
             id,
             &ServeError::Replication {
@@ -342,16 +371,17 @@ fn relay_predict(line: &str, request: &Value, shared: &RouterShared) -> String {
     for backend in &order {
         match backend.request(line) {
             Ok(response) => {
-                shared.requests_ok.fetch_add(1, Ordering::Relaxed);
+                shared.requests_ok.inc();
                 return response;
             }
             Err(_) => {
                 // backend.request already marked it unhealthy; try the
                 // next replica — the predict never reached a model.
+                shared.failovers.inc();
             }
         }
     }
-    shared.requests_failed.fetch_add(1, Ordering::Relaxed);
+    shared.requests_failed.inc();
     error_line(
         id,
         &ServeError::Replication {
@@ -365,18 +395,35 @@ fn replicas_table(shared: &RouterShared) -> Value {
 }
 
 fn stats_response(shared: &RouterShared) -> String {
-    // The model block comes from any healthy replica (the fleet
-    // converges on the learner's model, so any one is representative).
-    let model = shared
-        .backends
-        .iter()
-        .filter(|b| b.is_healthy())
-        .find_map(|b| {
-            let response = b.request(r#"{"op":"stats"}"#).ok()?;
-            let value: Value = serde_json::from_str(&response).ok()?;
-            value.get("model").cloned()
-        })
-        .unwrap_or(Value::Null);
+    // Fan the stats probe out to every replica. The model block comes
+    // from the first replica that answers (the fleet converges on the
+    // learner's model, so any one is representative); a replica that
+    // fails the probe still gets a row, marked unreachable with the
+    // transport error — silence would read as "healthy, zero traffic".
+    let mut model = Value::Null;
+    let mut replicas: Vec<Value> = Vec::new();
+    for backend in &shared.backends {
+        let probe = backend.request(r#"{"op":"stats"}"#);
+        let mut status = backend.status();
+        match probe {
+            Ok(response) => {
+                if model.is_null() {
+                    if let Ok(value) = serde_json::from_str(&response) {
+                        if let Some(m) = value.get("model") {
+                            model = m.clone();
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                if let Value::Object(ref mut row) = status {
+                    row.insert("unreachable".to_owned(), Value::from(true));
+                    row.insert("error".to_owned(), Value::from(e.to_string()));
+                }
+            }
+        }
+        replicas.push(status);
+    }
     object(vec![
         ("ok", Value::from(true)),
         ("op", Value::from("stats")),
@@ -384,21 +431,56 @@ fn stats_response(shared: &RouterShared) -> String {
         (
             "serving",
             object(vec![
-                (
-                    "requests_ok",
-                    Value::from(shared.requests_ok.load(Ordering::Relaxed)),
-                ),
-                (
-                    "requests_failed",
-                    Value::from(shared.requests_failed.load(Ordering::Relaxed)),
-                ),
+                ("requests_ok", Value::from(shared.requests_ok.get())),
+                ("requests_failed", Value::from(shared.requests_failed.get())),
+                ("failovers", Value::from(shared.failovers.get())),
                 ("routed", Value::from(true)),
             ]),
         ),
-        ("replicas", replicas_table(shared)),
+        ("replicas", Value::Array(replicas)),
         ("sync", shared.sync.snapshot()),
     ])
     .to_json()
+}
+
+/// The router's `metrics` op: its own registry (dispatch, failover,
+/// sync-loop, per-backend counters) merged with every replica's
+/// scraped exposition, each relabeled with `replica="<id>"`. A
+/// `router_replica_up` gauge per replica records scrape reachability,
+/// so an unreachable replica shows up as a 0 instead of vanishing.
+fn metrics_response(shared: &RouterShared) -> String {
+    let mut replica_sections: Vec<String> = Vec::new();
+    for backend in &shared.backends {
+        let scraped = backend
+            .request(r#"{"op":"metrics"}"#)
+            .ok()
+            .and_then(|response| serde_json::from_str(&response).ok())
+            .and_then(|value| {
+                value
+                    .get("exposition")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+            });
+        let up = scraped.is_some();
+        if let Some(text) = scraped {
+            replica_sections.push(exposition::relabel(
+                &text,
+                "replica",
+                &backend.id.to_string(),
+            ));
+        }
+        shared
+            .obs
+            .gauge_with(
+                "router_replica_up",
+                &[("replica", &backend.id.to_string())],
+                "Whether the replica answered the last metrics scrape.",
+            )
+            .set(i64::from(up));
+    }
+    let mut sections = vec![shared.obs.render()];
+    sections.extend(replica_sections);
+    ncl_serve::protocol::metrics_response(&exposition::merge(&sections))
 }
 
 fn health_response(shared: &RouterShared) -> String {

@@ -16,9 +16,9 @@
 //! which keeps fleet topology (who replicates from whom) in exactly one
 //! place.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use ncl_obs::{Counter, Registry};
 use ncl_serve::protocol::object;
 use serde_json::Value;
 
@@ -26,35 +26,60 @@ use crate::backend::Backend;
 use crate::router::RouterShared;
 
 /// Counters of the replication loop (reported under `"sync"` in the
-/// router's `stats`/`health` responses).
+/// router's `stats`/`health` responses and, via
+/// [`SyncStats::register_into`], as `router_sync_*_total` series in
+/// the router's metric exposition).
 #[derive(Debug, Default)]
 pub struct SyncStats {
     /// Deltas successfully applied to a follower.
-    pub deltas_applied: AtomicU64,
+    pub deltas_applied: Arc<Counter>,
     /// Full-checkpoint fallbacks successfully applied.
-    pub full_syncs: AtomicU64,
+    pub full_syncs: Arc<Counter>,
     /// Propagation attempts that failed entirely (follower still
     /// behind; retried next tick).
-    pub failures: AtomicU64,
+    pub failures: Arc<Counter>,
+    /// Passes of the loop (probe + propagate), successful or not.
+    pub ticks: Arc<Counter>,
 }
 
 impl SyncStats {
+    /// Exposes the loop counters in `registry`. Shared handles — the
+    /// loop keeps incrementing the same atomics the exposition reads.
+    pub fn register_into(&self, registry: &Registry) {
+        let _ = registry.adopt_counter(
+            "router_sync_deltas_applied_total",
+            &[],
+            "Checkpoint deltas the sync loop applied to followers.",
+            Arc::clone(&self.deltas_applied),
+        );
+        let _ = registry.adopt_counter(
+            "router_sync_full_syncs_total",
+            &[],
+            "Full-checkpoint fallbacks the sync loop relayed.",
+            Arc::clone(&self.full_syncs),
+        );
+        let _ = registry.adopt_counter(
+            "router_sync_failures_total",
+            &[],
+            "Propagation attempts that failed entirely (retried next tick).",
+            Arc::clone(&self.failures),
+        );
+        let _ = registry.adopt_counter(
+            "router_sync_ticks_total",
+            &[],
+            "Probe + propagate passes of the replication loop.",
+            Arc::clone(&self.ticks),
+        );
+    }
+
     /// JSON snapshot for stats/health responses.
     #[must_use]
     pub fn snapshot(&self) -> Value {
         object(vec![
-            (
-                "deltas_applied",
-                Value::from(self.deltas_applied.load(Ordering::Relaxed)),
-            ),
-            (
-                "full_syncs",
-                Value::from(self.full_syncs.load(Ordering::Relaxed)),
-            ),
-            (
-                "failures",
-                Value::from(self.failures.load(Ordering::Relaxed)),
-            ),
+            ("deltas_applied", Value::from(self.deltas_applied.get())),
+            ("full_syncs", Value::from(self.full_syncs.get())),
+            ("failures", Value::from(self.failures.get())),
+            ("ticks", Value::from(self.ticks.get())),
         ])
     }
 }
@@ -99,7 +124,7 @@ fn propagate(learner: &Backend, follower: &Backend, stats: &SyncStats) -> bool {
                 follower.request(&format!(r#"{{"op":"apply_delta","payload":"{payload}"}}"#))
             {
                 if apply_succeeded(&apply) {
-                    stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                    stats.deltas_applied.inc();
                     follower.probe_health();
                     return true;
                 }
@@ -113,19 +138,20 @@ fn propagate(learner: &Backend, follower: &Backend, stats: &SyncStats) -> bool {
                 r#"{{"op":"apply_checkpoint","payload":"{payload}"}}"#
             )) {
                 if apply_succeeded(&apply) {
-                    stats.full_syncs.fetch_add(1, Ordering::Relaxed);
+                    stats.full_syncs.inc();
                     follower.probe_health();
                     return true;
                 }
             }
         }
     }
-    stats.failures.fetch_add(1, Ordering::Relaxed);
+    stats.failures.inc();
     false
 }
 
 /// One pass of the loop: probe everyone, then propagate to laggards.
 pub(crate) fn sync_once(shared: &RouterShared) {
+    shared.sync.ticks.inc();
     for backend in &shared.backends {
         backend.probe_health();
     }

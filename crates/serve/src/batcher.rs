@@ -142,6 +142,9 @@ impl Batcher {
         // The push itself is uncontended (per-shard mutex) — producers
         // only share the signal mutex for the notify below, keeping the
         // request hot path scalable.
+        // Count before push so the gauge bounds the true depth from
+        // above (a worker can pop the item the instant it lands).
+        self.metrics.queue_depth().add(1);
         self.queue.push(PendingRequest {
             raster,
             enqueued: Instant::now(),
@@ -193,6 +196,7 @@ impl Batcher {
     fn reap_stranded(&self) {
         for leftover in self.queue.pop_batch(0, usize::MAX) {
             let _ = leftover.reply.send(Err(ServeError::ShuttingDown));
+            self.metrics.queue_depth().sub(1);
             self.metrics.record_failure();
         }
     }
@@ -243,6 +247,7 @@ impl Batcher {
 
     /// Runs one batched forward pass and fans results back.
     fn run_batch(&self, batch: Vec<PendingRequest>) {
+        self.metrics.queue_depth().sub(batch.len() as i64);
         let model = self.registry.current();
         let mut rasters = Vec::with_capacity(batch.len());
         let mut replies = Vec::with_capacity(batch.len());
@@ -275,7 +280,7 @@ impl Batcher {
                 }
             }
         }
-        self.metrics.record_batch();
+        self.metrics.record_batch(rasters.len());
     }
 }
 

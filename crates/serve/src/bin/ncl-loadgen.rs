@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! ncl-loadgen [--addr 127.0.0.1:7878] [--connections N] [--duration-ms N]
-//!             [--steps N] [--density F] [--seed N]
+//!             [--steps N] [--density F] [--seed N] [--timeout-ms N]
 //!             [--swap-model ckpt.bin] [--swap-at-ms N]
 //!             [--out BENCH_serve.json]
 //! ```
@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ncl_serve::client::NclClient;
+use ncl_serve::client::{ClientConfig, NclClient};
 use ncl_serve::protocol;
 use ncl_spike::SpikeRaster;
 use ncl_tensor::Rng;
@@ -29,8 +29,8 @@ fn usage(problem: &str) -> ! {
     eprintln!("ncl-loadgen: {problem}");
     eprintln!(
         "usage: ncl-loadgen [--addr host:port] [--connections N] [--duration-ms N] \
-         [--steps N] [--density F] [--seed N] [--swap-model ckpt.bin] \
-         [--swap-at-ms N] [--out file.json]"
+         [--steps N] [--density F] [--seed N] [--timeout-ms N] \
+         [--swap-model ckpt.bin] [--swap-at-ms N] [--out file.json]"
     );
     std::process::exit(2);
 }
@@ -43,9 +43,21 @@ struct Args {
     steps: usize,
     density: f64,
     seed: u64,
+    timeout: Option<Duration>,
     swap_model: Option<String>,
     swap_at: Option<Duration>,
     out: String,
+}
+
+impl Args {
+    /// The socket timeout policy every connection uses (unbounded
+    /// blocking when `--timeout-ms` is absent).
+    fn client_config(&self) -> ClientConfig {
+        match self.timeout {
+            Some(t) => ClientConfig::with_timeout(t),
+            None => ClientConfig::default(),
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -56,6 +68,7 @@ fn parse_args() -> Args {
         steps: 20,
         density: 0.15,
         seed: 1,
+        timeout: None,
         swap_model: None,
         swap_at: None,
         out: "BENCH_serve.json".to_owned(),
@@ -94,6 +107,12 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("--seed must be a u64"));
             }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--timeout-ms must be a u64"));
+                args.timeout = Some(Duration::from_millis(ms));
+            }
             "--swap-model" => args.swap_model = Some(value("--swap-model")),
             "--swap-at-ms" => {
                 let ms: u64 = value("--swap-at-ms")
@@ -128,7 +147,7 @@ fn client_loop(
     deadline: Instant,
 ) -> ClientResult {
     let mut result = ClientResult::default();
-    let Ok(mut conn) = NclClient::connect(addr) else {
+    let Ok(mut conn) = NclClient::connect_with(addr, args.client_config()) else {
         result.failed += 1;
         return result;
     };
@@ -157,7 +176,7 @@ fn client_loop(
             Err(_) => {
                 result.failed += 1;
                 // The connection is unusable after an I/O failure.
-                match NclClient::connect(addr) {
+                match NclClient::connect_with(addr, args.client_config()) {
                     Ok(fresh) => conn = fresh,
                     Err(_) => break,
                 }
@@ -181,10 +200,11 @@ fn main() {
     let args = parse_args();
 
     // Learn the serving contract from the stats endpoint.
-    let mut control = NclClient::connect(&args.addr).unwrap_or_else(|e| {
-        eprintln!("ncl-loadgen: cannot connect to {}: {e}", args.addr);
-        std::process::exit(1);
-    });
+    let mut control =
+        NclClient::connect_with(&args.addr, args.client_config()).unwrap_or_else(|e| {
+            eprintln!("ncl-loadgen: cannot connect to {}: {e}", args.addr);
+            std::process::exit(1);
+        });
     let stats = control.stats().unwrap_or_else(|e| {
         eprintln!("ncl-loadgen: stats probe failed: {e}");
         std::process::exit(1);
@@ -209,7 +229,9 @@ fn main() {
         std::thread::spawn(move || -> (bool, u64, String) {
             let at = swap_args.swap_at.unwrap_or(swap_args.duration / 2);
             std::thread::sleep(at);
-            match NclClient::connect(&swap_args.addr).and_then(|mut c| c.swap(&path)) {
+            match NclClient::connect_with(&swap_args.addr, swap_args.client_config())
+                .and_then(|mut c| c.swap(&path))
+            {
                 Ok(reply) => {
                     let ok = reply.get("ok").and_then(Value::as_bool) == Some(true);
                     let version = reply

@@ -4,44 +4,148 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use ncl_spike::SpikeRaster;
 use serde_json::Value;
 
 use crate::protocol;
 
+/// Socket timeout policy for one client connection.
+///
+/// The default applies no timeouts (matching the historical behavior
+/// of in-process tests, where a hung server would fail the test
+/// harness anyway). Anything talking to a *remote* replica — the
+/// router's fan-out, `ncl-loadgen` — should set timeouts so one hung
+/// peer cannot wedge the caller forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientConfig {
+    /// Cap on establishing the TCP connection (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Cap on waiting for a response line (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Cap on writing a request line (`None` = block forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// The same cap on connect, read and write.
+    #[must_use]
+    pub fn with_timeout(timeout: Duration) -> Self {
+        ClientConfig {
+            connect_timeout: Some(timeout),
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+        }
+    }
+}
+
+/// Maps a socket timeout (surfaced by the OS as `WouldBlock` or
+/// `TimedOut` depending on platform) onto a uniform `TimedOut` error
+/// naming the peer — so callers can tell "replica hung" apart from
+/// "replica refused".
+fn mark_timeout(e: std::io::Error, peer: &str, doing: &str) -> std::io::Error {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    ) {
+        std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            format!("timed out {doing} {peer}"),
+        )
+    } else {
+        e
+    }
+}
+
 /// One blocking NDJSON connection to an `ncl-serve` instance.
+#[derive(Debug)]
 pub struct NclClient {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+    peer: String,
 }
 
 impl NclClient {
-    /// Connects (with `TCP_NODELAY`, so single-line round trips do not
-    /// stall behind Nagle).
+    /// Connects with no socket timeouts (and `TCP_NODELAY`, so
+    /// single-line round trips do not stall behind Nagle).
     ///
     /// # Errors
     ///
     /// Returns the connect/setup error.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NclClient> {
-        let stream = TcpStream::connect(addr)?;
+        NclClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with an explicit timeout policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect/setup error; a connect timeout surfaces as
+    /// `ErrorKind::TimedOut`.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> std::io::Result<NclClient> {
+        let stream = match config.connect_timeout {
+            None => TcpStream::connect(&addr)?,
+            Some(timeout) => {
+                // connect_timeout needs a resolved SocketAddr; try each.
+                let mut last = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to nothing",
+                        )
+                    })
+                })?
+            }
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
+        let peer = stream
+            .peer_addr()
+            .map_or_else(|_| "peer".to_owned(), |a| a.to_string());
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(NclClient { stream, reader })
+        Ok(NclClient {
+            stream,
+            reader,
+            peer,
+        })
     }
 
     /// Sends one request line and reads one response line.
     ///
+    /// After a `TimedOut` error the connection may hold a partial
+    /// request or response and must be discarded, not reused.
+    ///
     /// # Errors
     ///
-    /// Returns socket failures, or `InvalidData` for an unparseable
-    /// response.
+    /// Returns socket failures (`ErrorKind::TimedOut` when a configured
+    /// timeout elapsed), or `InvalidData` for an unparseable response.
     pub fn round_trip(&mut self, line: &str) -> std::io::Result<Value> {
-        self.stream.write_all(line.as_bytes())?;
-        self.stream.write_all(b"\n")?;
-        self.stream.flush()?;
+        let send = |stream: &mut TcpStream| -> std::io::Result<()> {
+            stream.write_all(line.as_bytes())?;
+            stream.write_all(b"\n")?;
+            stream.flush()
+        };
+        send(&mut self.stream).map_err(|e| mark_timeout(e, &self.peer, "writing to"))?;
         let mut response = String::new();
-        self.reader.read_line(&mut response)?;
+        self.reader
+            .read_line(&mut response)
+            .map_err(|e| mark_timeout(e, &self.peer, "awaiting a reply from"))?;
         serde_json::from_str(response.trim()).map_err(|e| {
             std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
@@ -98,5 +202,55 @@ impl NclClient {
     /// As [`NclClient::round_trip`].
     pub fn shutdown(&mut self) -> std::io::Result<Value> {
         self.round_trip(r#"{"op":"shutdown"}"#)
+    }
+
+    /// Scrapes the metric registry (`metrics` op).
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn metrics(&mut self) -> std::io::Result<Value> {
+        self.round_trip(r#"{"op":"metrics"}"#)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn read_timeout_surfaces_as_timed_out_not_refused() {
+        // A listener that accepts and then goes silent: the classic
+        // hung replica. Without a read timeout this would block forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut client =
+            NclClient::connect_with(addr, ClientConfig::with_timeout(Duration::from_millis(50)))
+                .unwrap();
+        let err = client.ping().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert!(
+            err.to_string().contains("timed out"),
+            "timeout error names the failure mode: {err}"
+        );
+        drop(hold.join());
+    }
+
+    #[test]
+    fn connection_refused_stays_distinct_from_timeout() {
+        // Bind-then-drop guarantees an unused port.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let err = NclClient::connect_with(addr, ClientConfig::with_timeout(Duration::from_secs(2)))
+            .unwrap_err();
+        assert_ne!(
+            err.kind(),
+            std::io::ErrorKind::TimedOut,
+            "a refusal must not masquerade as a hang: {err}"
+        );
     }
 }

@@ -19,7 +19,9 @@
 //! * [`server::Server`] — the TCP front end speaking newline-delimited
 //!   JSON on localhost (see [`protocol`] for the schema).
 //! * [`metrics::Metrics`] — p50/p95/p99 latency histogram + throughput
-//!   counters behind the `stats` op.
+//!   counters behind the `stats` op, registered in an
+//!   [`ncl_obs::Registry`] and scrapeable as Prometheus text via the
+//!   `metrics` op.
 //!
 //! # Quickstart
 //!
@@ -55,7 +57,7 @@ pub mod server;
 pub mod sync;
 
 pub use batcher::{BatchConfig, Batcher, PredictReply};
-pub use client::NclClient;
+pub use client::{ClientConfig, NclClient};
 pub use error::ServeError;
 pub use metrics::Metrics;
 pub use registry::{ModelRegistry, ServingModel};

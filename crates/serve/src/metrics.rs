@@ -1,114 +1,43 @@
-//! Serving instrumentation: a lock-free log₂ latency histogram plus
-//! request/batch/swap counters, snapshotted into the JSON stats endpoint.
+//! Serving instrumentation, backed by the shared `ncl_obs` registry:
+//! request/batch/swap counters, the end-to-end latency histogram, and
+//! batcher queue metrics — snapshotted into the JSON stats endpoint
+//! and scrapeable via the `metrics` wire op as Prometheus text.
+//!
+//! The log₂ latency histogram that used to live here was generalized
+//! into [`ncl_obs::Log2Histogram`]; the alias below keeps the old name
+//! working. All hot-path updates remain single relaxed atomic ops.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
+use ncl_obs::{Counter, Gauge, Log2Histogram, Registry};
 use serde_json::Value;
 
-/// Number of log₂ buckets: bucket `i` covers latencies of `2^(i-1)..2^i`
-/// microseconds (bucket 0 is `0..=1 µs`), so 40 buckets span beyond any
-/// plausible request latency.
-const BUCKETS: usize = 40;
+/// The serve latency histogram is the general log₂ histogram now;
+/// quantiles still resolve to bucket upper bounds (an at-most-2x
+/// overestimate — the right bias for tail-latency reporting).
+pub type LatencyHistogram = Log2Histogram;
 
-/// Lock-free latency histogram with power-of-two microsecond buckets.
-///
-/// Quantiles are resolved to the upper bound of the bucket containing the
-/// requested rank — an at-most-2x overestimate, which is the right bias
-/// for tail-latency reporting (p99 is never under-reported).
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    sum_us: AtomicU64,
-    count: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            sum_us: AtomicU64::new(0),
-            count: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one latency observation.
-    pub fn record_us(&self, us: u64) {
-        // ceil(log2(us)): the smallest i with 2^i >= us, so the bucket's
-        // upper bound bounds the true latency from above.
-        let idx = if us <= 1 {
-            0
-        } else {
-            (64 - (us - 1).leading_zeros() as usize).min(BUCKETS - 1)
-        };
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    #[must_use]
-    pub fn mean_us(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            return 0.0;
-        }
-        self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
-    }
-
-    /// Largest observation in microseconds.
-    #[must_use]
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`) in microseconds, resolved to the
-    /// containing bucket's upper bound. Returns 0 when empty.
-    #[must_use]
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
-            if cumulative >= target {
-                // Upper bound of bucket i: 2^i µs (bucket 0 holds 0..=1).
-                return 1u64 << i.min(63);
-            }
-        }
-        self.max_us()
-    }
-}
-
-/// Counters + histogram for one serving process.
-#[derive(Debug)]
+/// Counters + histograms for one serving process, registered in an
+/// [`ncl_obs::Registry`] under `serve_*` names.
 pub struct Metrics {
     started: Instant,
     /// Successfully answered predict requests.
-    ok: AtomicU64,
+    ok: Arc<Counter>,
     /// Requests answered with an error.
-    failed: AtomicU64,
+    failed: Arc<Counter>,
     /// Batched forward passes executed.
-    batches: AtomicU64,
+    batches: Arc<Counter>,
     /// Completed hot swaps.
-    swaps: AtomicU64,
-    /// End-to-end (enqueue → reply) predict latency.
-    latency: LatencyHistogram,
+    swaps: Arc<Counter>,
+    /// End-to-end (enqueue → reply) predict latency (µs).
+    latency: Arc<Log2Histogram>,
+    /// Predict requests per executed batch.
+    batch_size: Arc<Log2Histogram>,
+    /// Requests queued but not yet claimed by a batch worker.
+    queue_depth: Arc<Gauge>,
     /// Nanoseconds (since `started`) of the first successful reply.
     first_reply_ns: AtomicU64,
     /// Nanoseconds (since `started`) of the latest successful reply.
@@ -116,25 +45,51 @@ pub struct Metrics {
 }
 
 impl Default for Metrics {
+    /// A detached instance with its own private registry — for tests
+    /// and benches that never scrape an exposition.
     fn default() -> Self {
-        Metrics {
-            started: Instant::now(),
-            ok: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            swaps: AtomicU64::new(0),
-            latency: LatencyHistogram::default(),
-            first_reply_ns: AtomicU64::new(u64::MAX),
-            last_reply_ns: AtomicU64::new(0),
-        }
+        Metrics::new(&Registry::new())
     }
 }
 
 impl Metrics {
+    /// Registers the serving metrics in `obs` (idempotent: a second
+    /// `Metrics` on the same registry shares the same series).
+    #[must_use]
+    pub fn new(obs: &Registry) -> Self {
+        Metrics {
+            started: Instant::now(),
+            ok: obs.counter(
+                "serve_requests_ok_total",
+                "Successfully answered predict requests.",
+            ),
+            failed: obs.counter(
+                "serve_requests_failed_total",
+                "Requests answered with an error.",
+            ),
+            batches: obs.counter("serve_batches_total", "Batched forward passes executed."),
+            swaps: obs.counter(
+                "serve_swaps_total",
+                "Completed hot swaps (swap op or replication apply).",
+            ),
+            latency: obs.histogram(
+                "serve_latency_us",
+                "End-to-end predict latency in microseconds (enqueue to reply).",
+            ),
+            batch_size: obs.histogram("serve_batch_size", "Predict requests per executed batch."),
+            queue_depth: obs.gauge(
+                "serve_queue_depth",
+                "Predict requests queued but not yet claimed by a batch worker.",
+            ),
+            first_reply_ns: AtomicU64::new(u64::MAX),
+            last_reply_ns: AtomicU64::new(0),
+        }
+    }
+
     /// Records one successful predict with its end-to-end latency.
     pub fn record_ok(&self, latency_us: u64) {
-        self.ok.fetch_add(1, Ordering::Relaxed);
-        self.latency.record_us(latency_us);
+        self.ok.inc();
+        self.latency.record(latency_us);
         let now_ns = self.started.elapsed().as_nanos() as u64;
         self.first_reply_ns.fetch_min(now_ns, Ordering::Relaxed);
         self.last_reply_ns.fetch_max(now_ns, Ordering::Relaxed);
@@ -142,29 +97,37 @@ impl Metrics {
 
     /// Records one failed request.
     pub fn record_failure(&self) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.failed.inc();
     }
 
-    /// Records one executed batch.
-    pub fn record_batch(&self) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+    /// Records one executed batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.inc();
+        self.batch_size.record(size as u64);
     }
 
     /// Records one completed hot swap.
     pub fn record_swap(&self) {
-        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.swaps.inc();
+    }
+
+    /// The queue-depth gauge (incremented on submit, drained by the
+    /// batch workers).
+    #[must_use]
+    pub fn queue_depth(&self) -> &Arc<Gauge> {
+        &self.queue_depth
     }
 
     /// Successful predict count.
     #[must_use]
     pub fn ok_count(&self) -> u64 {
-        self.ok.load(Ordering::Relaxed)
+        self.ok.get()
     }
 
     /// Failed request count.
     #[must_use]
     pub fn failed_count(&self) -> u64 {
-        self.failed.load(Ordering::Relaxed)
+        self.failed.get()
     }
 
     /// The latency histogram.
@@ -194,20 +157,11 @@ impl Metrics {
     #[must_use]
     pub fn snapshot(&self) -> Value {
         let mut latency = BTreeMap::new();
-        latency.insert(
-            "p50".to_owned(),
-            Value::from(self.latency.quantile_us(0.50)),
-        );
-        latency.insert(
-            "p95".to_owned(),
-            Value::from(self.latency.quantile_us(0.95)),
-        );
-        latency.insert(
-            "p99".to_owned(),
-            Value::from(self.latency.quantile_us(0.99)),
-        );
-        latency.insert("mean".to_owned(), Value::from(self.latency.mean_us()));
-        latency.insert("max".to_owned(), Value::from(self.latency.max_us()));
+        latency.insert("p50".to_owned(), Value::from(self.latency.quantile(0.50)));
+        latency.insert("p95".to_owned(), Value::from(self.latency.quantile(0.95)));
+        latency.insert("p99".to_owned(), Value::from(self.latency.quantile(0.99)));
+        latency.insert("mean".to_owned(), Value::from(self.latency.mean()));
+        latency.insert("max".to_owned(), Value::from(self.latency.max()));
 
         let mut map = BTreeMap::new();
         map.insert("requests_ok".to_owned(), Value::from(self.ok_count()));
@@ -215,14 +169,8 @@ impl Metrics {
             "requests_failed".to_owned(),
             Value::from(self.failed_count()),
         );
-        map.insert(
-            "batches".to_owned(),
-            Value::from(self.batches.load(Ordering::Relaxed)),
-        );
-        map.insert(
-            "swaps".to_owned(),
-            Value::from(self.swaps.load(Ordering::Relaxed)),
-        );
+        map.insert("batches".to_owned(), Value::from(self.batches.get()));
+        map.insert("swaps".to_owned(), Value::from(self.swaps.get()));
         map.insert(
             "uptime_ms".to_owned(),
             Value::from(self.started.elapsed().as_millis() as u64),
@@ -251,35 +199,35 @@ mod tests {
     #[test]
     fn histogram_buckets_and_quantiles() {
         let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
         for us in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
-            h.record_us(us);
+            h.record(us);
         }
         assert_eq!(h.count(), 10);
         // p50 lands in the 0..=1 bucket; upper bound 1.
-        assert_eq!(h.quantile_us(0.50), 1);
+        assert_eq!(h.quantile(0.50), 1);
         // p99 (rank 10) lands in the bucket holding 100 (64..128 -> 128).
-        assert_eq!(h.quantile_us(0.99), 128);
-        assert_eq!(h.max_us(), 100);
-        assert!((h.mean_us() - 10.9).abs() < 1e-9);
+        assert_eq!(h.quantile(0.99), 128);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 10.9).abs() < 1e-9);
     }
 
     #[test]
     fn quantile_never_underreports() {
         let h = LatencyHistogram::default();
         for us in [3u64, 9, 17, 33, 1000] {
-            h.record_us(us);
+            h.record(us);
         }
-        assert!(h.quantile_us(1.0) >= 1000);
-        assert!(h.quantile_us(0.0) >= 3);
+        assert!(h.quantile(1.0) >= 1000);
+        assert!(h.quantile(0.0) >= 3);
     }
 
     #[test]
     fn zero_latency_is_representable() {
         let h = LatencyHistogram::default();
-        h.record_us(0);
+        h.record(0);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile_us(0.5), 1, "0 µs lives in the first bucket");
+        assert_eq!(h.quantile(0.5), 1, "0 µs lives in the first bucket");
     }
 
     #[test]
@@ -288,7 +236,7 @@ mod tests {
         m.record_ok(50);
         m.record_ok(150);
         m.record_failure();
-        m.record_batch();
+        m.record_batch(2);
         m.record_swap();
         let snap = m.snapshot();
         assert_eq!(snap.get("requests_ok").and_then(Value::as_u64), Some(2));
@@ -303,6 +251,20 @@ mod tests {
         // Round-trips through the JSON writer/parser.
         let text = snap.to_json();
         assert_eq!(serde_json::from_str(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn metrics_render_into_the_shared_registry() {
+        let obs = Registry::new();
+        let m = Metrics::new(&obs);
+        m.record_ok(50);
+        m.record_batch(4);
+        let text = obs.render();
+        assert!(text.contains("serve_requests_ok_total 1"));
+        assert!(text.contains("serve_batches_total 1"));
+        assert!(text.contains("serve_batch_size_sum 4"));
+        assert!(text.contains("serve_latency_us_count 1"));
+        assert!(text.contains("# TYPE serve_latency_us histogram"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! |---|---|
 //! | `{"op":"predict","id":7,"input":[[0,3],[1],[]]}` | `{"ok":true,"op":"predict","id":7,"prediction":2,"logits":[...],"model_version":3}` |
 //! | `{"op":"stats"}` | `{"ok":true,"op":"stats","model":{...},"serving":{...}}` |
+//! | `{"op":"metrics"}` | `{"ok":true,"op":"metrics","format":"prometheus-text-0.0.4","exposition":"..."}` |
 //! | `{"op":"swap","path":"ckpt.bin"}` | `{"ok":true,"op":"swap","model_version":4}` |
 //! | `{"op":"ping"}` | `{"ok":true,"op":"pong","model_version":3}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}` |
@@ -50,6 +51,8 @@ pub enum Request {
     },
     /// Fetch serving statistics.
     Stats,
+    /// Scrape the full metric registry as Prometheus-style text.
+    Metrics,
     /// Hot-swap the serving model from a checkpoint file.
     Swap {
         /// Checkpoint path on the server's filesystem.
@@ -173,6 +176,7 @@ pub fn parse_request(line: &str, input_size: usize) -> Result<Request, ServeErro
             Ok(Request::Predict { id, raster })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "swap" => {
             let path = value
                 .get("path")
@@ -260,6 +264,19 @@ pub fn predict_response(
     object(pairs).to_json()
 }
 
+/// Renders the `metrics` op response around a rendered text
+/// exposition (shared by the serve and router front ends).
+#[must_use]
+pub fn metrics_response(exposition: &str) -> String {
+    object(vec![
+        ("ok", Value::from(true)),
+        ("op", Value::from("metrics")),
+        ("format", Value::from("prometheus-text-0.0.4")),
+        ("exposition", Value::from(exposition)),
+    ])
+    .to_json()
+}
+
 /// Renders an error response line.
 #[must_use]
 pub fn error_response(id: Option<u64>, error: &ServeError) -> String {
@@ -298,6 +315,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"op":"stats"}"#, 4).unwrap(),
             Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#, 4).unwrap(),
+            Request::Metrics
         );
         assert_eq!(parse_request(r#"{"op":"ping"}"#, 4).unwrap(), Request::Ping);
         assert_eq!(

@@ -38,6 +38,7 @@ pub struct ServerConfig {
 struct Shared {
     registry: Arc<ModelRegistry>,
     metrics: Arc<Metrics>,
+    obs: Arc<ncl_obs::Registry>,
     batcher: Arc<Batcher>,
     stopping: AtomicBool,
     addr: SocketAddr,
@@ -73,13 +74,31 @@ impl Server {
         config: ServerConfig,
         sync: Option<Arc<dyn ReplicaSync>>,
     ) -> std::io::Result<Server> {
+        Server::start_with_obs(registry, config, sync, Arc::new(ncl_obs::Registry::new()))
+    }
+
+    /// Like [`Server::start_with_sync`], but registering the serving
+    /// metrics in a caller-provided observability registry — so a
+    /// daemon process can expose its serve, online and training
+    /// metrics through one `metrics` scrape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start_with_obs(
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+        sync: Option<Arc<dyn ReplicaSync>>,
+        obs: Arc<ncl_obs::Registry>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
-        let metrics = Arc::new(Metrics::default());
+        let metrics = Arc::new(Metrics::new(&obs));
         let batcher = Batcher::start(Arc::clone(&registry), Arc::clone(&metrics), config.batch);
         let shared = Arc::new(Shared {
             registry,
             metrics,
+            obs,
             batcher,
             stopping: AtomicBool::new(false),
             addr,
@@ -111,6 +130,12 @@ impl Server {
     #[must_use]
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.shared.metrics
+    }
+
+    /// The observability registry backing the `metrics` op.
+    #[must_use]
+    pub fn obs(&self) -> &Arc<ncl_obs::Registry> {
+        &self.shared.obs
     }
 
     /// Whether a shutdown (client op or [`Server::shutdown`]) has begun.
@@ -261,6 +286,7 @@ fn handle_line(line: &str, shared: &Shared) -> (String, bool) {
             }
         },
         Request::Stats => stats_response(shared),
+        Request::Metrics => protocol::metrics_response(&shared.obs.render()),
         Request::Swap { path } => {
             match shared.registry.swap_from_file(std::path::Path::new(&path)) {
                 Ok(version) => {
@@ -458,6 +484,28 @@ mod tests {
             Some(8)
         );
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_op_scrapes_the_exposition() {
+        let server = start_server();
+        let mut client = NclClient::connect(server.local_addr()).unwrap();
+        let raster = SpikeRaster::from_fn(8, 10, |n, t| (n + t) % 2 == 0);
+        client.predict(1, &raster).unwrap();
+        let reply = client.round_trip(r#"{"op":"metrics"}"#).unwrap();
+        assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(reply.get("op").and_then(Value::as_str), Some("metrics"));
+        assert_eq!(
+            reply.get("format").and_then(Value::as_str),
+            Some("prometheus-text-0.0.4")
+        );
+        let text = reply.get("exposition").and_then(Value::as_str).unwrap();
+        assert!(text.contains("# TYPE serve_requests_ok_total counter"));
+        assert!(text.contains("serve_requests_ok_total 1"));
+        assert!(text.contains("# TYPE serve_latency_us histogram"));
+        assert!(text.contains("serve_latency_us_count 1"));
+        assert!(text.contains("serve_batches_total 1"));
         server.shutdown();
     }
 

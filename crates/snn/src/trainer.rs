@@ -779,6 +779,11 @@ pub struct IncrementOutcome {
 pub struct IncrementalTrainer {
     scratch: TrainScratch,
     increments: u64,
+    /// Per-epoch wall-time histogram (`snn_train_epoch_us`), when an
+    /// observability registry is attached.
+    epoch_us: Option<std::sync::Arc<ncl_obs::Log2Histogram>>,
+    /// Total epochs counter (`snn_train_epochs_total`), when attached.
+    epochs_total: Option<std::sync::Arc<ncl_obs::Counter>>,
 }
 
 impl IncrementalTrainer {
@@ -786,6 +791,21 @@ impl IncrementalTrainer {
     #[must_use]
     pub fn new() -> Self {
         IncrementalTrainer::default()
+    }
+
+    /// Registers this trainer's per-epoch timing series in `registry`.
+    /// Instrumentation observes wall time only — it never touches the
+    /// numeric path, so trained weights stay bit-identical with or
+    /// without it.
+    pub fn attach_obs(&mut self, registry: &ncl_obs::Registry) {
+        self.epoch_us = Some(registry.histogram(
+            "snn_train_epoch_us",
+            "Wall time of one training epoch in microseconds.",
+        ));
+        self.epochs_total = Some(registry.counter(
+            "snn_train_epochs_total",
+            "Training epochs run across all increments.",
+        ));
     }
 
     /// Number of increments run so far.
@@ -814,6 +834,7 @@ impl IncrementalTrainer {
         let mut epoch_losses = Vec::with_capacity(epochs);
         let mut activity: Option<ForwardActivity> = None;
         for _ in 0..epochs {
+            let epoch_started = std::time::Instant::now();
             let report = train_epoch_with(
                 net,
                 samples,
@@ -822,6 +843,12 @@ impl IncrementalTrainer {
                 rng,
                 &mut self.scratch,
             )?;
+            if let Some(hist) = &self.epoch_us {
+                hist.record(epoch_started.elapsed().as_micros() as u64);
+            }
+            if let Some(total) = &self.epochs_total {
+                total.inc();
+            }
             epoch_losses.push(report.mean_loss);
             match (&mut activity, report.activity) {
                 (acc @ None, fresh) => *acc = fresh,

@@ -9,7 +9,11 @@ per smoke job); this script is the single source of truth they now call:
 Kinds: train, serve, online, router. Each check enforces the report
 schema plus the perf/correctness floors the corresponding bench gates on
 (nonzero throughput, zero failed requests, bit-identity flags, delta
-ratio). Exits nonzero with a pointed message on the first violation.
+ratio). When a serve/online call passes a fresh file followed by the
+committed datapoint, the fresh run's headline throughput must also stay
+within noise of the committed one (>= 50% — wide enough for runner
+variance, tight enough to catch instrumentation wrecking a hot path).
+Exits nonzero with a pointed message on the first violation.
 """
 
 import json
@@ -183,6 +187,38 @@ CHECKS = {
     "router": check_router,
 }
 
+# kind -> (label, extractor) for the headline throughput of a report.
+THROUGHPUT = {
+    "serve": ("requests/s", lambda r: r["requests_per_sec"]),
+    # Warm-phase ingest: the steady-state hot path, independent of how
+    # many events amortize the increment's fixed train/checkpoint cost
+    # (overall events/s is not comparable between --quick and full runs).
+    "online": ("warm events/s", lambda r: r["ingest"]["warm_events_per_sec"]),
+}
+
+# A fresh run may be slower than the committed datapoint (different
+# runner, cold caches), but not catastrophically: instrumentation on
+# the hot path must stay within noise, not halve throughput.
+NOISE_FLOOR = 0.5
+
+
+def check_throughput_noise(kind, fresh_path, committed_path):
+    label, extract = THROUGHPUT[kind]
+    with open(fresh_path) as handle:
+        fresh = extract(json.load(handle))
+    with open(committed_path) as handle:
+        committed = extract(json.load(handle))
+    ensure(
+        fresh >= committed * NOISE_FLOOR,
+        f"{fresh_path}: {fresh:.0f} {label} is below "
+        f"{NOISE_FLOOR:.0%} of the committed {committed:.0f} {label} "
+        f"({committed_path})",
+    )
+    print(
+        f"{kind} throughput within noise: fresh {fresh:.0f} vs "
+        f"committed {committed:.0f} {label}"
+    )
+
 
 def main(argv):
     if len(argv) < 3 or argv[1] not in CHECKS:
@@ -203,6 +239,12 @@ def main(argv):
             print(f"check_bench: FAILED: {path}: {problem!r}", file=sys.stderr)
             return 1
         print(f"{kind} bench ok ({path}): {summary}")
+    if len(paths) >= 2 and kind in THROUGHPUT:
+        try:
+            check_throughput_noise(kind, paths[0], paths[-1])
+        except CheckFailure as failure:
+            print(f"check_bench: FAILED: {failure}", file=sys.stderr)
+            return 1
     return 0
 
 

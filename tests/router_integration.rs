@@ -220,6 +220,84 @@ fn fleet_survives_replica_loss_and_converges_bit_identically() {
 }
 
 #[test]
+fn metrics_op_merges_the_fleet_and_stats_marks_unreachable_replicas() {
+    use ncl_serve::registry::ModelRegistry;
+    use ncl_snn::{Network, NetworkConfig};
+
+    let make_server = || {
+        let network = Network::new(NetworkConfig::tiny(6, 3)).unwrap();
+        let registry = Arc::new(ModelRegistry::new(network, "test"));
+        Server::start(registry, ServerConfig::default()).unwrap()
+    };
+    let alive = make_server();
+    let doomed = make_server();
+    let backends = vec![
+        Arc::new(Backend::new(0, alive.local_addr())),
+        Arc::new(Backend::with_timeout(
+            1,
+            doomed.local_addr(),
+            Duration::from_millis(500),
+        )),
+    ];
+    let router = Router::start(backends, RouterConfig::default()).unwrap();
+    doomed.shutdown();
+    let mut client = NclClient::connect(router.local_addr()).unwrap();
+
+    // One fleet view: the router's own series plus the live replica's
+    // scrape under replica="0", with per-replica up/down gauges.
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.get("ok").and_then(Value::as_bool), Some(true));
+    let text = metrics
+        .get("exposition")
+        .and_then(Value::as_str)
+        .expect("exposition text");
+    assert!(
+        text.contains("serve_requests_ok_total{replica=\"0\"}"),
+        "replica scrape must be relabeled and merged in:\n{text}"
+    );
+    assert!(text.contains("router_replica_up{replica=\"0\"} 1"));
+    assert!(text.contains("router_replica_up{replica=\"1\"} 0"));
+    let ticks = text
+        .lines()
+        .find_map(|l| l.strip_prefix("router_sync_ticks_total "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("router_sync_ticks_total sample");
+    assert!(ticks >= 1, "the sync loop must have ticked");
+
+    // Stats fan-out: the dead replica appears as an unreachable row
+    // carrying the transport error, not as a silently dropped entry.
+    let stats = client.stats().unwrap();
+    let replicas = stats
+        .get("replicas")
+        .and_then(Value::as_array)
+        .expect("replicas table")
+        .clone();
+    assert_eq!(replicas.len(), 2);
+    let row = |id: u64| {
+        replicas
+            .iter()
+            .find(|r| r.get("id").and_then(Value::as_u64) == Some(id))
+            .expect("replica row")
+    };
+    assert!(row(0).get("unreachable").is_none());
+    assert_eq!(
+        row(1).get("unreachable").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert!(
+        !row(1)
+            .get("error")
+            .and_then(Value::as_str)
+            .expect("error string")
+            .is_empty(),
+        "the unreachable row must say why"
+    );
+
+    router.shutdown();
+    alive.shutdown();
+}
+
+#[test]
 fn router_refuses_swaps_and_reports_fleet_health() {
     let (config, _) = test_config();
     let learner = OnlineLearner::bootstrap(config).unwrap();
