@@ -57,7 +57,8 @@ fn bench_serve(c: &mut Criterion) {
             max_wait: Duration::from_micros(200),
             workers: 2,
         },
-    );
+    )
+    .unwrap();
     group.bench_function("batcher_submit_await_16", |b| {
         b.iter(|| {
             let receivers: Vec<_> = batch

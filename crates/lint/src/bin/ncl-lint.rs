@@ -1,0 +1,160 @@
+//! `ncl-lint` — runs the fleet's static-analysis rules over the
+//! workspace's own source.
+//!
+//! ```text
+//! ncl-lint [--root DIR] [--baseline FILE] [--json] [--deny]
+//! ncl-lint --dump-metrics [--root DIR]
+//! ncl-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 denied
+//! findings or stale baseline entries under `--deny`, 2 usage or
+//! configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ncl_lint::config::Baseline;
+use ncl_lint::rules::all_rules;
+use ncl_lint::workspace::Workspace;
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+    dump_metrics: bool,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "ncl-lint: repo-aware static analysis for the ncl workspace\n\
+     \n\
+     USAGE:\n\
+     \u{20}   ncl-lint [--root DIR] [--baseline FILE] [--json] [--deny]\n\
+     \u{20}   ncl-lint --dump-metrics [--root DIR]\n\
+     \u{20}   ncl-lint --list-rules\n\
+     \n\
+     OPTIONS:\n\
+     \u{20}   --root DIR        workspace root (default: .)\n\
+     \u{20}   --baseline FILE   allowlist file (default: <root>/lint.toml)\n\
+     \u{20}   --json            machine-readable findings on stdout\n\
+     \u{20}   --deny            exit 1 on unbaselined findings or stale baseline entries\n\
+     \u{20}   --dump-metrics    print the registered-metric inventory JSON and exit\n\
+     \u{20}   --list-rules      print each rule with its one-line description\n"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        json: false,
+        deny: false,
+        dump_metrics: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--dump-metrics" => args.dump_metrics = true,
+            "--list-rules" => args.list_rules = true,
+            "-h" | "--help" => {
+                print!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("ncl-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in all_rules() {
+            println!("{:<16} {}", rule.name(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ws = match Workspace::load(&args.root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("ncl-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.dump_metrics {
+        print!("{}", ncl_lint::dump_metrics(&ws));
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = args.baseline.unwrap_or_else(|| args.root.join("lint.toml"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("ncl-lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        // No baseline file means an empty baseline — fine for a clean
+        // tree, and the repo commits one anyway.
+        Err(_) => Baseline::default(),
+    };
+
+    let report = ncl_lint::run(&ws, &baseline);
+
+    if args.json {
+        print!(
+            "{}",
+            ncl_lint::findings::render_json(&report.findings, &report.baselined)
+        );
+    } else {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+        if !report.baselined.is_empty() {
+            println!(
+                "ncl-lint: {} finding(s) silenced by {}",
+                report.baselined.len(),
+                baseline_path.display()
+            );
+        }
+    }
+    for entry in &report.stale {
+        eprintln!(
+            "ncl-lint: stale baseline entry {:?} matches nothing — delete it from {}",
+            entry.key,
+            baseline_path.display()
+        );
+    }
+    eprintln!(
+        "ncl-lint: {} file(s), {} finding(s), {} baselined, {} stale baseline entr(y/ies)",
+        ws.files.len(),
+        report.findings.len(),
+        report.baselined.len(),
+        report.stale.len()
+    );
+
+    if args.deny && report.deny() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,149 @@
+//! `ncl_lint`: a repo-aware static-analysis pass that enforces the
+//! fleet's invariants at CI time.
+//!
+//! Generic lints (clippy) know nothing about *this* workspace's
+//! contracts: that a replica must not panic mid-request, that delta
+//! encoders must be byte-deterministic, that a wire op is only done
+//! when the parser, the server dispatch and the client all know it,
+//! that a metric name lives in three places that must agree. Each of
+//! those invariants is written down once here as a rule, runs over the
+//! workspace's own source in CI (`ncl-lint --deny`), and fails the
+//! build on regressions — with a committed `lint.toml` baseline for
+//! the reviewed exceptions.
+//!
+//! The crate is zero-dependency by design: it hand-rolls a total Rust
+//! lexer ([`lexer`]), a heuristic item model on top ([`source`]), and
+//! the rule engine ([`rules`]) — heavy parsing machinery would make
+//! the linter slower to build than the code it checks, and every
+//! heuristic is pinned by the fixture suite in `tests/rules.rs`.
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use config::{AllowEntry, Baseline};
+use findings::Finding;
+use rules::all_rules;
+use workspace::Workspace;
+
+/// The outcome of one lint run.
+pub struct LintReport {
+    /// Findings not covered by the baseline, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a baseline entry.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that matched nothing — stale allowances that
+    /// must be deleted now that their finding is fixed.
+    pub stale: Vec<AllowEntry>,
+}
+
+impl LintReport {
+    /// Whether `--deny` should fail the build: any unbaselined finding
+    /// or any stale baseline entry.
+    #[must_use]
+    pub fn deny(&self) -> bool {
+        !self.findings.is_empty() || !self.stale.is_empty()
+    }
+}
+
+/// Runs every rule over `ws` and splits the results against `baseline`.
+#[must_use]
+pub fn run(ws: &Workspace, baseline: &Baseline) -> LintReport {
+    let mut all: Vec<Finding> = Vec::new();
+    for rule in all_rules() {
+        all.extend(rule.check(ws));
+    }
+    all.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.symbol.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.symbol.as_str(),
+        ))
+    });
+    let stale: Vec<AllowEntry> = baseline.unused(&all).into_iter().cloned().collect();
+    let (baselined, findings) = all.into_iter().partition(|f| baseline.allows(f));
+    LintReport {
+        findings,
+        baselined,
+        stale,
+    }
+}
+
+/// Renders the registered-metric inventory as the JSON document
+/// committed at `scripts/expected_metrics.json` (consumed by
+/// `scripts/check_metrics.py` and cross-checked by the `metric-drift`
+/// rule). Deterministic: names sorted, one per line.
+#[must_use]
+pub fn dump_metrics(ws: &Workspace) -> String {
+    let registered = rules::metric_names::registered_metrics(ws);
+    let mut out =
+        String::from("{\n  \"generated_by\": \"ncl-lint --dump-metrics\",\n  \"metrics\": [\n");
+    let names: Vec<&String> = registered.keys().collect();
+    for (i, name) in names.iter().enumerate() {
+        let comma = if i + 1 == names.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\"{}\n",
+            findings::json_escape(name),
+            comma
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_partitions_against_baseline_and_flags_stale_entries() {
+        let ws = Workspace::from_sources(
+            vec![(
+                "crates/serve/src/server.rs",
+                "pub fn handle() { thing.unwrap(); }\n".to_owned(),
+            )],
+            vec![],
+        );
+        let empty = Baseline::parse("").unwrap();
+        let report = run(&ws, &empty);
+        assert!(report.findings.iter().any(|f| f.rule == "panic-freedom"));
+        assert!(report.deny());
+
+        let allowed = Baseline::parse(
+            "[[allow]]\nrule = \"panic-freedom\"\nkey = \"panic-freedom:crates/serve/src/server.rs:handle\"\nreason = \"fixture\"\n",
+        )
+        .unwrap();
+        let report = run(&ws, &allowed);
+        assert!(!report.findings.iter().any(|f| f.rule == "panic-freedom"));
+        assert!(report.baselined.iter().any(|f| f.rule == "panic-freedom"));
+
+        let stale = Baseline::parse(
+            "[[allow]]\nrule = \"panic-freedom\"\nkey = \"panic-freedom:gone.rs:gone\"\nreason = \"fixed long ago\"\n",
+        )
+        .unwrap();
+        let report = run(&ws, &stale);
+        assert_eq!(report.stale.len(), 1);
+        assert!(report.deny(), "stale baseline entries fail --deny");
+    }
+
+    #[test]
+    fn dump_metrics_is_sorted_json() {
+        let ws = Workspace::from_sources(
+            vec![(
+                "crates/serve/src/metrics.rs",
+                "pub fn new(obs: &Registry) { obs.counter(\"serve_b_total\", \"b\"); obs.gauge(\"serve_a_depth\", \"a\"); }\n"
+                    .to_owned(),
+            )],
+            vec![],
+        );
+        let json = dump_metrics(&ws);
+        let a = json.find("serve_a_depth").unwrap();
+        let b = json.find("serve_b_total").unwrap();
+        assert!(a < b, "sorted: {json}");
+        assert!(json.contains("\"generated_by\""));
+    }
+}

@@ -1,0 +1,87 @@
+//! Rule `determinism`: no iteration-order or wall-clock hazards in
+//! byte-encoding paths.
+//!
+//! Checkpoints, deltas and reports are hashed, diffed and replayed
+//! across the fleet: two encoders given identical state must produce
+//! identical bytes. `HashMap`/`HashSet` iteration order is randomized
+//! per process, and `Instant`/`SystemTime` reads change per run — any
+//! of them inside an encoding path silently breaks delta convergence
+//! and checkpoint CRCs. These paths use `BTreeMap` and caller-supplied
+//! timestamps instead.
+
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::rules::{path_in, Rule};
+use crate::workspace::Workspace;
+
+/// Encoding paths whose output bytes must be a pure function of input.
+const SCOPE: &[&str] = &[
+    "crates/spike/src/rle.rs",
+    "crates/spike/src/codec.rs",
+    "crates/spike/src/encode.rs",
+    "crates/online/src/checkpoint.rs",
+    "crates/online/src/delta.rs",
+    "crates/online/src/publish.rs",
+    "crates/snn/src/serialize.rs",
+    "crates/runtime/src/report.rs",
+];
+
+/// Hazardous identifiers and why each is hazardous.
+const HAZARDS: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "iteration order is randomized per process — use BTreeMap",
+    ),
+    (
+        "HashSet",
+        "iteration order is randomized per process — use BTreeSet",
+    ),
+    (
+        "Instant",
+        "monotonic clock reads differ per run — take time as a parameter",
+    ),
+    (
+        "SystemTime",
+        "wall clock reads differ per run — take time as a parameter",
+    ),
+];
+
+pub struct DeterminismHazards;
+
+impl Rule for DeterminismHazards {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no HashMap/HashSet/Instant/SystemTime in checkpoint, delta and report encoding paths"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if !path_in(&file.path, SCOPE) {
+                continue;
+            }
+            for (i, t) in file.tokens.iter().enumerate() {
+                if t.kind != TokenKind::Ident || file.is_test_code(i) {
+                    continue;
+                }
+                if file.enclosing_fn(i).is_some_and(|f| f.is_test) {
+                    continue;
+                }
+                let text = t.text(&file.src);
+                if let Some((name, why)) = HAZARDS.iter().find(|(h, _)| *h == text) {
+                    findings.push(Finding {
+                        rule: "determinism",
+                        file: file.path.clone(),
+                        line: t.line,
+                        symbol: file.symbol_at(i),
+                        message: format!("{name} in an encoding path: {why}"),
+                    });
+                }
+            }
+        }
+        findings
+    }
+}

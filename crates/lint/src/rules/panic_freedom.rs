@@ -1,0 +1,117 @@
+//! Rule `panic-freedom`: no panicking construct in non-test code on
+//! the fleet's request, sync and ingest paths.
+//!
+//! One replica `panic!` takes a worker thread down mid-request; an
+//! `unwrap()` on a poisoned lock cascades the poison through the whole
+//! process. The serving crates already define error enums everywhere —
+//! there is no excuse for a hot-path panic.
+//!
+//! Flags, outside `#[cfg(test)]` / `#[test]` code:
+//! - `.unwrap(` / `.expect(` method calls (NOT `unwrap_or*`, which are
+//!   the panic-free idiom this rule pushes code toward);
+//! - `panic!`, `unreachable!`, `todo!`, `unimplemented!` invocations;
+//! - indexing an expression with a bare integer literal (`batch[0]`),
+//!   which panics on the empty case `get(0)` would surface as `None`.
+
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::rules::{path_in, Rule};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// Request/sync/ingest paths under enforcement. Binaries (`src/bin/`)
+/// are CLI frontends where `expect` on startup config is acceptable.
+const SCOPE: &[&str] = &[
+    "crates/serve/src/",
+    "crates/router/src/",
+    "crates/obs/src/",
+    "crates/online/src/daemon.rs",
+    "crates/online/src/stream.rs",
+    "crates/online/src/publish.rs",
+    "crates/online/src/checkpoint.rs",
+    "crates/online/src/delta.rs",
+];
+
+/// Macro names whose invocation always panics.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub struct PanicFreedom;
+
+impl Rule for PanicFreedom {
+    fn name(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/literal-indexing in fleet request, sync and ingest paths"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if !path_in(&file.path, SCOPE) || file.path.contains("/bin/") {
+                continue;
+            }
+            check_file(file, &mut findings);
+        }
+        findings
+    }
+}
+
+fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let src = &file.src;
+    let tokens = &file.tokens;
+    let mut report = |idx: usize, message: String| {
+        findings.push(Finding {
+            rule: "panic-freedom",
+            file: file.path.clone(),
+            line: tokens[idx].line,
+            symbol: file.symbol_at(idx),
+            message,
+        });
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if file.is_test_code(i) {
+            continue;
+        }
+        if file.enclosing_fn(i).is_some_and(|f| f.is_test) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident => {
+                let text = t.text(src);
+                let prev_dot = i > 0 && tokens[i - 1].is_punct(src, '.');
+                let next_bang = tokens.get(i + 1).is_some_and(|n| n.is_punct(src, '!'));
+                if prev_dot && (text == "unwrap" || text == "expect") {
+                    report(
+                        i,
+                        format!(".{text}() panics on the error case — propagate it instead"),
+                    );
+                } else if next_bang && PANIC_MACROS.contains(&text) {
+                    report(
+                        i,
+                        format!("{text}! aborts the worker on a hot path — return an error"),
+                    );
+                }
+            }
+            TokenKind::Punct if t.is_punct(src, '[') => {
+                // Indexing position: `[` directly after an ident, `)`,
+                // or `]` — array literals/types follow `=`/`(`/`,`/`&`.
+                let indexing = i > 0
+                    && (tokens[i - 1].kind == TokenKind::Ident
+                        || tokens[i - 1].is_punct(src, ')')
+                        || tokens[i - 1].is_punct(src, ']'));
+                let lit_index = tokens.get(i + 1).is_some_and(|n| n.kind == TokenKind::Int)
+                    && tokens.get(i + 2).is_some_and(|n| n.is_punct(src, ']'));
+                if indexing && lit_index {
+                    let lit = tokens[i + 1].text(src);
+                    report(
+                        i,
+                        format!("indexing with [{lit}] panics when short — use .get({lit})"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Rule `safety-comment`: every `unsafe` needs an adjacent
+//! `// SAFETY:` comment stating the invariant that makes it sound.
+//!
+//! The workspace currently denies `unsafe_code` outright and has zero
+//! unsafe blocks — this rule exists so the day someone carves out an
+//! exception (an accelerator binding, an FFI boundary), the
+//! justification discipline is already enforced rather than argued
+//! about in review.
+//!
+//! Accepted: a line or block comment containing `SAFETY:` on the same
+//! line as the `unsafe` token or within the three lines above it.
+
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::workspace::Workspace;
+
+pub struct SafetyComment;
+
+impl Rule for SafetyComment {
+    fn name(&self) -> &'static str {
+        "safety-comment"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every `unsafe` carries an adjacent `// SAFETY:` justification"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            let src = &file.src;
+            for (i, t) in file.tokens.iter().enumerate() {
+                if !t.is_ident(src, "unsafe") || file.is_test_code(i) {
+                    continue;
+                }
+                if has_adjacent_safety_comment(file, i) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "safety-comment",
+                    file: file.path.clone(),
+                    line: t.line,
+                    symbol: file.symbol_at(i),
+                    message:
+                        "unsafe without an adjacent `// SAFETY:` comment stating the invariant"
+                            .to_owned(),
+                });
+            }
+        }
+        findings
+    }
+}
+
+/// Whether a comment containing `SAFETY:` sits on the `unsafe` token's
+/// line or within the three lines above it.
+fn has_adjacent_safety_comment(file: &crate::source::SourceFile, idx: usize) -> bool {
+    let line = file.tokens[idx].line;
+    let lo = line.saturating_sub(3);
+    // Comments are tokens, so scanning the neighborhood suffices.
+    file.tokens.iter().any(|t| {
+        matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+            && t.line >= lo
+            && t.line <= line
+            && t.text(&file.src).contains("SAFETY:")
+    })
+}

@@ -1,0 +1,111 @@
+//! Rule `strict-decode`: decoders must validate declared lengths
+//! before allocating.
+//!
+//! Wire and checkpoint decoders read attacker-or-corruption-shaped
+//! bytes. A decoder that does `Vec::with_capacity(declared_len)` before
+//! checking `declared_len` against the remaining buffer lets a 12-byte
+//! truncated frame request a multi-gigabyte allocation. The idiom
+//! throughout this workspace is `need(buf, n, what)?` /
+//! `remaining()` / `is_multiple_of` checks first; this rule keeps new
+//! decoders honest.
+//!
+//! Heuristic: in every non-test `fn` whose name looks like a decoder
+//! (`read_*`, `decode*`, `from_bytes*`, `parse_*`) in the scoped wire
+//! files, the first allocation (`with_capacity`, `vec!`) must be
+//! preceded, within the same body, by a validation marker (`need`,
+//! `remaining`, `is_multiple_of`, `try_from`, `try_into`, `checked_*`).
+
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::rules::{path_in, Rule};
+use crate::source::{FnItem, SourceFile};
+use crate::workspace::Workspace;
+
+/// Files that decode fleet wire formats.
+const SCOPE: &[&str] = &[
+    "crates/spike/src/rle.rs",
+    "crates/spike/src/codec.rs",
+    "crates/online/src/checkpoint.rs",
+    "crates/online/src/delta.rs",
+    "crates/serve/src/protocol.rs",
+];
+
+/// Function-name shapes that mark a decoder.
+const DECODER_PREFIXES: &[&str] = &["read_", "decode", "from_bytes", "parse_"];
+
+/// Identifiers that count as length validation.
+const VALIDATORS: &[&str] = &[
+    "need",
+    "remaining",
+    "is_multiple_of",
+    "try_from",
+    "try_into",
+];
+
+pub struct StrictDecode;
+
+impl Rule for StrictDecode {
+    fn name(&self) -> &'static str {
+        "strict-decode"
+    }
+
+    fn describe(&self) -> &'static str {
+        "decoders validate declared lengths before allocating"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if !path_in(&file.path, SCOPE) {
+                continue;
+            }
+            for f in &file.fns {
+                if f.is_test || f.body == (0, 0) || !is_decoder(&f.name) {
+                    continue;
+                }
+                if let Some(line) = unguarded_allocation(file, f) {
+                    findings.push(Finding {
+                        rule: "strict-decode",
+                        file: file.path.clone(),
+                        line,
+                        symbol: f.name.clone(),
+                        message: format!(
+                            "{} allocates before validating the declared length — check `need`/`remaining` first",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+        findings
+    }
+}
+
+fn is_decoder(name: &str) -> bool {
+    DECODER_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// The line of the first allocation in `f`'s body that no validation
+/// marker precedes, or `None` if the body is clean.
+fn unguarded_allocation(file: &SourceFile, f: &FnItem) -> Option<u32> {
+    let src = &file.src;
+    let tokens = &file.tokens;
+    let (start, end) = f.body;
+    let mut validated = false;
+    for i in start..=end.min(tokens.len().saturating_sub(1)) {
+        let t = tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = t.text(src);
+        if VALIDATORS.contains(&text) || text.starts_with("checked_") {
+            validated = true;
+        } else if !validated
+            && (text == "with_capacity"
+                || (text == "vec" && tokens.get(i + 1).is_some_and(|n| n.is_punct(src, '!'))))
+        {
+            return Some(t.line);
+        }
+    }
+    None
+}

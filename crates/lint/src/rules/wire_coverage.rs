@@ -1,0 +1,152 @@
+//! Rule `wire-coverage`: every wire op the protocol parses must have a
+//! dispatch arm in the server and a method on the client.
+//!
+//! The NDJSON protocol grows by adding a `"op" => Request::Variant`
+//! arm to `parse_request`. The failure mode this rule guards: the arm
+//! lands, but the server's `handle_line` match gains no case (the op
+//! parses, then hits a catch-all error) or the client never grows a
+//! method (the op is reachable only by hand-writing JSON — so nothing
+//! in the workspace exercises it). Ops and their `Request` variants
+//! are read from `parse_request`'s match arms; the server must mention
+//! `Request::Variant` and the client must define `fn <op>` in non-test
+//! code.
+
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::rules::{str_literal_value, Rule};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+const PROTOCOL: &str = "crates/serve/src/protocol.rs";
+const SERVER: &str = "crates/serve/src/server.rs";
+const CLIENT: &str = "crates/serve/src/client.rs";
+
+pub struct WireCoverage;
+
+impl Rule for WireCoverage {
+    fn name(&self) -> &'static str {
+        "wire-coverage"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every parsed wire op has a server dispatch arm and a client method"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let Some(protocol) = ws.file(PROTOCOL) else {
+            return Vec::new();
+        };
+        let ops = parse_ops(protocol);
+        let mut findings = Vec::new();
+        if let Some(server) = ws.file(SERVER) {
+            for op in &ops {
+                if !mentions_variant(server, &op.variant) {
+                    findings.push(Finding {
+                        rule: "wire-coverage",
+                        file: PROTOCOL.to_owned(),
+                        line: op.line,
+                        symbol: op.name.clone(),
+                        message: format!(
+                            "op \"{}\" parses to Request::{} but server.rs never dispatches that variant",
+                            op.name, op.variant
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(client) = ws.file(CLIENT) {
+            for op in &ops {
+                let has_method = client.fns.iter().any(|f| !f.is_test && f.name == op.name);
+                if !has_method {
+                    findings.push(Finding {
+                        rule: "wire-coverage",
+                        file: PROTOCOL.to_owned(),
+                        line: op.line,
+                        symbol: op.name.clone(),
+                        message: format!(
+                            "op \"{}\" has no client method — add `fn {}` to client.rs",
+                            op.name, op.name
+                        ),
+                    });
+                }
+            }
+        }
+        findings
+    }
+}
+
+/// One `"op" => ... Request::Variant` arm.
+struct WireOp {
+    name: String,
+    variant: String,
+    line: u32,
+}
+
+/// Extracts (op, variant) pairs from `parse_request`'s match arms: a
+/// string literal directly followed by `=>`, then the first
+/// `Request::Variant` path before the next arm.
+fn parse_ops(file: &SourceFile) -> Vec<WireOp> {
+    let Some(body) = file
+        .fns
+        .iter()
+        .find(|f| !f.is_test && f.name == "parse_request" && f.body != (0, 0))
+        .map(|f| f.body)
+    else {
+        return Vec::new();
+    };
+    let src = &file.src;
+    let tokens = &file.tokens;
+    let end = body.1.min(tokens.len().saturating_sub(1));
+    let arm_at = |i: usize| -> bool {
+        tokens[i].kind == TokenKind::Str
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(src, '='))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(src, '>'))
+    };
+    let mut ops = Vec::new();
+    let mut i = body.0;
+    while i <= end {
+        if arm_at(i) {
+            let name = str_literal_value(tokens[i].text(src)).to_owned();
+            let line = tokens[i].line;
+            // Scan this arm (up to the next arm) for Request::Variant.
+            let mut j = i + 3;
+            let mut variant = None;
+            while j <= end && !arm_at(j) {
+                if tokens[j].is_ident(src, "Request")
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct(src, ':'))
+                    && tokens.get(j + 2).is_some_and(|t| t.is_punct(src, ':'))
+                    && tokens
+                        .get(j + 3)
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                {
+                    variant = Some(tokens[j + 3].text(src).to_owned());
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(variant) = variant {
+                ops.push(WireOp {
+                    name,
+                    variant,
+                    line,
+                });
+            }
+        }
+        i += 1;
+    }
+    ops
+}
+
+/// Whether `file` mentions `Request::<variant>` in non-test code.
+fn mentions_variant(file: &SourceFile, variant: &str) -> bool {
+    let src = &file.src;
+    let tokens = &file.tokens;
+    tokens.iter().enumerate().any(|(i, t)| {
+        t.is_ident(src, "Request")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(src, ':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(src, ':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident(src, variant))
+            && !file.is_test_code(i)
+            && !file.enclosing_fn(i).is_some_and(|f| f.is_test)
+    })
+}

@@ -1,0 +1,128 @@
+//! Workspace loading: which files the linter analyzes and the extra
+//! non-Rust artifacts some rules cross-check (README, metric dumps).
+//!
+//! The production surface is `crates/*/src/**/*.rs` plus the root
+//! package's `src/`. `vendor/` (offline dependency stand-ins),
+//! `target/`, top-level `tests/`, `benches/` and `examples/` are out of
+//! scope: the invariants under enforcement are about the fleet's own
+//! hot paths. Fixture trees (`tests/fixtures/`) are skipped so the
+//! linter's seeded-violation corpus never lints itself.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// The analyzed workspace.
+pub struct Workspace {
+    /// Analyzed Rust sources, sorted by path (deterministic output).
+    pub files: Vec<SourceFile>,
+    /// Non-Rust artifacts rules cross-check, keyed by workspace-relative
+    /// path (`README.md`, `scripts/expected_metrics.json`). Missing
+    /// files are simply absent.
+    pub artifacts: BTreeMap<String, String>,
+}
+
+/// Artifacts the rules may cross-check.
+pub const ARTIFACT_PATHS: &[&str] = &["README.md", "scripts/expected_metrics.json"];
+
+impl Workspace {
+    /// Builds a workspace from in-memory sources (the fixture tests).
+    #[must_use]
+    pub fn from_sources(sources: Vec<(&str, String)>, artifacts: Vec<(&str, String)>) -> Workspace {
+        let mut files: Vec<SourceFile> = sources
+            .into_iter()
+            .map(|(path, src)| SourceFile::analyze(path, src))
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Workspace {
+            files,
+            artifacts: artifacts
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        }
+    }
+
+    /// Loads the real workspace rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unreadable root; individual unreadable
+    /// files are skipped (the linter reports on what it can see).
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        if !root.join("Cargo.toml").is_file() {
+            return Err(format!(
+                "{} does not look like the workspace root (no Cargo.toml)",
+                root.display()
+            ));
+        }
+        let mut paths: Vec<PathBuf> = Vec::new();
+        let crates_dir = root.join("crates");
+        if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+            for entry in entries.flatten() {
+                collect_rs(&entry.path().join("src"), &mut paths);
+            }
+        }
+        collect_rs(&root.join("src"), &mut paths);
+        paths.sort();
+
+        let mut files = Vec::with_capacity(paths.len());
+        for path in paths {
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let src = String::from_utf8_lossy(&bytes).into_owned();
+            let rel = relative(root, &path);
+            files.push(SourceFile::analyze(&rel, src));
+        }
+
+        let mut artifacts = BTreeMap::new();
+        for rel in ARTIFACT_PATHS {
+            if let Ok(bytes) = std::fs::read(root.join(rel)) {
+                artifacts.insert(
+                    (*rel).to_owned(),
+                    String::from_utf8_lossy(&bytes).into_owned(),
+                );
+            }
+        }
+        Ok(Workspace { files, artifacts })
+    }
+
+    /// The analyzed file at `path`, if present.
+    #[must_use]
+    pub fn file(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping fixture
+/// trees. Missing directories contribute nothing.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative `/`-separated path.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,11 @@
+//! Seeded strict-decode violation: the decoder trusts a declared
+//! length and allocates before checking the remaining buffer.
+
+pub fn decode_frame(buf: &[u8]) -> Option<Vec<u16>> {
+    let count = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let mut values = Vec::with_capacity(count);
+    for chunk in buf[4..].chunks(2).take(count) {
+        values.push(u16::from_le_bytes([chunk[0], chunk[1]]));
+    }
+    Some(values)
+}

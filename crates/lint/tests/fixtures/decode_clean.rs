@@ -1,0 +1,21 @@
+//! The clean twin: the declared length is validated against the
+//! remaining bytes before any allocation happens.
+
+fn need(buf: &[u8], n: usize) -> Option<()> {
+    if buf.len() >= n {
+        Some(())
+    } else {
+        None
+    }
+}
+
+pub fn decode_frame(buf: &[u8]) -> Option<Vec<u16>> {
+    need(buf, 4)?;
+    let count = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    need(&buf[4..], count.checked_mul(2)?)?;
+    let mut values = Vec::with_capacity(count);
+    for chunk in buf[4..].chunks(2).take(count) {
+        values.push(u16::from_le_bytes([chunk[0], chunk[1]]));
+    }
+    Some(values)
+}

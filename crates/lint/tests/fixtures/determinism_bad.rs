@@ -1,0 +1,16 @@
+//! Seeded determinism hazards in an encoding-path file: randomized
+//! iteration order and wall-clock reads.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn encode_report(counts: &HashMap<String, u64>) -> Vec<u8> {
+    let started = Instant::now();
+    let mut out = Vec::new();
+    for (key, value) in counts {
+        out.extend_from_slice(key.as_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out.extend_from_slice(&(started.elapsed().as_micros() as u64).to_le_bytes());
+    out
+}

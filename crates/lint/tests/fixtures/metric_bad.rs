@@ -1,0 +1,12 @@
+//! Seeded metric-drift violation: registers a family the README table
+//! (provided by the test) does not document.
+
+pub struct Metrics;
+
+impl Metrics {
+    pub fn new(obs: &Registry) -> Metrics {
+        let _ = obs.counter("serve_ghost_total", "Registered but undocumented.");
+        let _ = obs.counter("serve_requests_ok_total", "Documented and registered.");
+        Metrics
+    }
+}

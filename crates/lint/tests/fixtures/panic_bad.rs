@@ -1,0 +1,31 @@
+//! Seeded panic-freedom violations: one of each flagged construct in
+//! production code, linted as if this were a serve hot-path file.
+
+pub fn handle_request(line: &str, queue: &[u8]) -> u8 {
+    let parsed: Option<u8> = line.parse().ok();
+    let value = parsed.unwrap();
+    if value > 10 {
+        panic!("value too large");
+    }
+    queue[0] + value
+}
+
+pub fn route(role: &str) -> usize {
+    match role {
+        "leader" => 0,
+        "follower" => 1,
+        _ => unreachable!("roles are validated upstream"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely — none of these should fire.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let q = [1u8, 2];
+        assert_eq!(q[0], 1);
+    }
+}

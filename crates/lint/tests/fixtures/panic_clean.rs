@@ -1,0 +1,19 @@
+//! The clean twin of `panic_bad.rs`: the same shapes written
+//! panic-free. Also exercises the lexer-driven negative cases — the
+//! word panic! inside strings and comments must never fire.
+
+pub fn handle_request(line: &str, queue: &[u8]) -> Option<u8> {
+    let value: u8 = line.parse().ok()?;
+    // A comment saying unwrap() or panic! is not a finding.
+    let log = "refusing to panic!(\"...\") or .unwrap() on the hot path";
+    let _ = log;
+    let head = queue.first().copied().unwrap_or_default();
+    head.checked_add(value)
+}
+
+pub fn route(role: &str) -> usize {
+    match role {
+        "leader" => 0,
+        _ => 1,
+    }
+}

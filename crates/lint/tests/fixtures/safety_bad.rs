@@ -1,0 +1,6 @@
+//! Seeded safety-comment violation: an unsafe block with no adjacent
+//! SAFETY justification (the comment two functions up does not count).
+
+pub fn read_register(addr: *const u32) -> u32 {
+    unsafe { addr.read_volatile() }
+}

@@ -1,0 +1,12 @@
+//! The clean twin: every unsafe carries an adjacent SAFETY comment.
+
+pub fn read_register(addr: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `addr` is a mapped, aligned MMIO
+    // register for the lifetime of this call.
+    unsafe { addr.read_volatile() }
+}
+
+pub fn tagged(word: &str) -> bool {
+    // The literal below mentions unsafe but is just data, not code.
+    word == "unsafe"
+}

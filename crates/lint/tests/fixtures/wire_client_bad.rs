@@ -1,0 +1,14 @@
+//! Seeded wire-coverage violation: no `fn drain` — the op is reachable
+//! only by hand-writing JSON.
+
+pub struct Client;
+
+impl Client {
+    pub fn ping(&mut self) -> &'static str {
+        "ping"
+    }
+
+    pub fn stats(&mut self) -> &'static str {
+        "stats"
+    }
+}

@@ -1,0 +1,17 @@
+//! The clean twin: a method per op.
+
+pub struct Client;
+
+impl Client {
+    pub fn ping(&mut self) -> &'static str {
+        "ping"
+    }
+
+    pub fn stats(&mut self) -> &'static str {
+        "stats"
+    }
+
+    pub fn drain(&mut self) -> &'static str {
+        "drain"
+    }
+}

@@ -1,0 +1,17 @@
+//! Shared protocol fixture: parses three wire ops. Whether the rule
+//! fires depends on the server/client twin it is paired with.
+
+pub enum Request {
+    Ping,
+    Stats,
+    Drain,
+}
+
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    match line {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "drain" => Ok(Request::Drain),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}

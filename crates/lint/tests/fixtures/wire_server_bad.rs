@@ -1,0 +1,10 @@
+//! Seeded wire-coverage violation: the dispatch match never handles
+//! `Request::Drain`, so the op parses and then dies in a catch-all.
+
+pub fn handle_line(request: Request) -> &'static str {
+    match request {
+        Request::Ping => "pong",
+        Request::Stats => "stats",
+        _ => "unhandled",
+    }
+}

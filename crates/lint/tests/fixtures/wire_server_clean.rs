@@ -1,0 +1,9 @@
+//! The clean twin: every parsed op has a dispatch arm.
+
+pub fn handle_line(request: Request) -> &'static str {
+    match request {
+        Request::Ping => "pong",
+        Request::Stats => "stats",
+        Request::Drain => "draining",
+    }
+}

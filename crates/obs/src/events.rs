@@ -121,7 +121,13 @@ impl EventLog {
         if level >= Level::Warn && self.echo.load(Ordering::Relaxed) {
             eprintln!("{}", event.render_line());
         }
-        let mut ring = self.ring.lock().expect("event ring poisoned");
+        // A panic elsewhere while holding the lock leaves the ring in a
+        // valid state (every mutation below is total) — recover the
+        // guard instead of cascading the poison through the fleet.
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.len() == self.cap {
             ring.pop_front();
         }
@@ -133,7 +139,7 @@ impl EventLog {
     pub fn recent(&self) -> Vec<Event> {
         self.ring
             .lock()
-            .expect("event ring poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .cloned()
             .collect()

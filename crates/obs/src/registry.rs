@@ -166,7 +166,13 @@ impl Registry {
     /// programming error (two call sites disagree about what a name
     /// means), not an operational condition.
     fn adopt(&self, name: &str, labels: &[(&str, &str)], help: &str, existing: Handle) -> Handle {
-        let mut families = self.families.lock().expect("registry poisoned");
+        // Registrations and renders keep the family map valid at every
+        // point a panic could unwind from, so a poisoned lock is safe
+        // to recover instead of cascading through the fleet.
+        let mut families = self
+            .families
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let family = families.entry(name.to_owned()).or_insert_with(|| Family {
             kind: existing.kind(),
             help: help.to_owned(),
@@ -195,15 +201,7 @@ impl Registry {
     /// A labeled counter.
     #[must_use]
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
-        match self.adopt(
-            name,
-            labels,
-            help,
-            Handle::Counter(Arc::new(Counter::new())),
-        ) {
-            Handle::Counter(c) => c,
-            _ => unreachable!("adopt checked the kind"),
-        }
+        self.adopt_counter(name, labels, help, Arc::new(Counter::new()))
     }
 
     /// Registers a caller-owned counter (e.g. one a backend already
@@ -217,9 +215,12 @@ impl Registry {
         help: &str,
         counter: Arc<Counter>,
     ) -> Arc<Counter> {
+        // `adopt` asserts the kinds agree, so the non-Counter arm is
+        // unreachable; the caller's handle is a sound panic-free fallback.
+        let fallback = Arc::clone(&counter);
         match self.adopt(name, labels, help, Handle::Counter(counter)) {
             Handle::Counter(c) => c,
-            _ => unreachable!("adopt checked the kind"),
+            _ => fallback,
         }
     }
 
@@ -232,10 +233,7 @@ impl Registry {
     /// A labeled gauge.
     #[must_use]
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
-        match self.adopt(name, labels, help, Handle::Gauge(Arc::new(Gauge::new()))) {
-            Handle::Gauge(g) => g,
-            _ => unreachable!("adopt checked the kind"),
-        }
+        self.adopt_gauge(name, labels, help, Arc::new(Gauge::new()))
     }
 
     /// Registers a caller-owned gauge into this registry.
@@ -247,9 +245,10 @@ impl Registry {
         help: &str,
         gauge: Arc<Gauge>,
     ) -> Arc<Gauge> {
+        let fallback = Arc::clone(&gauge);
         match self.adopt(name, labels, help, Handle::Gauge(gauge)) {
             Handle::Gauge(g) => g,
-            _ => unreachable!("adopt checked the kind"),
+            _ => fallback,
         }
     }
 
@@ -267,15 +266,7 @@ impl Registry {
         labels: &[(&str, &str)],
         help: &str,
     ) -> Arc<Log2Histogram> {
-        match self.adopt(
-            name,
-            labels,
-            help,
-            Handle::Histogram(Arc::new(Log2Histogram::new())),
-        ) {
-            Handle::Histogram(h) => h,
-            _ => unreachable!("adopt checked the kind"),
-        }
+        self.adopt_histogram(name, labels, help, Arc::new(Log2Histogram::new()))
     }
 
     /// Registers a caller-owned histogram into this registry.
@@ -287,9 +278,10 @@ impl Registry {
         help: &str,
         histogram: Arc<Log2Histogram>,
     ) -> Arc<Log2Histogram> {
+        let fallback = Arc::clone(&histogram);
         match self.adopt(name, labels, help, Handle::Histogram(histogram)) {
             Handle::Histogram(h) => h,
-            _ => unreachable!("adopt checked the kind"),
+            _ => fallback,
         }
     }
 
@@ -339,7 +331,10 @@ impl Registry {
     /// key — the output is byte-stable for fixed metric values.
     #[must_use]
     pub fn render(&self) -> String {
-        let families = self.families.lock().expect("registry poisoned");
+        let families = self
+            .families
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
         for (name, family) in families.iter() {
             if !family.help.is_empty() {

@@ -48,7 +48,12 @@ impl SpanRing {
     /// Appends a record, evicting the oldest when full.
     pub fn push(&self, record: SpanRecord) {
         self.total.fetch_add(1, Ordering::Relaxed);
-        let mut ring = self.inner.lock().expect("span ring poisoned");
+        // Ring mutations are total, so a poisoned lock still guards a
+        // valid ring — recover the guard rather than panic in obs code.
+        let mut ring = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.len() == self.cap {
             ring.pop_front();
         }
@@ -60,7 +65,7 @@ impl SpanRing {
     pub fn recent(&self) -> Vec<SpanRecord> {
         self.inner
             .lock()
-            .expect("span ring poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .cloned()
             .collect()

@@ -284,7 +284,12 @@ impl Checkpoint {
             return Err(bad("shorter than magic + checksum"));
         }
         let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        // split_at guarantees 4 trailing bytes; the fold keeps the
+        // little-endian read panic-free all the same.
+        let stored_crc = crc_bytes
+            .iter()
+            .rev()
+            .fold(0u32, |acc, &b| (acc << 8) | u32::from(b));
         let actual_crc = crc32(body);
         if stored_crc != actual_crc {
             return Err(bad(format!(
@@ -312,7 +317,8 @@ impl Checkpoint {
                 u16::try_from(raw).map_err(|_| bad(format!("label {raw} overflows u16")))?;
             known_classes.push(label);
         }
-        if !known_classes.windows(2).all(|w| w[0] < w[1]) {
+        let mut pairs = known_classes.iter().zip(known_classes.iter().skip(1));
+        if !pairs.all(|(a, b)| a < b) {
             return Err(bad("known classes not strictly sorted"));
         }
 

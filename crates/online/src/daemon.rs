@@ -783,7 +783,11 @@ impl OnlineLearner {
                     IngestOutcome::Pending { class, pending },
                     EventAction::Pending { pending },
                 ),
-                Observation::Known => unreachable!("label was checked as novel"),
+                // `is_known` returned false just above and nothing else
+                // mutates the tracker in between, so this arm cannot be
+                // reached — degrade to the benign outcome anyway rather
+                // than panic mid-ingest.
+                Observation::Known => (IngestOutcome::Observed, EventAction::Observed),
             }
         };
 
@@ -1004,8 +1008,7 @@ impl OnlineLearner {
                 .threshold_mode
                 .schedule_for(&input, base)?;
             let logits = self.network.forward_from(0, &input, Some(&schedule))?;
-            let pred = ncl_tensor::ops::argmax(&logits).expect("non-empty logits");
-            if pred == usize::from(label) {
+            if ncl_tensor::ops::argmax(&logits) == Some(usize::from(label)) {
                 correct += 1;
             }
         }

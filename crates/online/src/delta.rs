@@ -86,13 +86,15 @@ pub struct CheckpointDelta {
 }
 
 /// Collects every trainable plane of `network` (stage-0 visitation
-/// order) as owned vectors.
-fn collect_planes(network: &Network) -> Vec<Vec<f32>> {
+/// order) as owned vectors. Stage 0 is valid for every network, but
+/// the error is propagated rather than unwrapped — delta code runs on
+/// the publish path, which must not panic.
+fn collect_planes(network: &Network) -> Result<Vec<Vec<f32>>, OnlineError> {
     let mut planes = Vec::new();
     network
         .visit_trainable(0, |slice| planes.push(slice.to_vec()))
-        .expect("stage 0 is always valid");
-    planes
+        .map_err(|e| bad(format!("visiting trainable planes: {e}")))?;
+    Ok(planes)
 }
 
 /// Bitwise inequality over f32 planes (delta correctness is defined on
@@ -139,8 +141,8 @@ impl CheckpointDelta {
             ));
         }
 
-        let base_planes = collect_planes(&base.network);
-        let next_planes = collect_planes(&next.network);
+        let base_planes = collect_planes(&base.network)?;
+        let next_planes = collect_planes(&next.network)?;
         if base_planes.len() != next_planes.len() {
             return Err(bad(
                 "delta across an architecture change: plane counts differ",
@@ -278,7 +280,12 @@ impl CheckpointDelta {
             return Err(bad("shorter than magic + checksum"));
         }
         let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        // split_at guarantees 4 trailing bytes; the fold keeps the
+        // little-endian read panic-free all the same.
+        let stored_crc = crc_bytes
+            .iter()
+            .rev()
+            .fold(0u32, |acc, &b| (acc << 8) | u32::from(b));
         let actual_crc = crc32(body);
         if stored_crc != actual_crc {
             return Err(bad(format!(
@@ -312,7 +319,8 @@ impl CheckpointDelta {
                 u16::try_from(raw).map_err(|_| bad(format!("label {raw} overflows u16")))?;
             known_classes.push(label);
         }
-        if !known_classes.windows(2).all(|w| w[0] < w[1]) {
+        let mut pairs = known_classes.iter().zip(known_classes.iter().skip(1));
+        if !pairs.all(|(a, b)| a < b) {
             return Err(bad("known classes not strictly sorted"));
         }
 
@@ -453,7 +461,7 @@ impl CheckpointDelta {
         let mut plane_lens = Vec::new();
         base.network
             .visit_trainable(0, |slice| plane_lens.push(slice.len()))
-            .expect("stage 0 is always valid");
+            .map_err(|e| bad(format!("visiting trainable planes: {e}")))?;
         for plane in &self.planes {
             let Some(&len) = plane_lens.get(plane.index as usize) else {
                 return Err(bad(format!(
@@ -484,7 +492,7 @@ impl CheckpointDelta {
                 }
                 plane_idx += 1;
             })
-            .expect("stage 0 is always valid");
+            .map_err(|e| bad(format!("visiting trainable planes: {e}")))?;
 
         // Rebuild the store: surviving base entries in order + the tail,
         // through the strict constructor (budget re-checked).

@@ -86,7 +86,13 @@ impl DeltaPublisher {
     /// the published version (see [`CheckpointDelta::between`]); the
     /// published state is unchanged.
     pub fn publish(&self, next: Checkpoint) -> Result<usize, OnlineError> {
-        let mut inner = self.inner.lock().expect("publisher poisoned");
+        // Publisher state stays valid across any unwind point (the
+        // fallible work happens before the mutations), so recover a
+        // poisoned guard instead of cascading the panic.
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let delta = CheckpointDelta::between(&inner.base, &next)?;
         let bytes = delta.to_bytes();
         let size = bytes.len();
@@ -109,7 +115,10 @@ impl DeltaPublisher {
     /// full checkpoint instead.
     #[must_use]
     pub fn delta_from(&self, base_version: u64) -> Option<(u64, Vec<u8>)> {
-        let inner = self.inner.lock().expect("publisher poisoned");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner
             .ring
             .iter()
@@ -122,7 +131,7 @@ impl DeltaPublisher {
     pub fn checkpoint_bytes(&self) -> Vec<u8> {
         self.inner
             .lock()
-            .expect("publisher poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .full_bytes
             .clone()
     }
@@ -130,7 +139,11 @@ impl DeltaPublisher {
     /// The latest published version.
     #[must_use]
     pub fn version(&self) -> u64 {
-        self.inner.lock().expect("publisher poisoned").base.version
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .base
+            .version
     }
 }
 

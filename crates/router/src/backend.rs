@@ -183,7 +183,13 @@ impl Backend {
     /// The replication role the replica reported last.
     #[must_use]
     pub fn role(&self) -> String {
-        self.role.lock().expect("role poisoned").clone()
+        // Role/pool values stay valid whatever panicked while the
+        // lock was held — recover the guard, never cascade the poison
+        // through the dispatch path.
+        self.role
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Requests this backend answered (any valid response line).
@@ -236,14 +242,21 @@ impl Backend {
     }
 
     fn request_inner(&self, line: &str) -> std::io::Result<String> {
-        let pooled = self.pool.lock().expect("pool poisoned").pop();
+        let pooled = self
+            .pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop();
         let mut conn = match pooled {
             Some(conn) => conn,
             None => BackendConn::connect(self.addr, self.timeout)?,
         };
         match conn.round_trip(line) {
             Ok(response) => {
-                let mut pool = self.pool.lock().expect("pool poisoned");
+                let mut pool = self
+                    .pool
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 if pool.len() < POOL_LIMIT {
                     pool.push(conn);
                 }
@@ -261,7 +274,10 @@ impl Backend {
             Err(_) => {
                 // request() already marked us unhealthy; also drop every
                 // pooled connection so recovery starts from fresh sockets.
-                self.pool.lock().expect("pool poisoned").clear();
+                self.pool
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clear();
                 return None;
             }
         };
@@ -278,7 +294,10 @@ impl Backend {
             self.model_version.store(version, Ordering::Release);
         }
         if let Some(role) = value.get("role").and_then(Value::as_str) {
-            *self.role.lock().expect("role poisoned") = role.to_owned();
+            *self
+                .role
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = role.to_owned();
         }
         Some(value)
     }

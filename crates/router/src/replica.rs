@@ -147,7 +147,13 @@ impl FollowerReplica {
     /// The mirrored checkpoint's full encoding (bit-identity checks).
     #[must_use]
     pub fn checkpoint_bytes(&self) -> Vec<u8> {
-        self.state.lock().expect("state poisoned").to_bytes()
+        // Held state only advances after a successful swap, so a
+        // poisoned guard still protects a coherent checkpoint — recover
+        // it rather than panic on the replication path.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .to_bytes()
     }
 
     /// Deltas applied since startup.
@@ -183,7 +189,10 @@ impl ReplicaSync for FollowerReplica {
 
     fn apply_delta(&self, payload: &[u8]) -> Result<u64, ServeError> {
         let delta = CheckpointDelta::from_bytes(payload).map_err(|e| repl(&e))?;
-        let mut state = self.state.lock().expect("state poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if delta.version <= state.version {
             return Err(ServeError::StaleVersion {
                 current: state.version,
@@ -210,7 +219,10 @@ impl ReplicaSync for FollowerReplica {
 
     fn apply_checkpoint(&self, payload: &[u8]) -> Result<u64, ServeError> {
         let next = Checkpoint::from_bytes(payload).map_err(|e| repl(&e))?;
-        let mut state = self.state.lock().expect("state poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if next.config_digest != state.config_digest {
             return Err(ServeError::Replication {
                 detail: "checkpoint from a differently-configured fleet".into(),

@@ -15,7 +15,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use ncl_runtime::queue::ShardedQueue;
@@ -90,12 +90,16 @@ pub struct Batcher {
 impl Batcher {
     /// Starts the scheduler: spawns `config.workers` worker threads
     /// (clamped to at least 1) serving batches from the queue.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error if a worker thread cannot be spawned; any
+    /// workers that did start are shut down before returning.
     pub fn start(
         registry: Arc<ModelRegistry>,
         metrics: Arc<Metrics>,
         mut config: BatchConfig,
-    ) -> Arc<Self> {
+    ) -> std::io::Result<Arc<Self>> {
         config.workers = config.workers.max(1);
         config.batch_size = config.batch_size.max(1);
         let batcher = Arc::new(Batcher {
@@ -111,15 +115,34 @@ impl Batcher {
         let mut handles = Vec::with_capacity(config.workers);
         for worker in 0..config.workers {
             let b = Arc::clone(&batcher);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("ncl-serve-worker-{worker}"))
-                    .spawn(move || b.worker_loop(worker))
-                    .expect("spawning a batch worker"),
-            );
+            let spawned = std::thread::Builder::new()
+                .name(format!("ncl-serve-worker-{worker}"))
+                .spawn(move || b.worker_loop(worker));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Wind down the workers that did start before
+                    // surfacing the spawn failure.
+                    *batcher.workers_guard() = handles;
+                    batcher.shutdown();
+                    return Err(e);
+                }
+            }
         }
-        *batcher.workers.lock().expect("workers mutex") = handles;
-        batcher
+        *batcher.workers_guard() = handles;
+        Ok(batcher)
+    }
+
+    /// The signal mutex, recovering from poison: the guarded unit value
+    /// has no state to corrupt, so a panicked holder is harmless.
+    fn signal_guard(&self) -> MutexGuard<'_, ()> {
+        self.signal.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The worker-handle list, recovering from poison (the list is
+    /// always a valid Vec).
+    fn workers_guard(&self) -> MutexGuard<'_, Vec<std::thread::JoinHandle<()>>> {
+        self.workers.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The scheduler configuration in effect.
@@ -154,7 +177,7 @@ impl Batcher {
             // Notify under the lock: a worker only sleeps after
             // re-checking the queue while holding it, so the wakeup
             // cannot be lost.
-            let _guard = self.signal.0.lock().expect("signal mutex");
+            let _guard = self.signal_guard();
             self.signal.1.notify_one();
         }
         // Stranded-submission guard: if the push raced past a completed
@@ -174,11 +197,11 @@ impl Batcher {
     /// workers.
     pub fn shutdown(&self) {
         {
-            let _guard = self.signal.0.lock().expect("signal mutex");
+            let _guard = self.signal_guard();
             self.draining.store(true, Ordering::SeqCst);
             self.signal.1.notify_all();
         }
-        let handles = std::mem::take(&mut *self.workers.lock().expect("workers mutex"));
+        let handles = std::mem::take(&mut *self.workers_guard());
         for handle in handles {
             let _ = handle.join();
         }
@@ -212,7 +235,7 @@ impl Batcher {
                 if self.draining.load(Ordering::Acquire) {
                     return;
                 }
-                let guard = self.signal.0.lock().expect("signal mutex");
+                let guard = self.signal_guard();
                 if self.queue.is_empty() && !self.draining.load(Ordering::Acquire) {
                     // The timeout is a belt-and-braces backstop; the
                     // notify-under-lock protocol makes missed wakeups
@@ -222,8 +245,8 @@ impl Batcher {
             };
 
             // Phase 2: top the batch up until full or max_wait expires.
+            let deadline = first.enqueued + self.config.max_wait;
             let mut batch = vec![first];
-            let deadline = batch[0].enqueued + self.config.max_wait;
             while batch.len() < self.config.batch_size {
                 let room = self.config.batch_size - batch.len();
                 let more = self.queue.pop_batch(worker, room);
@@ -235,7 +258,7 @@ impl Batcher {
                 if now >= deadline || self.draining.load(Ordering::Acquire) {
                     break;
                 }
-                let guard = self.signal.0.lock().expect("signal mutex");
+                let guard = self.signal_guard();
                 if self.queue.is_empty() {
                     let _ = self.signal.1.wait_timeout(guard, deadline - now);
                 }
@@ -258,7 +281,9 @@ impl Batcher {
         match model.network.forward_batch(&rasters) {
             Ok(all_logits) => {
                 for (logits, (reply, enqueued)) in all_logits.into_iter().zip(replies) {
-                    let prediction = ops::argmax(&logits).expect("output_size >= 1 is validated");
+                    // output_size >= 1 is validated at model build, so
+                    // the empty-logits fallback cannot trigger.
+                    let prediction = ops::argmax(&logits).unwrap_or(0);
                     let latency = enqueued.elapsed().as_micros() as u64;
                     self.metrics.record_ok(latency);
                     let _ = reply.send(Ok(PredictReply {
@@ -307,7 +332,8 @@ mod tests {
             Arc::clone(&registry),
             Arc::new(Metrics::default()),
             BatchConfig::default(),
-        );
+        )
+        .unwrap();
         let rx = batcher.submit(input(0)).unwrap();
         let reply = rx.recv().unwrap().unwrap();
         let direct = net.network.forward(&input(0)).unwrap();
@@ -329,7 +355,8 @@ mod tests {
                 max_wait: Duration::from_micros(200),
                 workers: 3,
             },
-        );
+        )
+        .unwrap();
         let receivers: Vec<_> = (0..64)
             .map(|i| (i, batcher.submit(input(i)).unwrap()))
             .collect();
@@ -357,7 +384,8 @@ mod tests {
                 max_wait: Duration::from_micros(100),
                 workers: 2,
             },
-        );
+        )
+        .unwrap();
         let mut receivers = Vec::new();
         for i in 0..40 {
             receivers.push(batcher.submit(input(i)).unwrap());
@@ -392,7 +420,8 @@ mod tests {
                 max_wait: Duration::from_millis(1),
                 workers: 1,
             },
-        );
+        )
+        .unwrap();
         let queued: Vec<_> = (0..8).map(|i| batcher.submit(input(i)).unwrap()).collect();
         batcher.shutdown();
         for rx in queued {

@@ -212,6 +212,66 @@ impl NclClient {
     pub fn metrics(&mut self) -> std::io::Result<Value> {
         self.round_trip(r#"{"op":"metrics"}"#)
     }
+
+    /// Replication health probe: role, version and sync stats.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn health(&mut self) -> std::io::Result<Value> {
+        self.round_trip(r#"{"op":"health"}"#)
+    }
+
+    /// Fetches the delta advancing a replica that holds `base_version`.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn delta(&mut self, base_version: u64) -> std::io::Result<Value> {
+        let line = protocol::object(vec![
+            ("op", Value::from("delta")),
+            ("base_version", Value::from(base_version)),
+        ])
+        .to_json();
+        self.round_trip(&line)
+    }
+
+    /// Applies an encoded checkpoint delta to the server's model.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn apply_delta(&mut self, payload: &[u8]) -> std::io::Result<Value> {
+        let line = protocol::object(vec![
+            ("op", Value::from("apply_delta")),
+            ("payload", Value::from(protocol::to_hex(payload))),
+        ])
+        .to_json();
+        self.round_trip(&line)
+    }
+
+    /// Fetches the server's full checkpoint encoding.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn checkpoint(&mut self) -> std::io::Result<Value> {
+        self.round_trip(r#"{"op":"checkpoint"}"#)
+    }
+
+    /// Applies an encoded full checkpoint to the server's model.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn apply_checkpoint(&mut self, payload: &[u8]) -> std::io::Result<Value> {
+        let line = protocol::object(vec![
+            ("op", Value::from("apply_checkpoint")),
+            ("payload", Value::from(protocol::to_hex(payload))),
+        ])
+        .to_json();
+        self.round_trip(&line)
+    }
 }
 
 #[cfg(test)]

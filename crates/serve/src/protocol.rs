@@ -88,10 +88,11 @@ pub enum Request {
 /// no base64 dependency in the tree).
 #[must_use]
 pub fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
     let mut out = String::with_capacity(bytes.len() * 2);
     for b in bytes {
-        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
-        out.push(char::from_digit(u32::from(b & 0xF), 16).expect("nibble"));
+        out.push(char::from(DIGITS[usize::from(b >> 4)]));
+        out.push(char::from(DIGITS[usize::from(b & 0xF)]));
     }
     out
 }
@@ -107,15 +108,15 @@ pub fn from_hex(hex: &str) -> Result<Vec<u8>, ServeError> {
         return Err(invalid(format!("odd hex length {}", hex.len())));
     }
     let mut out = Vec::with_capacity(hex.len() / 2);
-    let digits = hex.as_bytes();
-    for pair in digits.chunks_exact(2) {
-        let nibble = |c: u8| -> Result<u8, ServeError> {
-            (c as char)
-                .to_digit(16)
-                .map(|d| d as u8)
-                .ok_or_else(|| invalid(format!("non-hex character {:?}", c as char)))
-        };
-        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    let nibble = |c: u8| -> Result<u8, ServeError> {
+        (c as char)
+            .to_digit(16)
+            .map(|d| d as u8)
+            .ok_or_else(|| invalid(format!("non-hex character {:?}", c as char)))
+    };
+    let mut digits = hex.bytes();
+    while let (Some(hi), Some(lo)) = (digits.next(), digits.next()) {
+        out.push((nibble(hi)? << 4) | nibble(lo)?);
     }
     Ok(out)
 }

@@ -94,7 +94,7 @@ impl Server {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new(&obs));
-        let batcher = Batcher::start(Arc::clone(&registry), Arc::clone(&metrics), config.batch);
+        let batcher = Batcher::start(Arc::clone(&registry), Arc::clone(&metrics), config.batch)?;
         let shared = Arc::new(Shared {
             registry,
             metrics,

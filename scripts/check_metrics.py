@@ -16,11 +16,15 @@ extracted). `<role>` picks the layer coverage the scrape must show:
 Beyond coverage, the exposition itself is checked for well-formedness:
 every sample parses, every family has exactly one HELP and TYPE comment
 before its samples, histogram buckets are cumulative and end at +Inf
-with the family's _count. Exits nonzero with a pointed message on the
-first violation.
+with the family's _count. Every fleet-prefixed family must also appear
+in scripts/expected_metrics.json — the registration inventory generated
+by `ncl-lint --dump-metrics` — so a scrape can never expose a family
+the linter (and the README metrics table it enforces) does not know
+about. Exits nonzero with a pointed message on the first violation.
 """
 
 import json
+import os
 import re
 import sys
 
@@ -37,6 +41,14 @@ ROLE_PREFIXES = {
     "follower": ["serve_", "online_", "replica_"],
     "router": ["router_"],
 }
+
+# Every prefix the fleet owns; families under these must be in the
+# expected-metrics inventory (scripts/expected_metrics.json).
+FLEET_PREFIXES = ["serve_", "router_", "replica_", "online_", "snn_", "obs_"]
+
+EXPECTED_METRICS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "expected_metrics.json"
+)
 
 
 class CheckFailure(AssertionError):
@@ -142,6 +154,27 @@ def check_histograms(families, samples):
             )
 
 
+def check_expected(families):
+    """Fleet-prefixed families must be in the ncl-lint inventory."""
+    ensure(
+        os.path.exists(EXPECTED_METRICS_PATH),
+        f"{EXPECTED_METRICS_PATH} is missing — regenerate it with "
+        "`cargo run -p ncl_lint --bin ncl-lint -- --dump-metrics`",
+    )
+    with open(EXPECTED_METRICS_PATH) as fh:
+        expected = set(json.load(fh)["metrics"])
+    for name in sorted(families):
+        if any(name.startswith(p) for p in FLEET_PREFIXES):
+            ensure(
+                name in expected,
+                f"family {name} is exposed but absent from "
+                "expected_metrics.json — if it is a new metric, register "
+                "it, then regenerate the inventory with "
+                "`ncl-lint --dump-metrics` (the metric-drift lint rule "
+                "will also want a README table row)",
+            )
+
+
 def check_role(role, families, samples):
     for prefix in ROLE_PREFIXES[role]:
         ensure(
@@ -191,6 +224,7 @@ def main():
         families, samples = parse_exposition(text)
         check_histograms(families, samples)
         check_role(role, families, samples)
+        check_expected(families)
     except CheckFailure as failure:
         print(f"check_metrics: {path}: {failure}", file=sys.stderr)
         return 1
