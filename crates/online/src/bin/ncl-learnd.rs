@@ -15,7 +15,7 @@
 //!            [--events N] [--warmup N] [--novel-every N]
 //!            [--arrival-threshold N] [--capture-every N]
 //!            [--workers N] [--cl-epochs N] [--pretrain-epochs N]
-//!            [--capacity-bits N] [--seed N]
+//!            [--capacity-bits N] [--seed N] [--delta-ring N]
 //!            [--exit-after-stream] [--verify-checkpoint] [--quiet]
 //! ```
 //!
@@ -49,6 +49,7 @@ struct Args {
     pretrain_epochs: usize,
     capacity_bits: Option<u64>,
     seed: u64,
+    delta_ring: usize,
     exit_after_stream: bool,
     quiet: bool,
 }
@@ -59,7 +60,7 @@ fn usage(problem: &str) -> ! {
         "usage: ncl-learnd [--port N] [--checkpoint PATH] [--resume] [--events N] \
          [--warmup N] [--novel-every N] [--arrival-threshold N] [--capture-every N] \
          [--workers N] [--cl-epochs N] [--pretrain-epochs N] [--capacity-bits N] \
-         [--seed N] [--exit-after-stream] [--verify-checkpoint] [--quiet]"
+         [--seed N] [--delta-ring N] [--exit-after-stream] [--verify-checkpoint] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -80,6 +81,7 @@ fn parse_args() -> Args {
         pretrain_epochs: 10,
         capacity_bits: None,
         seed: 0x57EA4,
+        delta_ring: OnlineConfig::smoke().delta_ring,
         exit_after_stream: false,
         quiet: false,
     };
@@ -111,6 +113,7 @@ fn parse_args() -> Args {
             "--pretrain-epochs" => args.pretrain_epochs = parse!("--pretrain-epochs"),
             "--capacity-bits" => args.capacity_bits = Some(parse!("--capacity-bits")),
             "--seed" => args.seed = parse!("--seed"),
+            "--delta-ring" => args.delta_ring = parse!("--delta-ring"),
             "--exit-after-stream" => args.exit_after_stream = true,
             "--quiet" => args.quiet = true,
             other => usage(&format!("unknown flag {other}")),
@@ -189,6 +192,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(bits) = args.capacity_bits {
         config.capacity_bits = Some(bits);
     }
+    config.delta_ring = args.delta_ring.max(1);
     config.checkpoint_path = args.checkpoint.clone();
 
     let stream_config = StreamConfig {

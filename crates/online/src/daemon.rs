@@ -86,6 +86,15 @@ pub struct OnlineConfig {
     pub capacity_bits: Option<u64>,
     /// Where increments checkpoint the daemon (`None` = no persistence).
     pub checkpoint_path: Option<PathBuf>,
+    /// Depth of the published-delta ring when this daemon replicates
+    /// (how many versions a follower can lag and still catch up via
+    /// deltas rather than a full checkpoint). Not determinism-relevant:
+    /// it changes how state ships, not what the state is.
+    pub delta_ring: usize,
+}
+
+fn default_delta_ring() -> usize {
+    crate::publish::DeltaPublisher::DEFAULT_RING
 }
 
 impl OnlineConfig {
@@ -103,6 +112,7 @@ impl OnlineConfig {
             capture_every: 4,
             capacity_bits: Some(16 * 1024),
             checkpoint_path: None,
+            delta_ring: default_delta_ring(),
         }
     }
 
@@ -156,6 +166,12 @@ impl OnlineConfig {
             return Err(OnlineError::InvalidConfig {
                 what: "arrival_threshold",
                 detail: "must be at least 1".into(),
+            });
+        }
+        if self.delta_ring == 0 {
+            return Err(OnlineError::InvalidConfig {
+                what: "delta_ring",
+                detail: "the delta ring must retain at least 1 delta".into(),
             });
         }
         Ok(())
@@ -491,7 +507,6 @@ impl OnlineLearner {
         config: OnlineConfig,
         obs: Arc<ObsRegistry>,
     ) -> Result<Self, OnlineError> {
-        config.validate()?;
         let path = config
             .checkpoint_path
             .as_ref()
@@ -500,6 +515,81 @@ impl OnlineLearner {
                 detail: "resume needs a checkpoint path".into(),
             })?;
         let ckpt = Checkpoint::read(path)?;
+        let source = format!("checkpoint:{}", path.display());
+        Self::resume_from_checkpoint_with_obs(config, ckpt, &source, obs)
+    }
+
+    /// Resumes from an in-memory [`Checkpoint`] instead of a file — the
+    /// entry a promoted follower takes: it already holds the fleet's
+    /// latest applied checkpoint (received over the wire) and continues
+    /// the learning stream from that exact state, producing the same
+    /// future increments the crashed learner would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineError::InvalidConfig`] if the checkpoint's
+    /// determinism digest does not match `config` (see
+    /// [`resume`](OnlineLearner::resume)).
+    pub fn resume_from_checkpoint(
+        config: OnlineConfig,
+        ckpt: Checkpoint,
+        source: &str,
+    ) -> Result<Self, OnlineError> {
+        Self::resume_from_checkpoint_with_obs(config, ckpt, source, Arc::new(ObsRegistry::new()))
+    }
+
+    /// [`resume_from_checkpoint`](OnlineLearner::resume_from_checkpoint)
+    /// publishing into a shared observability registry.
+    ///
+    /// # Errors
+    ///
+    /// As [`resume_from_checkpoint`](OnlineLearner::resume_from_checkpoint).
+    pub fn resume_from_checkpoint_with_obs(
+        config: OnlineConfig,
+        ckpt: Checkpoint,
+        source: &str,
+        obs: Arc<ObsRegistry>,
+    ) -> Result<Self, OnlineError> {
+        let registry = Arc::new(ModelRegistry::with_initial_version(
+            ckpt.network.clone(),
+            source,
+            ckpt.version,
+        ));
+        Self::resume_into_registry_with_obs(config, ckpt, registry, obs)
+    }
+
+    /// [`resume_from_checkpoint`](OnlineLearner::resume_from_checkpoint)
+    /// publishing into an *existing* [`ModelRegistry`] — the registry a
+    /// running server is already bound to. The registry must already
+    /// hold the checkpoint's version (the follower applied those exact
+    /// bytes before promotion), so the learner continues publishing
+    /// where the registry left off and the wire-visible `model_version`
+    /// never regresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineError::InvalidConfig`] if the registry's version
+    /// differs from the checkpoint's, or on a determinism-digest
+    /// mismatch (see [`resume`](OnlineLearner::resume)).
+    pub fn resume_into_registry_with_obs(
+        config: OnlineConfig,
+        ckpt: Checkpoint,
+        registry: Arc<ModelRegistry>,
+        obs: Arc<ObsRegistry>,
+    ) -> Result<Self, OnlineError> {
+        config.validate()?;
+        if registry.version() != ckpt.version {
+            return Err(OnlineError::InvalidConfig {
+                what: "registry",
+                detail: format!(
+                    "the serving registry is at v{} but the checkpoint is v{}; \
+                     a promoted learner must resume from the exact state the \
+                     registry serves",
+                    registry.version(),
+                    ckpt.version
+                ),
+            });
+        }
         if ckpt.config_digest != config.determinism_digest() {
             return Err(OnlineError::InvalidConfig {
                 what: "config",
@@ -521,15 +611,6 @@ impl OnlineLearner {
             tracker.observe(label);
         }
         let pending = ckpt.pending;
-        // Seed the registry at the checkpointed version so the
-        // wire-visible model_version never regresses across a restart:
-        // clients that observed v{N} before the crash see the restored
-        // weights as v{N}, not as a fresh v1.
-        let registry = Arc::new(ModelRegistry::with_initial_version(
-            ckpt.network.clone(),
-            &format!("checkpoint:{}", path.display()),
-            ckpt.version,
-        ));
         let instruments = Arc::new(Instruments::new(obs));
         // The trainer's arenas restart per process; the durable
         // increment count lives in the version counter.

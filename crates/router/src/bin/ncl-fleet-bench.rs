@@ -1,0 +1,523 @@
+//! `ncl-fleet-bench` — measures the elastic fleet's failure-handling
+//! paths and emits `BENCH_fleet.json`.
+//!
+//! Two phases:
+//!
+//! 1. **Failover latency** — a three-replica elastic fleet under live
+//!    routed load; each round partitions the current learner and
+//!    measures partition → promotion latency (detection across
+//!    `failover_ticks` unhealthy sync ticks plus the promote op), then
+//!    heals the deposed learner and waits for its fenced demotion.
+//! 2. **Rejoin catch-up** — a ring-limited synthetic learner; one
+//!    follower lags exactly `ring` versions (pure delta catch-up, one
+//!    hop per sync tick) and a second joins past ring depth (full
+//!    checkpoint fallback). Reports wall time and bytes shipped on
+//!    each path.
+//!
+//! Gates (exit 1 on violation): zero failed client requests through
+//! every partition, one promotion per round plus the initial election,
+//! survivors byte-identical after the chaos, the delta path applying
+//! exactly `ring` deltas with zero full syncs, the full-sync path
+//! shipping a checkpoint no smaller than any single delta.
+//!
+//! ```sh
+//! ncl-fleet-bench [--quick] [--rounds N] [--out PATH]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ncl_online::daemon::{OnlineConfig, OnlineLearner};
+use ncl_online::publish::DeltaPublisher;
+use ncl_online::stream::{SampleStream, StreamConfig};
+use ncl_online::Checkpoint;
+use ncl_router::backend::Backend;
+use ncl_router::faults::FaultPlan;
+use ncl_router::replica::{ElasticReplica, FollowerReplica, LearnerReplica};
+use ncl_router::router::{Router, RouterConfig};
+use ncl_serve::client::NclClient;
+use ncl_serve::protocol::object;
+use ncl_serve::registry::ModelRegistry;
+use ncl_serve::server::{Server, ServerConfig};
+use ncl_serve::sync::ReplicaSync;
+use serde_json::Value;
+
+struct Args {
+    quick: bool,
+    rounds: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        rounds: 4,
+        out: "BENCH_fleet.json".to_owned(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--rounds" => {
+                args.rounds = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("ncl-fleet-bench: --rounds needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                args.out = iter.next().unwrap_or_else(|| {
+                    eprintln!("ncl-fleet-bench: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("ncl-fleet-bench: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.quick {
+        args.rounds = args.rounds.min(2);
+    }
+    args.rounds = args.rounds.max(1);
+    args
+}
+
+/// Small config that bootstraps in seconds. The stream is all warmup
+/// (no novel class): failover rounds measure the control plane, not
+/// training, so a promoted learner drains its stream without an
+/// increment and every survivor stays on the bootstrap bytes.
+fn fleet_config() -> (OnlineConfig, StreamConfig) {
+    let mut config = OnlineConfig::smoke();
+    config.scenario.pretrain_epochs = 4;
+    config.scenario.cl_epochs = 3;
+    config.scenario.parallelism = 2;
+    config.delta_ring = 4;
+    let stream = StreamConfig {
+        scenario: config.scenario.clone(),
+        warmup_events: 8,
+        total_events: 8,
+        novel_every: 1,
+        seed: 0xF1EE7,
+    };
+    (config, stream)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn poll_until(deadline_secs: u64, what: &str, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(deadline_secs);
+    while !done() {
+        if Instant::now() > deadline {
+            eprintln!("ncl-fleet-bench: timed out waiting for {what}");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+struct Node {
+    replica: Arc<ElasticReplica>,
+    server: Server,
+}
+
+fn start_node(config: &OnlineConfig, bootstrap: &Checkpoint, stream: &SampleStream) -> Node {
+    let obs = Arc::new(ncl_obs::Registry::new());
+    let replica = Arc::new(
+        ElasticReplica::follower(
+            config.clone(),
+            bootstrap.clone(),
+            stream.clone(),
+            Duration::from_millis(1),
+            Arc::clone(&obs),
+        )
+        .expect("elastic follower"),
+    );
+    replica.register_into(&obs);
+    let sync: Arc<dyn ReplicaSync> = Arc::clone(&replica) as Arc<dyn ReplicaSync>;
+    let server =
+        Server::start_with_obs(replica.registry(), ServerConfig::default(), Some(sync), obs)
+            .expect("replica server");
+    Node { replica, server }
+}
+
+/// Phase 1: failover rounds. Returns the JSON block plus the background
+/// load outcome (ok, failed), survivor bit-identity and promotion count.
+fn failover_phase(args: &Args) -> (Value, u64, u64, bool, u64) {
+    let (config, stream_config) = fleet_config();
+    let stream = SampleStream::generate(&stream_config).expect("stream");
+    eprintln!("bootstrapping the elastic fleet (shared deterministic base)...");
+    let learner = OnlineLearner::bootstrap(config.clone()).expect("bootstrap");
+    let bootstrap = learner.checkpoint();
+    drop(learner);
+
+    let nodes: Vec<Node> = (0..3)
+        .map(|_| start_node(&config, &bootstrap, &stream))
+        .collect();
+    let plan = Arc::new(FaultPlan::new(0xFA110));
+    let backends: Vec<Arc<Backend>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(id, node)| Arc::new(Backend::new(id, node.server.local_addr())))
+        .collect();
+    for backend in &backends {
+        backend.configure_breaker(Duration::from_millis(10), Duration::from_millis(50));
+    }
+    let sync_interval = Duration::from_millis(10);
+    let failover_ticks = 3u32;
+    let router = Router::start_with_faults(
+        backends,
+        RouterConfig {
+            sync_interval,
+            failover_ticks,
+            ..RouterConfig::default()
+        },
+        Some(Arc::clone(&plan)),
+    )
+    .expect("router");
+    let addr = router.local_addr();
+
+    // Live client load across every partition in the phase.
+    let stop = Arc::new(AtomicBool::new(false));
+    let bg_ok = Arc::new(AtomicU64::new(0));
+    let bg_failed = Arc::new(AtomicU64::new(0));
+    let probe = stream.events()[0].raster.clone();
+    let load = {
+        let stop = Arc::clone(&stop);
+        let ok = Arc::clone(&bg_ok);
+        let failed = Arc::clone(&bg_failed);
+        std::thread::spawn(move || {
+            let mut client = NclClient::connect(addr).expect("bg connect");
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                match client.predict(i, &probe) {
+                    Ok(reply) if reply.get("ok").and_then(Value::as_bool) == Some(true) => {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                i += 1;
+            }
+        })
+    };
+
+    // Initial election: a fleet of followers has no learner, so after
+    // `failover_ticks` learner-less ticks the router promotes one.
+    let started = Instant::now();
+    poll_until(30, "the initial election", || router.promotions() >= 1);
+    let initial_election_ms = started.elapsed().as_millis() as u64;
+    eprintln!("initial election in {initial_election_ms} ms");
+
+    let mut detection_ms: Vec<u64> = Vec::new();
+    for round in 0..args.rounds {
+        poll_until(30, "a single settled learner", || {
+            nodes
+                .iter()
+                .filter(|n| n.replica.role() == "learner")
+                .count()
+                == 1
+        });
+        let lid = nodes
+            .iter()
+            .position(|n| n.replica.role() == "learner")
+            .expect("a learner is live");
+        let promotions = router.promotions();
+        let demotions = router.demotions();
+
+        plan.partition(lid);
+        let t0 = Instant::now();
+        poll_until(30, "failover promotion", || {
+            router.promotions() > promotions
+        });
+        let latency = t0.elapsed().as_millis() as u64;
+        detection_ms.push(latency);
+        eprintln!("round {round}: partitioned learner {lid}, promoted a successor in {latency} ms");
+
+        plan.heal(lid);
+        poll_until(30, "the deposed learner's demotion", || {
+            router.demotions() > demotions && nodes[lid].replica.role() == "follower"
+        });
+    }
+
+    // Let in-flight requests settle, then stop the load.
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::Release);
+    load.join().expect("bg load thread");
+
+    // No increments ran (the stream is all warmup), so every survivor —
+    // including each deposed learner, which fell back to its last
+    // published checkpoint — must still hold the bootstrap bytes.
+    let reference = nodes[0].replica.checkpoint_bytes();
+    let bit_identical = nodes
+        .iter()
+        .all(|n| n.replica.checkpoint_bytes() == reference);
+
+    detection_ms.sort_unstable();
+    let block = object(vec![
+        ("rounds", Value::from(args.rounds)),
+        ("failover_ticks", Value::from(u64::from(failover_ticks))),
+        (
+            "sync_interval_ms",
+            Value::from(sync_interval.as_millis() as u64),
+        ),
+        ("initial_election_ms", Value::from(initial_election_ms)),
+        (
+            "detection_to_promotion_ms",
+            detection_ms
+                .iter()
+                .map(|&v| Value::from(v))
+                .collect::<Value>(),
+        ),
+        ("p50_ms", Value::from(percentile(&detection_ms, 0.50))),
+        ("max_ms", Value::from(percentile(&detection_ms, 1.0))),
+        ("promotions", Value::from(router.promotions())),
+        ("demotions", Value::from(router.demotions())),
+        ("final_epoch", Value::from(router.epoch())),
+    ]);
+
+    let ok = bg_ok.load(Ordering::Relaxed);
+    let failed = bg_failed.load(Ordering::Relaxed);
+    let promotions = router.promotions();
+    router.shutdown();
+    for node in nodes {
+        node.server.shutdown();
+    }
+    (block, ok, failed, bit_identical, promotions)
+}
+
+/// Hand-built checkpoint chain for the rejoin phase (versions differ in
+/// the trainable weights, so deltas are real payloads).
+fn synth(version: u64) -> Checkpoint {
+    use ncl_snn::{Network, NetworkConfig};
+    use ncl_spike::memory::Alignment;
+    use replay4ncl::buffer::LatentReplayBuffer;
+
+    let mut network = Network::new(NetworkConfig::tiny(6, 3)).expect("network");
+    network
+        .visit_trainable_mut(1, |slice| {
+            for v in slice.iter_mut() {
+                *v += version as f32 * 0.01;
+            }
+        })
+        .expect("bump weights");
+    Checkpoint {
+        version,
+        cursor: version * 10,
+        event_digest: version ^ 0xAB,
+        config_digest: 42,
+        known_classes: vec![0, 1],
+        network,
+        buffer: LatentReplayBuffer::with_capacity_bits(Alignment::Byte, 8_192),
+        pending: Vec::new(),
+    }
+}
+
+fn start_synth_follower() -> (Arc<FollowerReplica>, Server) {
+    let replica = Arc::new(FollowerReplica::new(synth(1)));
+    let sync: Arc<dyn ReplicaSync> = Arc::clone(&replica) as Arc<dyn ReplicaSync>;
+    let server = Server::start_with_sync(replica.registry(), ServerConfig::default(), Some(sync))
+        .expect("follower server");
+    (replica, server)
+}
+
+/// Phase 2: rejoin catch-up economics, delta ring vs full sync.
+/// Returns the JSON block plus each path's convergence verdict.
+fn rejoin_phase() -> (Value, bool, bool) {
+    const RING: usize = 8;
+    let base = synth(1);
+    let registry = Arc::new(ModelRegistry::with_initial_version(
+        base.network.clone(),
+        "synth",
+        1,
+    ));
+    let publisher = Arc::new(DeltaPublisher::with_ring(base, RING));
+    let learner_sync: Arc<dyn ReplicaSync> = Arc::new(LearnerReplica::new(Arc::clone(&publisher)));
+    let learner_server = Server::start_with_sync(
+        Arc::clone(&registry),
+        ServerConfig::default(),
+        Some(learner_sync),
+    )
+    .expect("synth learner server");
+
+    let (near, near_server) = start_synth_follower();
+    let (far, far_server) = start_synth_follower();
+
+    let router = Router::start(
+        vec![
+            Arc::new(Backend::new(0, learner_server.local_addr())),
+            Arc::new(Backend::new(1, near_server.local_addr())),
+        ],
+        RouterConfig {
+            // Driven manually with sync_now(): deterministic tick count.
+            sync_interval: Duration::from_secs(3600),
+            ..RouterConfig::default()
+        },
+    )
+    .expect("router");
+
+    // Lag == ring capacity: catch-up is one retained delta per tick.
+    let target = 1 + RING as u64;
+    let network = synth(target).network.clone();
+    while publisher.version() < target {
+        publisher
+            .publish(synth(publisher.version() + 1))
+            .expect("publish");
+    }
+    registry
+        .swap_network_at(network, "synth", target)
+        .expect("swap");
+    let delta_bytes: usize = (1..target)
+        .map(|v| publisher.delta_from(v).expect("retained delta").1.len())
+        .sum();
+    let t0 = Instant::now();
+    for _ in 0..RING {
+        router.sync_now();
+    }
+    let delta_wall_us = t0.elapsed().as_micros() as u64;
+    // Verdict taken *now*: the full-sync scenario below publishes one
+    // more version, which the sync loop would also walk `near` through.
+    let near_deltas = near.deltas_applied();
+    let near_ok = near.registry().version() == target
+        && near_deltas == RING as u64
+        && near.full_syncs() == 0
+        && near.checkpoint_bytes() == synth(target).to_bytes();
+    eprintln!(
+        "delta catch-up: lag {RING} -> {near_deltas} delta(s), {delta_bytes} B in {delta_wall_us} us"
+    );
+
+    // One more publish pushes v1 out of the ring; a fresh joiner at v1
+    // must take the full-checkpoint path on its first sync.
+    let network = synth(target + 1).network.clone();
+    publisher.publish(synth(target + 1)).expect("publish");
+    registry
+        .swap_network_at(network, "synth", target + 1)
+        .expect("swap");
+    let full_bytes = publisher.checkpoint_bytes().len();
+    let mut control = NclClient::connect(router.local_addr()).expect("control");
+    let joined = control
+        .join(&far_server.local_addr().to_string())
+        .expect("join");
+    assert_eq!(joined.get("ok").and_then(Value::as_bool), Some(true));
+    let t0 = Instant::now();
+    router.sync_now();
+    let full_wall_us = t0.elapsed().as_micros() as u64;
+    eprintln!(
+        "full-sync catch-up: lag {} -> {} full sync(s), {full_bytes} B in {full_wall_us} us",
+        RING + 1,
+        far.full_syncs(),
+    );
+
+    let far_ok = far.registry().version() == target + 1
+        && far.full_syncs() == 1
+        && far.deltas_applied() == 0
+        && far.checkpoint_bytes() == publisher.checkpoint_bytes();
+
+    let block = object(vec![
+        ("ring", Value::from(RING)),
+        (
+            "delta",
+            object(vec![
+                ("lag", Value::from(RING)),
+                ("deltas_applied", Value::from(near_deltas)),
+                ("full_syncs", Value::from(near.full_syncs())),
+                ("bytes", Value::from(delta_bytes)),
+                ("bytes_per_hop", Value::from(delta_bytes / RING)),
+                ("catch_up_us", Value::from(delta_wall_us)),
+                ("converged", Value::from(near_ok)),
+            ]),
+        ),
+        (
+            "full_sync",
+            object(vec![
+                ("lag", Value::from(RING + 1)),
+                ("deltas_applied", Value::from(far.deltas_applied())),
+                ("full_syncs", Value::from(far.full_syncs())),
+                ("bytes", Value::from(full_bytes)),
+                ("catch_up_us", Value::from(full_wall_us)),
+                ("converged", Value::from(far_ok)),
+            ]),
+        ),
+        (
+            "delta_hop_vs_full_ratio",
+            Value::from(delta_bytes as f64 / RING as f64 / full_bytes as f64),
+        ),
+    ]);
+
+    router.shutdown();
+    learner_server.shutdown();
+    near_server.shutdown();
+    far_server.shutdown();
+    (block, near_ok, far_ok)
+}
+
+fn main() {
+    let args = parse_args();
+    let total_start = Instant::now();
+
+    let (failover, bg_ok, bg_failed, survivors_identical, promotions) = failover_phase(&args);
+    let (rejoin, delta_converged, full_converged) = rejoin_phase();
+
+    let report = object(vec![
+        ("bench", Value::from("fleet")),
+        ("replicas", Value::from(3u64)),
+        ("failover", failover),
+        (
+            "background",
+            object(vec![
+                ("requests_ok", Value::from(bg_ok)),
+                ("requests_failed", Value::from(bg_failed)),
+            ]),
+        ),
+        ("survivors_bit_identical", Value::from(survivors_identical)),
+        ("rejoin", rejoin),
+        (
+            "total_wall_s",
+            Value::from(total_start.elapsed().as_secs_f64()),
+        ),
+    ]);
+    std::fs::write(&args.out, format!("{}\n", report.to_json_pretty())).expect("write report");
+    println!("{}", report.to_json_pretty());
+    eprintln!("wrote {}", args.out);
+
+    // --- gates -----------------------------------------------------------
+    let mut bad = Vec::new();
+    if bg_failed > 0 {
+        bad.push(format!(
+            "{bg_failed} client request(s) failed during failover"
+        ));
+    }
+    if bg_ok == 0 {
+        bad.push("the background load made no progress".to_owned());
+    }
+    if !survivors_identical {
+        bad.push("survivors diverged after the failover rounds".to_owned());
+    }
+    if promotions != args.rounds as u64 + 1 {
+        bad.push(format!(
+            "expected {} promotion(s) (initial election + one per round), saw {promotions}",
+            args.rounds + 1
+        ));
+    }
+    if !delta_converged {
+        bad.push("the delta catch-up path did not converge".to_owned());
+    }
+    if !full_converged {
+        bad.push("the full-sync catch-up path did not converge".to_owned());
+    }
+    if !bad.is_empty() {
+        for problem in &bad {
+            eprintln!("ncl-fleet-bench: GATE FAILED: {problem}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("all gates passed");
+}

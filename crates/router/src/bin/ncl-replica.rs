@@ -1,6 +1,6 @@
-//! `ncl-replica` — one member of a sharded serving fleet.
+//! `ncl-replica` — one member of an elastic sharded serving fleet.
 //!
-//! Both roles bootstrap the same deterministic daemon state (identical
+//! Both roles serve the same deterministic daemon state (identical
 //! configs produce bit-identical v1 checkpoints, so every replica
 //! starts from the same base — the property the delta chain relies on),
 //! then diverge:
@@ -8,30 +8,42 @@
 //! * `--role learner` runs the continual-learning stream: it ingests
 //!   events (paced by `--pace-ms` so increments land mid-load),
 //!   publishes a checkpoint delta after every increment, and answers
-//!   `delta`/`checkpoint` fetches.
-//! * `--role follower` just serves, applying whatever deltas the
-//!   router relays (`apply_delta`/`apply_checkpoint`), hot-swapping at
-//!   the learner's exact version.
+//!   `delta`/`checkpoint` fetches. `--delta-ring N` sets how many
+//!   consecutive deltas it retains before laggards need a full sync.
+//! * `--role follower` mounts an elastic replica: it serves and applies
+//!   whatever the router relays, and can be *promoted* to learner over
+//!   the wire — it then resumes training from its last applied
+//!   checkpoint and continues the same deterministic stream.
+//!
+//! Elastic-fleet flags: `--join ADDR` registers this replica with a
+//! running router once it is listening; `--bootstrap-from ADDR` skips
+//! local bootstrap entirely and cold-starts from the fleet's current
+//! checkpoint, fetched through the router's `checkpoint` relay.
 //!
 //! ```sh
 //! ncl-replica --role learner|follower [--port N] [--workers N]
 //!             [--events N] [--warmup N] [--novel-every N] [--pace-ms N]
 //!             [--arrival-threshold N] [--cl-epochs N] [--pretrain-epochs N]
-//!             [--seed N] [--quiet]
+//!             [--seed N] [--delta-ring N] [--join ADDR]
+//!             [--bootstrap-from ADDR] [--quiet]
 //! ```
 //!
-//! The stream flags only matter for the learner; followers accept them
-//! (so a launcher can pass one flag set to the whole fleet) and ignore
-//! the stream itself.
+//! The stream flags matter for the learner and for any follower that
+//! may be promoted; pass one flag set to the whole fleet so every
+//! member would continue the identical stream.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use ncl_online::daemon::{IngestOutcome, OnlineConfig, OnlineLearner};
 use ncl_online::publish::DeltaPublisher;
 use ncl_online::stream::{SampleStream, StreamConfig};
-use ncl_router::replica::{FollowerReplica, LearnerReplica};
+use ncl_router::replica::{ElasticReplica, LearnerReplica};
+use ncl_serve::client::NclClient;
+use ncl_serve::protocol::from_hex;
 use ncl_serve::server::{Server, ServerConfig};
 use ncl_serve::sync::ReplicaSync;
+use serde_json::Value;
 
 #[derive(PartialEq)]
 enum Role {
@@ -51,6 +63,9 @@ struct Args {
     cl_epochs: usize,
     pretrain_epochs: usize,
     seed: u64,
+    delta_ring: usize,
+    join: Option<String>,
+    bootstrap_from: Option<String>,
     quiet: bool,
 }
 
@@ -59,7 +74,8 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "usage: ncl-replica --role learner|follower [--port N] [--workers N] [--events N] \
          [--warmup N] [--novel-every N] [--pace-ms N] [--arrival-threshold N] [--cl-epochs N] \
-         [--pretrain-epochs N] [--seed N] [--quiet]"
+         [--pretrain-epochs N] [--seed N] [--delta-ring N] [--join ADDR] \
+         [--bootstrap-from ADDR] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -77,6 +93,9 @@ fn parse_args() -> Args {
         cl_epochs: 6,
         pretrain_epochs: 10,
         seed: 0x57EA4,
+        delta_ring: OnlineConfig::smoke().delta_ring,
+        join: None,
+        bootstrap_from: None,
         quiet: false,
     };
     let mut role_given = false;
@@ -112,12 +131,18 @@ fn parse_args() -> Args {
             "--cl-epochs" => args.cl_epochs = parse!("--cl-epochs"),
             "--pretrain-epochs" => args.pretrain_epochs = parse!("--pretrain-epochs"),
             "--seed" => args.seed = parse!("--seed"),
+            "--delta-ring" => args.delta_ring = parse!("--delta-ring"),
+            "--join" => args.join = Some(value("--join")),
+            "--bootstrap-from" => args.bootstrap_from = Some(value("--bootstrap-from")),
             "--quiet" => args.quiet = true,
             other => usage(&format!("unknown flag {other}")),
         }
     }
     if !role_given {
         usage("--role is required");
+    }
+    if args.role == Role::Learner && args.bootstrap_from.is_some() {
+        usage("--bootstrap-from is a follower flag (the learner's state comes from training)");
     }
     args
 }
@@ -130,29 +155,66 @@ fn main() {
     }
 }
 
+/// Fetches the fleet's current checkpoint bytes through the router's
+/// `checkpoint` relay (the cold-join bootstrap path).
+fn fetch_checkpoint(router: &str) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    let mut client = NclClient::connect(router)?;
+    let response = client.checkpoint()?;
+    if response.get("ok").and_then(Value::as_bool) != Some(true) {
+        let error = response
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("unrecognised response");
+        return Err(format!("checkpoint fetch via {router} failed: {error}").into());
+    }
+    let payload = response
+        .get("payload")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("checkpoint response from {router} carried no payload"))?;
+    Ok(from_hex(payload)?)
+}
+
+/// Registers this replica's serving address with a running router.
+fn join_fleet(router: &str, own_addr: &str, quiet: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let mut client = NclClient::connect(router)?;
+    let response = client.join(own_addr)?;
+    if response.get("ok").and_then(Value::as_bool) != Some(true) {
+        let error = response
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("unrecognised response");
+        return Err(format!("join via {router} failed: {error}").into());
+    }
+    if !quiet {
+        let id = response.get("id").and_then(Value::as_u64).unwrap_or(0);
+        println!("joined the fleet at {router} as replica {id}");
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let mut config = OnlineConfig::smoke();
     config.scenario.parallelism = args.workers.max(1);
     config.scenario.cl_epochs = args.cl_epochs.max(1);
     config.scenario.pretrain_epochs = args.pretrain_epochs.max(1);
     config.arrival_threshold = args.arrival_threshold;
+    config.delta_ring = args.delta_ring.max(1);
 
     // One metric registry per process; the `metrics` wire op serves it,
     // and the router merges it into the fleet exposition.
     let obs = Arc::new(ncl_obs::Registry::new());
 
-    // Every replica bootstraps the same state: the config digest pins
-    // the determinism-relevant fields, and bootstrap is a deterministic
-    // function of them.
-    let mut learner = OnlineLearner::bootstrap_with_obs(config.clone(), Arc::clone(&obs))?;
-    if !args.quiet {
-        println!(
-            "bootstrapped: {} classes at {:.1}% test accuracy, {} latent entries",
-            learner.known_classes().len(),
-            learner.pretrain_acc() * 100.0,
-            learner.buffer().len()
-        );
-    }
+    // The deterministic event stream. The learner ingests it directly;
+    // an elastic follower keeps it dormant so a promotion can continue
+    // it from the promoted checkpoint's cursor.
+    let stream = SampleStream::generate(&StreamConfig {
+        scenario: config.scenario.clone(),
+        warmup_events: args.warmup,
+        total_events: args.events,
+        novel_every: args.novel_every.max(1),
+        seed: args.seed,
+    })?;
+    let pace = Duration::from_millis(args.pace_ms);
 
     let server_config = ServerConfig {
         port: args.port,
@@ -160,10 +222,46 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     };
     match args.role {
         Role::Follower => {
-            let follower = Arc::new(FollowerReplica::new(learner.checkpoint()));
-            follower.register_into(&obs);
-            let registry = follower.registry();
-            let sync: Arc<dyn ReplicaSync> = follower;
+            let replica = if let Some(router) = &args.bootstrap_from {
+                // Cold join: adopt the fleet's current state instead of
+                // re-deriving the v1 bootstrap locally.
+                let payload = fetch_checkpoint(router)?;
+                let replica = ElasticReplica::from_checkpoint_bytes(
+                    config,
+                    &payload,
+                    stream,
+                    pace,
+                    Arc::clone(&obs),
+                )?;
+                if !args.quiet {
+                    println!(
+                        "bootstrapped from the fleet via {router}: {} B checkpoint, model v{}",
+                        payload.len(),
+                        replica.registry().version()
+                    );
+                }
+                Arc::new(replica)
+            } else {
+                let learner = OnlineLearner::bootstrap_with_obs(config.clone(), Arc::clone(&obs))?;
+                if !args.quiet {
+                    println!(
+                        "bootstrapped: {} classes at {:.1}% test accuracy, {} latent entries",
+                        learner.known_classes().len(),
+                        learner.pretrain_acc() * 100.0,
+                        learner.buffer().len()
+                    );
+                }
+                Arc::new(ElasticReplica::follower(
+                    config,
+                    learner.checkpoint(),
+                    stream,
+                    pace,
+                    Arc::clone(&obs),
+                )?)
+            };
+            replica.register_into(&obs);
+            let registry = replica.registry();
+            let sync: Arc<dyn ReplicaSync> = replica;
             let server =
                 Server::start_with_obs(registry, server_config, Some(sync), Arc::clone(&obs))?;
             println!(
@@ -171,10 +269,25 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 server.local_addr(),
                 server.registry().version()
             );
+            if let Some(router) = &args.join {
+                join_fleet(router, &server.local_addr().to_string(), args.quiet)?;
+            }
             server.wait();
         }
         Role::Learner => {
-            let publisher = Arc::new(DeltaPublisher::new(learner.checkpoint()));
+            let mut learner = OnlineLearner::bootstrap_with_obs(config.clone(), Arc::clone(&obs))?;
+            if !args.quiet {
+                println!(
+                    "bootstrapped: {} classes at {:.1}% test accuracy, {} latent entries",
+                    learner.known_classes().len(),
+                    learner.pretrain_acc() * 100.0,
+                    learner.buffer().len()
+                );
+            }
+            let publisher = Arc::new(DeltaPublisher::with_ring(
+                learner.checkpoint(),
+                config.delta_ring,
+            ));
             let sync: Arc<dyn ReplicaSync> = Arc::new(LearnerReplica::new(Arc::clone(&publisher)));
             let server = Server::start_with_obs(
                 learner.registry(),
@@ -187,14 +300,10 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 server.local_addr(),
                 learner.version()
             );
+            if let Some(router) = &args.join {
+                join_fleet(router, &server.local_addr().to_string(), args.quiet)?;
+            }
 
-            let stream = SampleStream::generate(&StreamConfig {
-                scenario: config.scenario.clone(),
-                warmup_events: args.warmup,
-                total_events: args.events,
-                novel_every: args.novel_every.max(1),
-                seed: args.seed,
-            })?;
             let delta_hist = obs.histogram(
                 "online_delta_bytes",
                 "Encoded size of published checkpoint deltas in bytes.",
@@ -211,7 +320,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     );
                 }
                 if args.pace_ms > 0 {
-                    std::thread::sleep(std::time::Duration::from_millis(args.pace_ms));
+                    std::thread::sleep(Duration::from_millis(args.pace_ms));
                 }
             }
             println!(

@@ -6,9 +6,15 @@
 //! survivors, and the built-in sync loop keeps followers converged on
 //! the learner's checkpoints by relaying KB-scale deltas.
 //!
+//! The fleet is elastic: replicas can `join`/`leave` over the wire, and
+//! `--failover-ticks N` sets how many consecutive learner-less sync
+//! ticks the router tolerates before promoting the most caught-up
+//! follower.
+//!
 //! ```sh
 //! ncl-router --backend ADDR [--backend ADDR ...]
 //!            [--port N] [--policy least-loaded|hash] [--sync-ms N]
+//!            [--failover-ticks N]
 //! ```
 
 use std::net::SocketAddr;
@@ -23,13 +29,14 @@ struct Args {
     backends: Vec<SocketAddr>,
     policy: DispatchPolicy,
     sync_ms: u64,
+    failover_ticks: u32,
 }
 
 fn usage(problem: &str) -> ! {
     eprintln!("ncl-router: {problem}");
     eprintln!(
         "usage: ncl-router --backend ADDR [--backend ADDR ...] [--port N] \
-         [--policy least-loaded|hash] [--sync-ms N]"
+         [--policy least-loaded|hash] [--sync-ms N] [--failover-ticks N]"
     );
     std::process::exit(2);
 }
@@ -40,6 +47,7 @@ fn parse_args() -> Args {
         backends: Vec::new(),
         policy: DispatchPolicy::LeastLoaded,
         sync_ms: 150,
+        failover_ticks: RouterConfig::default().failover_ticks,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -74,6 +82,11 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("--sync-ms must be an integer"));
             }
+            "--failover-ticks" => {
+                args.failover_ticks = value("--failover-ticks")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--failover-ticks must be an integer"));
+            }
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -97,6 +110,8 @@ fn main() {
             port: args.port,
             policy: args.policy,
             sync_interval: Duration::from_millis(args.sync_ms.max(10)),
+            failover_ticks: args.failover_ticks,
+            ..RouterConfig::default()
         },
     ) {
         Ok(router) => router,

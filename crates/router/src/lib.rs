@@ -26,19 +26,36 @@
 //!   exact version.
 //! * [`replica`] — the [`ncl_serve::ReplicaSync`] implementations the
 //!   `ncl-replica` binary mounts: [`replica::LearnerReplica`] (publishes
-//!   deltas) and [`replica::FollowerReplica`] (applies them).
+//!   deltas), [`replica::FollowerReplica`] (applies them), and
+//!   [`replica::ElasticReplica`] (a follower the router can promote to
+//!   learner over the wire).
+//! * [`membership`] — the live backend set behind the `join` / `leave`
+//!   / `members` wire ops: replicas can enter and exit a running fleet.
+//! * [`faults`] — a deterministic, seeded fault-injection plan threaded
+//!   under every backend transport; the chaos suite replays the exact
+//!   same failure schedule on every run.
+//!
+//! The fleet is **elastic**: membership changes over the wire, a
+//! sustained learner outage triggers promotion of the most caught-up
+//! follower under a bumped fleet epoch (see [`sync`]), and a returning
+//! deposed learner is demoted instead of split-braining.
 //!
 //! The `ncl-router` and `ncl-replica` binaries wrap this into
 //! processes; `ncl-router-bench` measures routing overhead, delta size
 //! vs full checkpoints, and propagation latency into
-//! `BENCH_router.json`.
+//! `BENCH_router.json`; `ncl-fleet-bench` measures failover and rejoin
+//! catch-up into `BENCH_fleet.json`.
 
 pub mod backend;
+pub mod faults;
+pub mod membership;
 pub mod replica;
 pub mod router;
 pub mod sync;
 
 pub use backend::Backend;
-pub use replica::{FollowerReplica, LearnerReplica};
+pub use faults::{FaultAction, FaultPlan, FaultRule};
+pub use membership::Membership;
+pub use replica::{ElasticReplica, FollowerReplica, LearnerReplica};
 pub use router::{DispatchPolicy, Router, RouterConfig};
 pub use sync::SyncStats;

@@ -16,13 +16,17 @@
 //!   version. Any mismatch reports an error precise enough for the
 //!   router to fall back to a full checkpoint.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use ncl_obs::{Counter, Log2Histogram, Registry};
 use ncl_online::checkpoint::Checkpoint;
+use ncl_online::daemon::{IngestOutcome, OnlineConfig, OnlineLearner};
 use ncl_online::delta::CheckpointDelta;
 use ncl_online::error::OnlineError;
 use ncl_online::publish::DeltaPublisher;
+use ncl_online::stream::SampleStream;
 use ncl_serve::error::ServeError;
 use ncl_serve::registry::ModelRegistry;
 use ncl_serve::sync::ReplicaSync;
@@ -33,6 +37,61 @@ fn repl(e: &OnlineError) -> ServeError {
     ServeError::Replication {
         detail: e.to_string(),
     }
+}
+
+/// Applies an encoded delta against `state`, hot-swapping `registry` —
+/// the one decode/check/swap sequence both follower flavors share.
+/// `state` only advances if the swap succeeded.
+fn apply_delta_to(
+    registry: &ModelRegistry,
+    state: &mut Checkpoint,
+    payload: &[u8],
+) -> Result<u64, ServeError> {
+    let delta = CheckpointDelta::from_bytes(payload).map_err(|e| repl(&e))?;
+    if delta.version <= state.version {
+        return Err(ServeError::StaleVersion {
+            current: state.version,
+            proposed: delta.version,
+        });
+    }
+    let next = delta.apply(state).map_err(|e| repl(&e))?;
+    // Swap first: if the registry refuses (shape/stale), the held
+    // state must not advance either.
+    let version = registry.swap_network_at(
+        next.network.clone(),
+        &format!("delta-v{}", next.version),
+        next.version,
+    )?;
+    *state = next;
+    Ok(version)
+}
+
+/// Applies an encoded full checkpoint against `state`, hot-swapping
+/// `registry` (the fallback path when no delta bridges the gap).
+fn apply_checkpoint_to(
+    registry: &ModelRegistry,
+    state: &mut Checkpoint,
+    payload: &[u8],
+) -> Result<u64, ServeError> {
+    let next = Checkpoint::from_bytes(payload).map_err(|e| repl(&e))?;
+    if next.config_digest != state.config_digest {
+        return Err(ServeError::Replication {
+            detail: "checkpoint from a differently-configured fleet".into(),
+        });
+    }
+    if next.version <= state.version {
+        return Err(ServeError::StaleVersion {
+            current: state.version,
+            proposed: next.version,
+        });
+    }
+    let version = registry.swap_network_at(
+        next.network.clone(),
+        &format!("checkpoint-v{}", next.version),
+        next.version,
+    )?;
+    *state = next;
+    Ok(version)
 }
 
 /// The learner's side of replication: serves deltas and checkpoints
@@ -188,26 +247,11 @@ impl ReplicaSync for FollowerReplica {
     }
 
     fn apply_delta(&self, payload: &[u8]) -> Result<u64, ServeError> {
-        let delta = CheckpointDelta::from_bytes(payload).map_err(|e| repl(&e))?;
         let mut state = self
             .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if delta.version <= state.version {
-            return Err(ServeError::StaleVersion {
-                current: state.version,
-                proposed: delta.version,
-            });
-        }
-        let next = delta.apply(&state).map_err(|e| repl(&e))?;
-        // Swap first: if the registry refuses (shape/stale), the held
-        // state must not advance either.
-        let version = self.registry.swap_network_at(
-            next.network.clone(),
-            &format!("delta-v{}", next.version),
-            next.version,
-        )?;
-        *state = next;
+        let version = apply_delta_to(&self.registry, &mut state, payload)?;
         self.deltas_applied.inc();
         self.apply_bytes.record(payload.len() as u64);
         Ok(version)
@@ -218,31 +262,463 @@ impl ReplicaSync for FollowerReplica {
     }
 
     fn apply_checkpoint(&self, payload: &[u8]) -> Result<u64, ServeError> {
-        let next = Checkpoint::from_bytes(payload).map_err(|e| repl(&e))?;
         let mut state = self
             .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if next.config_digest != state.config_digest {
-            return Err(ServeError::Replication {
-                detail: "checkpoint from a differently-configured fleet".into(),
-            });
-        }
-        if next.version <= state.version {
-            return Err(ServeError::StaleVersion {
-                current: state.version,
-                proposed: next.version,
-            });
-        }
-        let version = self.registry.swap_network_at(
-            next.network.clone(),
-            &format!("checkpoint-v{}", next.version),
-            next.version,
-        )?;
-        *state = next;
+        let version = apply_checkpoint_to(&self.registry, &mut state, payload)?;
         self.full_syncs.inc();
         self.apply_bytes.record(payload.len() as u64);
         Ok(version)
+    }
+}
+
+/// What an [`ElasticReplica`] currently is. The variants own exactly
+/// the state that differs between the roles; everything role-agnostic
+/// (registry, stream, config, counters) lives on the replica itself and
+/// survives role changes.
+enum RoleState {
+    /// Serving + applying: the mirrored fleet checkpoint (boxed to keep
+    /// the variants' footprints comparable).
+    Follower { state: Box<Checkpoint> },
+    /// Training + publishing: the delta ring, plus the handle and stop
+    /// flag of the internal ingest thread.
+    Learner {
+        publisher: Arc<DeltaPublisher>,
+        stop: Arc<AtomicBool>,
+        ingest: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+/// A replica that can change role over the wire — the member type of an
+/// elastic fleet.
+///
+/// It starts as a follower (mirroring a bootstrap [`Checkpoint`],
+/// applying deltas). On `promote` it resumes an [`OnlineLearner`] from
+/// its *currently applied* checkpoint — the crash-safe resume path,
+/// reached over the wire — and spawns an internal ingest thread that
+/// continues the deterministic sample stream from the checkpoint's
+/// cursor, publishing a delta after every increment. Because the stream
+/// and training are deterministic, the promoted replica publishes
+/// byte-for-byte the checkpoints the dead learner would have published,
+/// so survivors converge exactly as if nothing had failed.
+///
+/// On `demote` (a deposed learner rejoining a fleet that moved on) the
+/// ingest thread is stopped and joined, and the replica falls back to
+/// mirroring its last *published* checkpoint.
+///
+/// Every role change and fenced write goes through the replica's
+/// monotonic fleet-epoch fence: `promote` must strictly advance it,
+/// `demote` and stamped applies must not regress it.
+pub struct ElasticReplica {
+    config: OnlineConfig,
+    stream: SampleStream,
+    pace: Duration,
+    registry: Arc<ModelRegistry>,
+    obs: Arc<Registry>,
+    epoch: AtomicU64,
+    role: Mutex<RoleState>,
+    deltas_applied: Arc<Counter>,
+    full_syncs: Arc<Counter>,
+    apply_bytes: Arc<Log2Histogram>,
+    /// The error that stopped the ingest thread, if any (surfaced via
+    /// `health` — the thread itself must never panic).
+    ingest_error: Arc<Mutex<Option<String>>>,
+}
+
+impl ElasticReplica {
+    /// Builds an elastic replica in follower role from its bootstrap
+    /// checkpoint. `stream` and `pace` are dormant until a promotion:
+    /// they define the event stream a promoted learner continues.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Replication`] for an invalid config or a bootstrap
+    /// checkpoint from a differently-configured fleet (promotion would
+    /// fail late otherwise; refuse it early).
+    pub fn follower(
+        config: OnlineConfig,
+        initial: Checkpoint,
+        stream: SampleStream,
+        pace: Duration,
+        obs: Arc<Registry>,
+    ) -> Result<Self, ServeError> {
+        config.validate().map_err(|e| repl(&e))?;
+        if initial.config_digest != config.determinism_digest() {
+            return Err(ServeError::Replication {
+                detail: "bootstrap checkpoint from a differently-configured fleet".into(),
+            });
+        }
+        let registry = Arc::new(ModelRegistry::with_initial_version(
+            initial.network.clone(),
+            "bootstrap",
+            initial.version,
+        ));
+        Ok(ElasticReplica {
+            config,
+            stream,
+            pace,
+            registry,
+            obs,
+            epoch: AtomicU64::new(0),
+            role: Mutex::new(RoleState::Follower {
+                state: Box::new(initial),
+            }),
+            deltas_applied: Arc::new(Counter::new()),
+            full_syncs: Arc::new(Counter::new()),
+            apply_bytes: Arc::new(Log2Histogram::new()),
+            ingest_error: Arc::new(Mutex::new(None)),
+        })
+    }
+
+    /// [`ElasticReplica::follower`] from an encoded checkpoint — the
+    /// cold-join path: a new replica fetches the fleet's checkpoint
+    /// through the router and starts from these bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`ElasticReplica::follower`], plus decode failures.
+    pub fn from_checkpoint_bytes(
+        config: OnlineConfig,
+        payload: &[u8],
+        stream: SampleStream,
+        pace: Duration,
+        obs: Arc<Registry>,
+    ) -> Result<Self, ServeError> {
+        let initial = Checkpoint::from_bytes(payload).map_err(|e| repl(&e))?;
+        ElasticReplica::follower(config, initial, stream, pace, obs)
+    }
+
+    /// The registry this replica serves through (in both roles).
+    #[must_use]
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Exposes this replica's replication counters (same `replica_*`
+    /// families as a fixed-role follower; they keep counting across
+    /// role changes).
+    pub fn register_into(&self, registry: &Registry) {
+        let _ = registry.adopt_counter(
+            "replica_deltas_applied_total",
+            &[],
+            "Checkpoint deltas this follower applied.",
+            Arc::clone(&self.deltas_applied),
+        );
+        let _ = registry.adopt_counter(
+            "replica_full_syncs_total",
+            &[],
+            "Full-checkpoint resyncs this follower applied.",
+            Arc::clone(&self.full_syncs),
+        );
+        let _ = registry.adopt_histogram(
+            "replica_apply_bytes",
+            &[],
+            "Payload size of applied deltas and checkpoints in bytes.",
+            Arc::clone(&self.apply_bytes),
+        );
+    }
+
+    /// The fleet epoch this replica is fenced at.
+    #[must_use]
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The error that stopped a promoted learner's ingest thread, if
+    /// one occurred.
+    #[must_use]
+    pub fn ingest_error(&self) -> Option<String> {
+        self.ingest_error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// This replica's current full checkpoint encoding — the applied
+    /// state as a follower, the published state as a learner
+    /// (bit-identity checks in tests and benches).
+    #[must_use]
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let role = self
+            .role
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &*role {
+            RoleState::Follower { state } => state.to_bytes(),
+            RoleState::Learner { publisher, .. } => publisher.checkpoint_bytes(),
+        }
+    }
+}
+
+impl Drop for ElasticReplica {
+    fn drop(&mut self) {
+        // A promoted learner owns a live ingest thread; stop and join
+        // it so a dropped replica never leaves training running.
+        let mut role = self
+            .role
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let RoleState::Learner { stop, ingest, .. } = &mut *role {
+            stop.store(true, Ordering::Release);
+            if let Some(handle) = ingest.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The promoted learner's ingest loop: continue the deterministic
+/// stream from the resumed checkpoint's cursor, publish after every
+/// increment, stop on demand. Runs on its own thread; must never
+/// panic — failures park in `ingest_error` and end the loop.
+fn run_ingest(
+    mut learner: OnlineLearner,
+    stream: &SampleStream,
+    pace: Duration,
+    publisher: &DeltaPublisher,
+    stop: &AtomicBool,
+    ingest_error: &Mutex<Option<String>>,
+) {
+    let fail = |message: String| {
+        *ingest_error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(message);
+    };
+    let cursor = learner.cursor();
+    for event in stream.events_from(cursor) {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match learner.ingest(event) {
+            Ok(IngestOutcome::Increment(_)) => {
+                if let Err(e) = publisher.publish(learner.checkpoint()) {
+                    fail(format!("publishing an increment failed: {e}"));
+                    return;
+                }
+            }
+            Ok(_) => {}
+            Err(e) => {
+                fail(format!("ingest failed: {e}"));
+                return;
+            }
+        }
+        if !pace.is_zero() {
+            std::thread::sleep(pace);
+        }
+    }
+}
+
+impl ReplicaSync for ElasticReplica {
+    fn role(&self) -> &'static str {
+        let role = self
+            .role
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &*role {
+            RoleState::Follower { .. } => "follower",
+            RoleState::Learner { .. } => "learner",
+        }
+    }
+
+    fn health_extra(&self) -> Vec<(&'static str, Value)> {
+        let mut extra = vec![
+            ("elastic", Value::from(true)),
+            ("deltas_applied", Value::from(self.deltas_applied.get())),
+            ("full_syncs", Value::from(self.full_syncs.get())),
+        ];
+        let role = self
+            .role
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let RoleState::Learner { publisher, .. } = &*role {
+            extra.push(("published_version", Value::from(publisher.version())));
+        }
+        drop(role);
+        if let Some(message) = self.ingest_error() {
+            extra.push(("ingest_error", Value::from(message)));
+        }
+        extra
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn observe_epoch(&self, epoch: u64) -> Result<(), ServeError> {
+        // fetch_max adopts a newer epoch and reports the old fence in
+        // one atomic step.
+        let fenced = self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        if epoch < fenced {
+            return Err(ServeError::Replication {
+                detail: format!(
+                    "write fenced: stamped epoch {epoch} is behind fleet epoch {fenced}"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn promote(&self, epoch: u64) -> Result<u64, ServeError> {
+        let fenced = self.epoch.load(Ordering::Acquire);
+        if epoch <= fenced {
+            return Err(ServeError::Replication {
+                detail: format!("promotion epoch {epoch} does not advance the fence {fenced}"),
+            });
+        }
+        let mut role = self
+            .role
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &mut *role {
+            RoleState::Learner { publisher, .. } => {
+                // Already the learner; just adopt the newer epoch.
+                self.epoch.store(epoch, Ordering::Release);
+                Ok(publisher.version())
+            }
+            RoleState::Follower { state } => {
+                let learner = OnlineLearner::resume_into_registry_with_obs(
+                    self.config.clone(),
+                    (**state).clone(),
+                    Arc::clone(&self.registry),
+                    Arc::clone(&self.obs),
+                )
+                .map_err(|e| repl(&e))?;
+                let version = learner.version();
+                let publisher = Arc::new(DeltaPublisher::with_ring(
+                    learner.checkpoint(),
+                    self.config.delta_ring,
+                ));
+                let stop = Arc::new(AtomicBool::new(false));
+                let thread_stream = self.stream.clone();
+                let thread_publisher = Arc::clone(&publisher);
+                let thread_stop = Arc::clone(&stop);
+                let thread_error = Arc::clone(&self.ingest_error);
+                let pace = self.pace;
+                let ingest = std::thread::Builder::new()
+                    .name("ncl-elastic-ingest".into())
+                    .spawn(move || {
+                        run_ingest(
+                            learner,
+                            &thread_stream,
+                            pace,
+                            &thread_publisher,
+                            &thread_stop,
+                            &thread_error,
+                        );
+                    })
+                    .map_err(|e| ServeError::Replication {
+                        detail: format!("could not spawn the ingest thread: {e}"),
+                    })?;
+                *role = RoleState::Learner {
+                    publisher,
+                    stop,
+                    ingest: Some(ingest),
+                };
+                self.epoch.store(epoch, Ordering::Release);
+                Ok(version)
+            }
+        }
+    }
+
+    fn demote(&self, epoch: u64) -> Result<u64, ServeError> {
+        let fenced = self.epoch.load(Ordering::Acquire);
+        if epoch < fenced {
+            return Err(ServeError::Replication {
+                detail: format!("demotion epoch {epoch} is behind the fence {fenced}"),
+            });
+        }
+        let mut role = self
+            .role
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let version = match &mut *role {
+            RoleState::Follower { state } => state.version,
+            RoleState::Learner {
+                publisher,
+                stop,
+                ingest,
+            } => {
+                stop.store(true, Ordering::Release);
+                if let Some(handle) = ingest.take() {
+                    let _ = handle.join();
+                }
+                // Fall back to mirroring the last *published* state:
+                // that is what the fleet saw, and what deltas/full
+                // syncs from the new learner will be built against.
+                let state =
+                    Checkpoint::from_bytes(&publisher.checkpoint_bytes()).map_err(|e| repl(&e))?;
+                let version = state.version;
+                *role = RoleState::Follower {
+                    state: Box::new(state),
+                };
+                version
+            }
+        };
+        self.epoch.store(epoch, Ordering::Release);
+        Ok(version)
+    }
+
+    fn fetch_delta(&self, base_version: u64) -> Result<(u64, Vec<u8>), ServeError> {
+        let role = self
+            .role
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &*role {
+            RoleState::Follower { .. } => Err(ServeError::Replication {
+                detail: "followers do not publish deltas".into(),
+            }),
+            RoleState::Learner { publisher, .. } => {
+                publisher
+                    .delta_from(base_version)
+                    .ok_or_else(|| ServeError::Replication {
+                        detail: format!(
+                            "no retained delta from v{base_version} (published v{})",
+                            publisher.version()
+                        ),
+                    })
+            }
+        }
+    }
+
+    fn apply_delta(&self, payload: &[u8]) -> Result<u64, ServeError> {
+        let mut role = self
+            .role
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &mut *role {
+            RoleState::Learner { .. } => Err(ServeError::Replication {
+                detail: "the learner's state comes from training, not pushed deltas".into(),
+            }),
+            RoleState::Follower { state } => {
+                let version = apply_delta_to(&self.registry, state, payload)?;
+                self.deltas_applied.inc();
+                self.apply_bytes.record(payload.len() as u64);
+                Ok(version)
+            }
+        }
+    }
+
+    fn fetch_checkpoint(&self) -> Result<Vec<u8>, ServeError> {
+        Ok(self.checkpoint_bytes())
+    }
+
+    fn apply_checkpoint(&self, payload: &[u8]) -> Result<u64, ServeError> {
+        let mut role = self
+            .role
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &mut *role {
+            RoleState::Learner { .. } => Err(ServeError::Replication {
+                detail: "the learner's state comes from training, not pushed checkpoints".into(),
+            }),
+            RoleState::Follower { state } => {
+                let version = apply_checkpoint_to(&self.registry, state, payload)?;
+                self.full_syncs.inc();
+                self.apply_bytes.record(payload.len() as u64);
+                Ok(version)
+            }
+        }
     }
 }
 

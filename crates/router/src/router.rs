@@ -12,16 +12,18 @@
 
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ncl_obs::{exposition, Counter, Registry as ObsRegistry};
+use ncl_obs::{exposition, Counter, Gauge, Registry as ObsRegistry};
 use ncl_serve::error::ServeError;
 use ncl_serve::protocol::object;
 use serde_json::Value;
 
 use crate::backend::Backend;
+use crate::faults::FaultPlan;
+use crate::membership::Membership;
 use crate::sync::{sync_once, SyncStats};
 
 /// How `predict` picks a replica.
@@ -46,6 +48,13 @@ pub struct RouterConfig {
     pub policy: DispatchPolicy,
     /// Period of the health-probe + delta-propagation loop.
     pub sync_interval: Duration,
+    /// Consecutive sync ticks without a reachable current-epoch learner
+    /// before the router promotes the most caught-up healthy follower.
+    pub failover_ticks: u32,
+    /// Round-trip cap given to backends created by later `join` ops
+    /// (the initial fleet's backends keep whatever they were built
+    /// with).
+    pub backend_timeout: Duration,
 }
 
 impl Default for RouterConfig {
@@ -54,18 +63,29 @@ impl Default for RouterConfig {
             port: 0,
             policy: DispatchPolicy::LeastLoaded,
             sync_interval: Duration::from_millis(150),
+            failover_ticks: 5,
+            backend_timeout: Backend::DEFAULT_TIMEOUT,
         }
     }
 }
 
 pub(crate) struct RouterShared {
-    pub(crate) backends: Vec<Arc<Backend>>,
+    pub(crate) membership: Membership,
     pub(crate) policy: DispatchPolicy,
     pub(crate) stopping: AtomicBool,
     pub(crate) addr: SocketAddr,
     pub(crate) requests_ok: Arc<Counter>,
     pub(crate) requests_failed: Arc<Counter>,
     pub(crate) failovers: Arc<Counter>,
+    pub(crate) promotions: Arc<Counter>,
+    pub(crate) demotions: Arc<Counter>,
+    /// Highest fleet epoch observed or minted; mirrored on the
+    /// `router_epoch` gauge.
+    pub(crate) epoch: AtomicU64,
+    pub(crate) epoch_gauge: Arc<Gauge>,
+    pub(crate) failover_ticks: u32,
+    /// Consecutive sync ticks without a current-epoch learner.
+    pub(crate) learner_down_ticks: AtomicU32,
     pub(crate) sync: SyncStats,
     pub(crate) obs: Arc<ObsRegistry>,
 }
@@ -84,16 +104,37 @@ impl Router {
     ///
     /// Returns the bind error.
     pub fn start(backends: Vec<Arc<Backend>>, config: RouterConfig) -> std::io::Result<Router> {
+        Router::start_with_faults(backends, config, None)
+    }
+
+    /// [`Router::start`] with a fault plan threaded under every backend
+    /// round trip — the entry point of the deterministic chaos harness
+    /// (see [`crate::faults`]). Backends added later by `join` inherit
+    /// the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start_with_faults(
+        backends: Vec<Arc<Backend>>,
+        config: RouterConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<Router> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
         let obs = Arc::new(ObsRegistry::new());
         let sync = SyncStats::default();
         sync.register_into(&obs);
         for backend in &backends {
+            if let Some(plan) = &faults {
+                backend.arm_faults(Arc::clone(plan));
+            }
             backend.register_into(&obs);
         }
+        let membership = Membership::new(backends, config.backend_timeout, faults);
+        membership.register_into(&obs);
         let shared = Arc::new(RouterShared {
-            backends,
+            membership,
             policy: config.policy,
             stopping: AtomicBool::new(false),
             addr,
@@ -110,6 +151,23 @@ impl Router {
                 "Transport failures while relaying predicts (each fails over to the next \
                  candidate while one remains).",
             ),
+            promotions: obs.counter(
+                "router_promotions_total",
+                "Followers the router promoted to learner after a learner outage.",
+            ),
+            demotions: obs.counter(
+                "router_demotions_total",
+                "Learners the router demoted to follower (returning deposed learners and \
+                 duplicate claims).",
+            ),
+            epoch: AtomicU64::new(0),
+            epoch_gauge: obs.gauge(
+                "router_epoch",
+                "The fleet epoch: bumped on every promotion; writes stamped with an older \
+                 epoch are fenced off by replicas.",
+            ),
+            failover_ticks: config.failover_ticks.max(1),
+            learner_down_ticks: AtomicU32::new(0),
             sync,
             obs,
         });
@@ -127,7 +185,14 @@ impl Router {
             .spawn(move || {
                 while !sync_shared.stopping.load(Ordering::Acquire) {
                     sync_once(&sync_shared);
-                    std::thread::sleep(interval);
+                    // Sleep in short slices so shutdown is never
+                    // delayed by a long sync interval.
+                    let mut remaining = interval;
+                    while !remaining.is_zero() && !sync_shared.stopping.load(Ordering::Acquire) {
+                        let slice = remaining.min(Duration::from_millis(25));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
                 }
             })?;
         Ok(Router {
@@ -143,10 +208,29 @@ impl Router {
         self.shared.addr
     }
 
-    /// The fleet, for inspection.
+    /// A snapshot of the live fleet, for inspection (membership can
+    /// change under a running router; the snapshot cannot).
     #[must_use]
-    pub fn backends(&self) -> &[Arc<Backend>] {
-        &self.shared.backends
+    pub fn backends(&self) -> Vec<Arc<Backend>> {
+        self.shared.membership.snapshot()
+    }
+
+    /// The fleet epoch the router currently enforces.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Followers promoted to learner by the failover logic so far.
+    #[must_use]
+    pub fn promotions(&self) -> u64 {
+        self.shared.promotions.get()
+    }
+
+    /// Learners demoted to follower by the split-brain fence so far.
+    #[must_use]
+    pub fn demotions(&self) -> u64 {
+        self.shared.demotions.get()
     }
 
     /// Replication-loop counters.
@@ -287,6 +371,13 @@ fn handle_line(line: &str, shared: &RouterShared) -> (String, bool) {
         "stats" => stats_response(shared),
         "health" => health_response(shared),
         "metrics" => metrics_response(shared),
+        "join" => join_response(&request, shared),
+        "leave" => leave_response(&request, shared),
+        "members" => members_response(shared),
+        // Bootstrap/catch-up fetches from joining replicas: relayed to
+        // the current learner, so a cold follower needs to know one
+        // address (the router's), not the fleet topology.
+        "checkpoint" | "delta" => relay_to_learner(op, line, shared),
         "ping" => object(vec![
             ("ok", Value::from(true)),
             ("op", Value::from("pong")),
@@ -335,12 +426,19 @@ fn rendezvous_weight(id: u64, backend_id: usize) -> u64 {
 }
 
 /// Healthy replicas in dispatch-preference order for this request.
+///
+/// Least-loaded dispatch prefers the highest reported model version
+/// first: during a promotion or a catch-up window the fleet briefly
+/// serves mixed versions, and version preference keeps the client's
+/// observed `model_version` monotonic. In steady state every replica
+/// reports the same version and the order degenerates to pure
+/// least-loaded.
 fn dispatch_order(shared: &RouterShared, request: &Value) -> Vec<Arc<Backend>> {
     let mut healthy: Vec<Arc<Backend>> = shared
-        .backends
-        .iter()
+        .membership
+        .snapshot()
+        .into_iter()
         .filter(|b| b.is_healthy())
-        .map(Arc::clone)
         .collect();
     let key = request.get("id").and_then(Value::as_u64);
     match (shared.policy, key) {
@@ -348,10 +446,19 @@ fn dispatch_order(shared: &RouterShared, request: &Value) -> Vec<Arc<Backend>> {
             healthy.sort_by_key(|b| std::cmp::Reverse(rendezvous_weight(id, b.id)));
         }
         _ => {
-            healthy.sort_by_key(|b| (b.inflight(), b.id));
+            healthy.sort_by_key(|b| (std::cmp::Reverse(b.model_version()), b.inflight(), b.id));
         }
     }
     healthy
+}
+
+/// Extracts `"model_version":N` from a reply line without a full JSON
+/// parse — the dispatch hot path only needs this one number.
+fn version_of(line: &str) -> Option<u64> {
+    const KEY: &str = "\"model_version\":";
+    let rest = line[line.find(KEY)? + KEY.len()..].trim_start();
+    let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    rest[..digits].parse().ok()
 }
 
 /// Relays a predict line, failing over across healthy replicas on
@@ -371,6 +478,15 @@ fn relay_predict(line: &str, request: &Value, shared: &RouterShared) -> String {
     for backend in &order {
         match backend.request(line) {
             Ok(response) => {
+                // Fold the reply's model_version into the backend's
+                // cache *before* the client sees the reply: the
+                // client's next request then dispatches against a
+                // cache that already knows this version, so version-
+                // preferring order keeps its observations monotonic
+                // even inside the probe interval.
+                if let Some(version) = version_of(&response) {
+                    backend.observe_version(version);
+                }
                 shared.requests_ok.inc();
                 return response;
             }
@@ -390,8 +506,131 @@ fn relay_predict(line: &str, request: &Value, shared: &RouterShared) -> String {
     )
 }
 
+/// Adds `addr` to the live fleet (idempotent per address) and probes it
+/// immediately so it can enter dispatch without waiting a sync tick.
+fn join_response(request: &Value, shared: &RouterShared) -> String {
+    let Some(addr) = request.get("addr").and_then(Value::as_str) else {
+        shared.requests_failed.inc();
+        return error_line(
+            None,
+            &ServeError::InvalidRequest {
+                detail: "join needs an \"addr\" string".into(),
+            },
+        );
+    };
+    let Ok(addr) = addr.parse::<SocketAddr>() else {
+        shared.requests_failed.inc();
+        return error_line(
+            None,
+            &ServeError::InvalidRequest {
+                detail: format!("join addr {addr:?} is not a socket address"),
+            },
+        );
+    };
+    let (backend, fresh) = shared.membership.join(addr, &shared.obs);
+    backend.probe_health();
+    shared.requests_ok.inc();
+    object(vec![
+        ("ok", Value::from(true)),
+        ("op", Value::from("join")),
+        ("id", Value::from(backend.id as u64)),
+        ("addr", Value::from(addr.to_string())),
+        ("healthy", Value::from(backend.is_healthy())),
+        ("already_member", Value::from(!fresh)),
+        ("epoch", Value::from(shared.epoch.load(Ordering::Acquire))),
+    ])
+    .to_json()
+}
+
+/// Removes backend `id` from the live fleet.
+fn leave_response(request: &Value, shared: &RouterShared) -> String {
+    let Some(id) = request.get("id").and_then(Value::as_u64) else {
+        shared.requests_failed.inc();
+        return error_line(
+            None,
+            &ServeError::InvalidRequest {
+                detail: "leave needs a numeric \"id\"".into(),
+            },
+        );
+    };
+    match shared.membership.leave(id as usize) {
+        Some(removed) => {
+            shared.requests_ok.inc();
+            object(vec![
+                ("ok", Value::from(true)),
+                ("op", Value::from("leave")),
+                ("id", Value::from(id)),
+                ("addr", Value::from(removed.addr.to_string())),
+            ])
+            .to_json()
+        }
+        None => {
+            shared.requests_failed.inc();
+            error_line(
+                None,
+                &ServeError::InvalidRequest {
+                    detail: format!("no backend with id {id}"),
+                },
+            )
+        }
+    }
+}
+
+/// The live fleet as status rows, plus the epoch clients should expect
+/// on fenced ops.
+fn members_response(shared: &RouterShared) -> String {
+    shared.requests_ok.inc();
+    object(vec![
+        ("ok", Value::from(true)),
+        ("op", Value::from("members")),
+        ("epoch", Value::from(shared.epoch.load(Ordering::Acquire))),
+        ("members", replicas_table(shared)),
+    ])
+    .to_json()
+}
+
+/// Relays a replication fetch (`checkpoint`/`delta`) to the current
+/// healthy learner — the path a cold or lagging replica uses to
+/// bootstrap through the router.
+fn relay_to_learner(op: &str, line: &str, shared: &RouterShared) -> String {
+    let backends = shared.membership.snapshot();
+    let learner = backends
+        .iter()
+        .filter(|b| b.is_healthy() && b.role() == "learner")
+        .min_by_key(|b| b.id);
+    let Some(learner) = learner else {
+        shared.requests_failed.inc();
+        return error_line(
+            None,
+            &ServeError::Replication {
+                detail: format!("no healthy learner to answer {op}"),
+            },
+        );
+    };
+    match learner.request(line) {
+        Ok(response) => {
+            shared.requests_ok.inc();
+            response
+        }
+        Err(e) => {
+            shared.requests_failed.inc();
+            error_line(
+                None,
+                &ServeError::Replication {
+                    detail: format!("the learner did not answer {op}: {e}"),
+                },
+            )
+        }
+    }
+}
+
 fn replicas_table(shared: &RouterShared) -> Value {
-    shared.backends.iter().map(|b| b.status()).collect()
+    shared
+        .membership
+        .snapshot()
+        .iter()
+        .map(|b| b.status())
+        .collect()
 }
 
 fn stats_response(shared: &RouterShared) -> String {
@@ -402,7 +641,7 @@ fn stats_response(shared: &RouterShared) -> String {
     // transport error — silence would read as "healthy, zero traffic".
     let mut model = Value::Null;
     let mut replicas: Vec<Value> = Vec::new();
-    for backend in &shared.backends {
+    for backend in &shared.membership.snapshot() {
         let probe = backend.request(r#"{"op":"stats"}"#);
         let mut status = backend.status();
         match probe {
@@ -434,6 +673,11 @@ fn stats_response(shared: &RouterShared) -> String {
                 ("requests_ok", Value::from(shared.requests_ok.get())),
                 ("requests_failed", Value::from(shared.requests_failed.get())),
                 ("failovers", Value::from(shared.failovers.get())),
+                ("promotions", Value::from(shared.promotions.get())),
+                ("demotions", Value::from(shared.demotions.get())),
+                ("epoch", Value::from(shared.epoch.load(Ordering::Acquire))),
+                ("joins", Value::from(shared.membership.joins())),
+                ("leaves", Value::from(shared.membership.leaves())),
                 ("routed", Value::from(true)),
             ]),
         ),
@@ -450,7 +694,7 @@ fn stats_response(shared: &RouterShared) -> String {
 /// so an unreachable replica shows up as a 0 instead of vanishing.
 fn metrics_response(shared: &RouterShared) -> String {
     let mut replica_sections: Vec<String> = Vec::new();
-    for backend in &shared.backends {
+    for backend in &shared.membership.snapshot() {
         let scraped = backend
             .request(r#"{"op":"metrics"}"#)
             .ok()
@@ -484,12 +728,14 @@ fn metrics_response(shared: &RouterShared) -> String {
 }
 
 fn health_response(shared: &RouterShared) -> String {
-    let healthy = shared.backends.iter().filter(|b| b.is_healthy()).count();
+    let backends = shared.membership.snapshot();
+    let healthy = backends.iter().filter(|b| b.is_healthy()).count();
     object(vec![
         ("ok", Value::from(true)),
         ("op", Value::from("health")),
         ("role", Value::from("router")),
-        ("replicas_total", Value::from(shared.backends.len() as u64)),
+        ("epoch", Value::from(shared.epoch.load(Ordering::Acquire))),
+        ("replicas_total", Value::from(backends.len() as u64)),
         ("replicas_healthy", Value::from(healthy as u64)),
         ("replicas", replicas_table(shared)),
         ("sync", shared.sync.snapshot()),
@@ -500,6 +746,20 @@ fn health_response(shared: &RouterShared) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn version_of_scans_replies_without_parsing() {
+        assert_eq!(
+            version_of(r#"{"ok":true,"prediction":2,"model_version":17}"#),
+            Some(17)
+        );
+        assert_eq!(
+            version_of(r#"{"ok":true,"model_version": 3,"x":1}"#),
+            Some(3)
+        );
+        assert_eq!(version_of(r#"{"ok":false,"error":"nope"}"#), None);
+        assert_eq!(version_of(r#"{"model_version":}"#), None);
+    }
 
     #[test]
     fn rendezvous_weights_are_stable_and_spread() {

@@ -15,6 +15,13 @@
 //! unaware of each other: a replica only answers its own wire ops,
 //! which keeps fleet topology (who replicates from whom) in exactly one
 //! place.
+//!
+//! The loop also owns **failover**: when no healthy current-epoch
+//! learner answers for [`crate::router::RouterConfig::failover_ticks`]
+//! consecutive ticks, the most caught-up healthy follower is promoted
+//! under a bumped fleet epoch. Every apply and role change carries that
+//! epoch; a deposed learner that comes back reports an older epoch and
+//! is demoted instead of split-braining the fleet.
 
 use std::sync::Arc;
 
@@ -112,17 +119,19 @@ fn apply_succeeded(response: &str) -> bool {
 }
 
 /// Brings `follower` up to the learner's version: delta first, full
-/// checkpoint on any failure. Returns whether the follower advanced.
-fn propagate(learner: &Backend, follower: &Backend, stats: &SyncStats) -> bool {
+/// checkpoint on any failure. Applies carry the fleet `epoch`, so a
+/// replica fenced at a newer epoch refuses them (split-brain safety).
+/// Returns whether the follower advanced.
+fn propagate(learner: &Backend, follower: &Backend, epoch: u64, stats: &SyncStats) -> bool {
     let follower_version = follower.model_version();
     // The delta path: ask the learner for exactly this follower's gap.
     if let Ok(response) = learner.request(&format!(
         r#"{{"op":"delta","base_version":{follower_version}}}"#
     )) {
         if let Some((_, payload)) = ok_payload(&response) {
-            if let Ok(apply) =
-                follower.request(&format!(r#"{{"op":"apply_delta","payload":"{payload}"}}"#))
-            {
+            if let Ok(apply) = follower.request(&format!(
+                r#"{{"op":"apply_delta","payload":"{payload}","epoch":{epoch}}}"#
+            )) {
                 if apply_succeeded(&apply) {
                     stats.deltas_applied.inc();
                     follower.probe_health();
@@ -135,7 +144,7 @@ fn propagate(learner: &Backend, follower: &Backend, stats: &SyncStats) -> bool {
     if let Ok(response) = learner.request(r#"{"op":"checkpoint"}"#) {
         if let Some((_, payload)) = ok_payload(&response) {
             if let Ok(apply) = follower.request(&format!(
-                r#"{{"op":"apply_checkpoint","payload":"{payload}"}}"#
+                r#"{{"op":"apply_checkpoint","payload":"{payload}","epoch":{epoch}}}"#
             )) {
                 if apply_succeeded(&apply) {
                     stats.full_syncs.inc();
@@ -149,26 +158,110 @@ fn propagate(learner: &Backend, follower: &Backend, stats: &SyncStats) -> bool {
     false
 }
 
-/// One pass of the loop: probe everyone, then propagate to laggards.
+/// Whether a role-change response is a protocol-level success.
+fn response_ok(response: &str) -> bool {
+    serde_json::from_str(response)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Value::as_bool))
+        == Some(true)
+}
+
+/// Stores + publishes the fleet epoch.
+fn set_epoch(shared: &RouterShared, epoch: u64) {
+    shared
+        .epoch
+        .store(epoch, std::sync::atomic::Ordering::Release);
+    shared.epoch_gauge.set(epoch as i64);
+}
+
+/// Steps a stale or duplicate learner down to follower under `epoch`.
+fn demote(backend: &Backend, epoch: u64, shared: &RouterShared) {
+    if let Ok(response) = backend.request(&format!(r#"{{"op":"demote","epoch":{epoch}}}"#)) {
+        if response_ok(&response) {
+            shared.demotions.inc();
+            backend.probe_health();
+        }
+    }
+}
+
+/// One pass of the loop: probe everyone, elect/fence the learner,
+/// promote on a sustained learner outage, then propagate to laggards.
 pub(crate) fn sync_once(shared: &RouterShared) {
+    use std::sync::atomic::Ordering;
+
     shared.sync.ticks.inc();
-    for backend in &shared.backends {
+    let backends = shared.membership.snapshot();
+    for backend in &backends {
         backend.probe_health();
     }
-    let learner: Option<&Arc<Backend>> = shared
-        .backends
-        .iter()
-        .filter(|b| b.is_healthy() && b.role() == "learner")
-        .min_by_key(|b| b.id);
-    let Some(learner) = learner else { return };
-    let learner_version = learner.model_version();
-    for follower in &shared.backends {
-        if follower.id == learner.id
-            || !follower.is_healthy()
-            || follower.model_version() >= learner_version
-        {
+
+    // Adopt the highest epoch any healthy replica has observed — the
+    // router may have restarted with an older view than the fleet.
+    let mut fleet_epoch = shared.epoch.load(Ordering::Acquire);
+    for backend in &backends {
+        if backend.is_healthy() {
+            fleet_epoch = fleet_epoch.max(backend.epoch());
+        }
+    }
+    set_epoch(shared, fleet_epoch);
+
+    // Learner election: among healthy replicas claiming the role at the
+    // current epoch, the lowest id wins. A learner fenced at an older
+    // epoch is a returning deposed learner — demote it instead of
+    // letting it split-brain; a duplicate current-epoch claim steps
+    // down too.
+    let mut learner: Option<&Arc<Backend>> = None;
+    for backend in &backends {
+        if !backend.is_healthy() || backend.role() != "learner" {
             continue;
         }
-        propagate(learner, follower, &shared.sync);
+        if backend.epoch() < fleet_epoch || learner.is_some() {
+            demote(backend, fleet_epoch, shared);
+        } else {
+            learner = Some(backend);
+        }
+    }
+
+    match learner {
+        Some(learner) => {
+            shared.learner_down_ticks.store(0, Ordering::Release);
+            let learner_version = learner.model_version();
+            for follower in &backends {
+                if follower.id == learner.id
+                    || !follower.is_healthy()
+                    || follower.model_version() >= learner_version
+                {
+                    continue;
+                }
+                propagate(learner, follower, fleet_epoch, &shared.sync);
+            }
+        }
+        None => {
+            // No reachable current-epoch learner. After enough
+            // consecutive learner-less ticks, promote the most
+            // caught-up healthy follower under a bumped epoch; its
+            // resumed publishing is deterministic from its last applied
+            // checkpoint, so survivors converge bit-identically.
+            let down = shared.learner_down_ticks.fetch_add(1, Ordering::AcqRel) + 1;
+            if down < shared.failover_ticks {
+                return;
+            }
+            let candidate = backends
+                .iter()
+                .filter(|b| b.is_healthy() && b.role() == "follower")
+                .max_by_key(|b| (b.model_version(), std::cmp::Reverse(b.id)));
+            let Some(candidate) = candidate else { return };
+            let next_epoch = fleet_epoch + 1;
+            if let Ok(response) =
+                candidate.request(&format!(r#"{{"op":"promote","epoch":{next_epoch}}}"#))
+            {
+                if response_ok(&response) {
+                    shared.promotions.inc();
+                    set_epoch(shared, next_epoch);
+                    shared.learner_down_ticks.store(0, Ordering::Release);
+                    candidate.probe_health();
+                }
+            }
+        }
     }
 }

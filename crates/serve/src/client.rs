@@ -272,6 +272,69 @@ impl NclClient {
         .to_json();
         self.round_trip(&line)
     }
+
+    /// Promotes the replica to the fleet's learner under a new fleet
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn promote(&mut self, epoch: u64) -> std::io::Result<Value> {
+        let line = protocol::object(vec![
+            ("op", Value::from("promote")),
+            ("epoch", Value::from(epoch)),
+        ])
+        .to_json();
+        self.round_trip(&line)
+    }
+
+    /// Demotes the replica back to a follower under `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn demote(&mut self, epoch: u64) -> std::io::Result<Value> {
+        let line = protocol::object(vec![
+            ("op", Value::from("demote")),
+            ("epoch", Value::from(epoch)),
+        ])
+        .to_json();
+        self.round_trip(&line)
+    }
+
+    /// Registers a replica address with the router (router op).
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn join(&mut self, addr: &str) -> std::io::Result<Value> {
+        let line = protocol::object(vec![
+            ("op", Value::from("join")),
+            ("addr", Value::from(addr)),
+        ])
+        .to_json();
+        self.round_trip(&line)
+    }
+
+    /// Deregisters backend `id` from the router (router op).
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn leave(&mut self, id: u64) -> std::io::Result<Value> {
+        let line =
+            protocol::object(vec![("op", Value::from("leave")), ("id", Value::from(id))]).to_json();
+        self.round_trip(&line)
+    }
+
+    /// Lists the router's current backends (router op).
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn members(&mut self) -> std::io::Result<Value> {
+        self.round_trip(r#"{"op":"members"}"#)
+    }
 }
 
 #[cfg(test)]

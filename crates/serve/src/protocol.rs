@@ -16,6 +16,11 @@
 //! | `{"op":"apply_delta","payload":"<hex>"}` | `{"ok":true,"op":"apply_delta","model_version":4}` |
 //! | `{"op":"checkpoint"}` | `{"ok":true,"op":"checkpoint","payload":"<hex>"}` |
 //! | `{"op":"apply_checkpoint","payload":"<hex>"}` | `{"ok":true,"op":"apply_checkpoint","model_version":4}` |
+//! | `{"op":"promote","epoch":2}` | `{"ok":true,"op":"promote","epoch":2,"model_version":4}` |
+//! | `{"op":"demote","epoch":2}` | `{"ok":true,"op":"demote","epoch":2,"model_version":4}` |
+//! | `{"op":"join","addr":"127.0.0.1:7101"}` | `{"ok":true,"op":"join","id":3}` (router only) |
+//! | `{"op":"leave","id":3}` | `{"ok":true,"op":"leave","id":3}` (router only) |
+//! | `{"op":"members"}` | `{"ok":true,"op":"members","members":[...]}` (router only) |
 //!
 //! `input` is the spike raster as one array per timestep listing the
 //! active input-neuron indices at that step. Failures answer
@@ -23,10 +28,16 @@
 //! only `shutdown` (or client EOF) closes it.
 //!
 //! The replication ops (`health`, `delta`, `apply_delta`, `checkpoint`,
-//! `apply_checkpoint`) are answered only by replicas started with a
-//! [`crate::sync::ReplicaSync`] handler; a plain `ncl-serve` process
-//! declines them with a replication error. Binary payloads travel as
-//! lowercase hex — bulky, but dependency-free and line-safe.
+//! `apply_checkpoint`, `promote`, `demote`) are answered only by
+//! replicas started with a [`crate::sync::ReplicaSync`] handler; a
+//! plain `ncl-serve` process declines them with a replication error.
+//! The membership ops (`join`, `leave`, `members`) are answered by the
+//! router alone — a replica parses them but declines, so a misdirected
+//! join fails loudly instead of half-registering. The apply and
+//! role-change ops optionally carry the fleet `epoch` that stamps them;
+//! a replica fenced at a newer epoch refuses the stale write. Binary
+//! payloads travel as lowercase hex — bulky, but dependency-free and
+//! line-safe.
 
 use std::collections::BTreeMap;
 
@@ -74,6 +85,8 @@ pub enum Request {
     DeltaApply {
         /// The `ncl_online::delta` encoding.
         payload: Vec<u8>,
+        /// The fleet epoch stamping this write (`None` = unfenced).
+        epoch: Option<u64>,
     },
     /// Fetch the full checkpoint (delta fallback path).
     CheckpointFetch,
@@ -81,7 +94,32 @@ pub enum Request {
     CheckpointApply {
         /// The `ncl_online::checkpoint` encoding.
         payload: Vec<u8>,
+        /// The fleet epoch stamping this write (`None` = unfenced).
+        epoch: Option<u64>,
     },
+    /// Promote this replica to the fleet's learner at `epoch`.
+    Promote {
+        /// The new fleet epoch the promotion establishes.
+        epoch: u64,
+    },
+    /// Demote this replica to a follower under `epoch` (split-brain
+    /// fencing: a returning old learner steps down).
+    Demote {
+        /// The fleet epoch forcing the demotion.
+        epoch: u64,
+    },
+    /// Register a replica with the router (router-only op).
+    Join {
+        /// The joining replica's serve address, e.g. `127.0.0.1:7101`.
+        addr: String,
+    },
+    /// Deregister a replica from the router (router-only op).
+    Leave {
+        /// The backend id the router assigned at join.
+        id: u64,
+    },
+    /// List the router's current backends (router-only op).
+    Members,
 }
 
 /// Renders bytes as lowercase hex (the wire form of binary payloads —
@@ -199,11 +237,36 @@ pub fn parse_request(line: &str, input_size: usize) -> Result<Request, ServeErro
         }
         "apply_delta" => Ok(Request::DeltaApply {
             payload: payload_field(&value, "apply_delta")?,
+            epoch: value.get("epoch").and_then(Value::as_u64),
         }),
         "checkpoint" => Ok(Request::CheckpointFetch),
         "apply_checkpoint" => Ok(Request::CheckpointApply {
             payload: payload_field(&value, "apply_checkpoint")?,
+            epoch: value.get("epoch").and_then(Value::as_u64),
         }),
+        "promote" => Ok(Request::Promote {
+            epoch: epoch_field(&value, "promote")?,
+        }),
+        "demote" => Ok(Request::Demote {
+            epoch: epoch_field(&value, "demote")?,
+        }),
+        "join" => {
+            let addr = value
+                .get("addr")
+                .and_then(Value::as_str)
+                .ok_or_else(|| invalid("join needs \"addr\""))?;
+            Ok(Request::Join {
+                addr: addr.to_owned(),
+            })
+        }
+        "leave" => {
+            let id = value
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| invalid("leave needs \"id\""))?;
+            Ok(Request::Leave { id })
+        }
+        "members" => Ok(Request::Members),
         other => Err(invalid(format!("unknown op {other:?}"))),
     }
 }
@@ -215,6 +278,14 @@ fn payload_field(value: &Value, op: &str) -> Result<Vec<u8>, ServeError> {
         .and_then(Value::as_str)
         .ok_or_else(|| invalid(format!("{op} needs \"payload\" (hex)")))?;
     from_hex(hex)
+}
+
+/// Extracts the mandatory `epoch` field of a role-change op.
+fn epoch_field(value: &Value, op: &str) -> Result<u64, ServeError> {
+    value
+        .get("epoch")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| invalid(format!("{op} needs \"epoch\"")))
 }
 
 /// Builds a JSON object from key/value pairs (insertion into the sorted
@@ -347,7 +418,15 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"op":"apply_delta","payload":"00ffA5"}"#, 4).unwrap(),
             Request::DeltaApply {
-                payload: vec![0x00, 0xFF, 0xA5]
+                payload: vec![0x00, 0xFF, 0xA5],
+                epoch: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"apply_delta","payload":"00","epoch":3}"#, 4).unwrap(),
+            Request::DeltaApply {
+                payload: vec![0x00],
+                epoch: Some(3)
             }
         );
         assert_eq!(
@@ -356,8 +435,51 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"op":"apply_checkpoint","payload":""}"#, 4).unwrap(),
-            Request::CheckpointApply { payload: vec![] }
+            Request::CheckpointApply {
+                payload: vec![],
+                epoch: None
+            }
         );
+    }
+
+    #[test]
+    fn parses_membership_and_role_ops() {
+        assert_eq!(
+            parse_request(r#"{"op":"join","addr":"127.0.0.1:7101"}"#, 4).unwrap(),
+            Request::Join {
+                addr: "127.0.0.1:7101".into()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"leave","id":3}"#, 4).unwrap(),
+            Request::Leave { id: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"members"}"#, 4).unwrap(),
+            Request::Members
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"promote","epoch":2}"#, 4).unwrap(),
+            Request::Promote { epoch: 2 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"demote","epoch":5}"#, 4).unwrap(),
+            Request::Demote { epoch: 5 }
+        );
+        for line in [
+            r#"{"op":"join"}"#,
+            r#"{"op":"leave"}"#,
+            r#"{"op":"promote"}"#,
+            r#"{"op":"demote"}"#,
+        ] {
+            assert!(
+                matches!(
+                    parse_request(line, 4),
+                    Err(ServeError::InvalidRequest { .. })
+                ),
+                "{line} should be rejected"
+            );
+        }
     }
 
     #[test]

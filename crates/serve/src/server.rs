@@ -331,9 +331,10 @@ fn handle_line(line: &str, shared: &Shared) -> (String, bool) {
                 Err(e) => protocol::error_response(None, &e),
             }
         }
-        Request::DeltaApply { payload } => {
-            replication_apply(shared, "apply_delta", |s| s.apply_delta(&payload))
-        }
+        Request::DeltaApply { payload, epoch } => replication_apply(shared, "apply_delta", |s| {
+            observe_epoch(s, epoch)?;
+            s.apply_delta(&payload)
+        }),
         Request::CheckpointFetch => match sync_handler(shared).and_then(|s| s.fetch_checkpoint()) {
             Ok(bytes) => protocol::object(vec![
                 ("ok", Value::from(true)),
@@ -343,8 +344,23 @@ fn handle_line(line: &str, shared: &Shared) -> (String, bool) {
             .to_json(),
             Err(e) => protocol::error_response(None, &e),
         },
-        Request::CheckpointApply { payload } => {
-            replication_apply(shared, "apply_checkpoint", |s| s.apply_checkpoint(&payload))
+        Request::CheckpointApply { payload, epoch } => {
+            replication_apply(shared, "apply_checkpoint", |s| {
+                observe_epoch(s, epoch)?;
+                s.apply_checkpoint(&payload)
+            })
+        }
+        Request::Promote { epoch } => role_change(shared, "promote", epoch, |s| s.promote(epoch)),
+        Request::Demote { epoch } => role_change(shared, "demote", epoch, |s| s.demote(epoch)),
+        Request::Join { .. } | Request::Leave { .. } | Request::Members => {
+            protocol::error_response(
+                None,
+                &ServeError::Replication {
+                    detail: "membership ops (join/leave/members) are answered by the router, \
+                             not a replica"
+                        .into(),
+                },
+            )
         }
     };
     let stop = shared.stopping.load(Ordering::Acquire);
@@ -363,6 +379,34 @@ fn predict(
 /// The replication handler, or the standard decline error.
 fn sync_handler(shared: &Shared) -> Result<&Arc<dyn ReplicaSync>, ServeError> {
     shared.sync.as_ref().ok_or_else(not_replicating)
+}
+
+/// Fences a write stamped with a fleet epoch (unstamped writes pass —
+/// pre-elastic peers keep working).
+fn observe_epoch(sync: &Arc<dyn ReplicaSync>, epoch: Option<u64>) -> Result<(), ServeError> {
+    match epoch {
+        Some(epoch) => sync.observe_epoch(epoch),
+        None => Ok(()),
+    }
+}
+
+/// Runs a role-change op (`promote`/`demote`) and renders the response.
+fn role_change(
+    shared: &Shared,
+    op: &str,
+    epoch: u64,
+    change: impl FnOnce(&Arc<dyn ReplicaSync>) -> Result<u64, ServeError>,
+) -> String {
+    match sync_handler(shared).and_then(change) {
+        Ok(version) => protocol::object(vec![
+            ("ok", Value::from(true)),
+            ("op", Value::from(op)),
+            ("epoch", Value::from(epoch)),
+            ("model_version", Value::from(version)),
+        ])
+        .to_json(),
+        Err(e) => protocol::error_response(None, &e),
+    }
 }
 
 /// Runs a replication apply op (delta or checkpoint) and renders the
@@ -403,6 +447,7 @@ fn health_response(shared: &Shared) -> String {
         ),
     ];
     if let Some(sync) = &shared.sync {
+        pairs.push(("epoch", Value::from(sync.epoch())));
         pairs.extend(sync.health_extra());
     }
     protocol::object(pairs).to_json()

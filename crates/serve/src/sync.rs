@@ -67,6 +67,60 @@ pub trait ReplicaSync: Send + Sync {
     /// [`ServeError::Replication`] for undecodable/foreign checkpoints
     /// and [`ServeError::StaleVersion`] for non-advancing ones.
     fn apply_checkpoint(&self, payload: &[u8]) -> Result<u64, ServeError>;
+
+    /// The fleet epoch this replica last observed. Epochs fence
+    /// split-brain: every promotion bumps the fleet epoch, and a
+    /// replica refuses writes and role changes stamped with an older
+    /// one. Replicas that predate elasticity report 0 (unfenced).
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// Observes the fleet epoch stamped on an incoming write, adopting
+    /// it if newer.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Replication`] if `epoch` is older than the one
+    /// this replica is fenced at — the write comes from a deposed
+    /// learner and must not be applied.
+    fn observe_epoch(&self, epoch: u64) -> Result<(), ServeError> {
+        let _ = epoch;
+        Ok(())
+    }
+
+    /// Promotes this replica to the fleet's learner under a new fleet
+    /// epoch, returning the model version it resumes publishing from.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Replication`] if this replica cannot change role
+    /// (the default: fixed-role replicas) or `epoch` does not advance
+    /// the one it is fenced at.
+    fn promote(&self, epoch: u64) -> Result<u64, ServeError> {
+        let _ = epoch;
+        Err(fixed_role())
+    }
+
+    /// Demotes this replica to a follower under `epoch` (the
+    /// split-brain path: a returning old learner steps down), returning
+    /// its model version.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Replication`] if this replica cannot change role
+    /// or `epoch` is older than the one it is fenced at.
+    fn demote(&self, epoch: u64) -> Result<u64, ServeError> {
+        let _ = epoch;
+        Err(fixed_role())
+    }
+}
+
+/// The error fixed-role replicas answer `promote`/`demote` with.
+fn fixed_role() -> ServeError {
+    ServeError::Replication {
+        detail: "this replica has a fixed role and cannot be promoted or demoted".into(),
+    }
 }
 
 /// The error every replication op gets on a server with no handler.

@@ -180,11 +180,74 @@ def check_router(r, path):
     )
 
 
+def check_fleet(r, path):
+    ensure(r["bench"] == "fleet", f"{path}: bench kind is not fleet")
+    require_keys(
+        r,
+        ("replicas", "failover", "background", "survivors_bit_identical", "rejoin"),
+        path,
+    )
+    ensure(r["replicas"] >= 3, f"{path}: failover needs at least 3 replicas")
+    fo = r["failover"]
+    require_keys(
+        fo,
+        ("rounds", "detection_to_promotion_ms", "p50_ms", "promotions", "demotions", "final_epoch"),
+        f"{path}:failover",
+    )
+    ensure(fo["rounds"] >= 1, f"{path}: no failover rounds ran")
+    ensure(
+        len(fo["detection_to_promotion_ms"]) == fo["rounds"],
+        f"{path}: one latency sample per round",
+    )
+    # Initial election + one promotion per round; every promotion bumps
+    # the epoch, so the final epoch tracks the promotion count.
+    ensure(
+        fo["promotions"] == fo["rounds"] + 1,
+        f"{path}: expected {fo['rounds'] + 1} promotions, saw {fo['promotions']}",
+    )
+    ensure(
+        fo["final_epoch"] == fo["promotions"],
+        f"{path}: epoch {fo['final_epoch']} does not track promotions",
+    )
+    ensure(r["background"]["requests_ok"] > 0, f"{path}: zero background throughput")
+    ensure(
+        r["background"]["requests_failed"] == 0,
+        f"{path}: client requests failed during failover",
+    )
+    ensure(
+        r["survivors_bit_identical"] is True,
+        f"{path}: survivors diverged after the failover rounds",
+    )
+    rejoin = r["rejoin"]
+    delta, full = rejoin["delta"], rejoin["full_sync"]
+    ensure(delta["converged"] is True, f"{path}: delta catch-up did not converge")
+    ensure(full["converged"] is True, f"{path}: full-sync catch-up did not converge")
+    ensure(
+        delta["full_syncs"] == 0 and delta["deltas_applied"] == rejoin["ring"],
+        f"{path}: lag == ring must catch up on deltas alone",
+    )
+    ensure(
+        full["full_syncs"] == 1 and full["deltas_applied"] == 0,
+        f"{path}: lag past the ring must take exactly one full sync",
+    )
+    ensure(
+        delta["bytes_per_hop"] <= full["bytes"],
+        f"{path}: a delta hop shipped more than a full checkpoint",
+    )
+    return (
+        f"{fo['rounds']} failover round(s), detection->promotion p50 "
+        f"{fo['p50_ms']} ms (max {fo['max_ms']} ms), epoch {fo['final_epoch']}, "
+        f"rejoin delta {delta['bytes_per_hop']} B/hop vs full {full['bytes']} B, "
+        f"zero failed requests"
+    )
+
+
 CHECKS = {
     "train": check_train,
     "serve": check_serve,
     "online": check_online,
     "router": check_router,
+    "fleet": check_fleet,
 }
 
 # kind -> (label, extractor) for the headline throughput of a report.
