@@ -1,4 +1,4 @@
-//! The rule engine: six repo-specific rules over the analyzed
+//! The rule engine: seven repo-specific rules over the analyzed
 //! workspace. Each rule documents the invariant it guards, the paths
 //! it scopes to, and the heuristic it uses — heuristics are fine here
 //! because the fixture suite pins exactly what fires and what stays
@@ -9,6 +9,7 @@ pub mod metric_names;
 pub mod panic_freedom;
 pub mod safety_comment;
 pub mod strict_decode;
+pub mod trace_propagation;
 pub mod wire_coverage;
 
 use crate::findings::Finding;
@@ -34,6 +35,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(safety_comment::SafetyComment),
         Box::new(metric_names::MetricNames),
         Box::new(wire_coverage::WireCoverage),
+        Box::new(trace_propagation::TracePropagation),
     ]
 }
 

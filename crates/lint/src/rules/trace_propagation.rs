@@ -1,0 +1,101 @@
+//! Rule `trace-propagation`: a function that opens a trace span and
+//! then relays a wire request to another fleet node must re-stamp the
+//! outgoing line with `traced_line`.
+//!
+//! The failure mode: a hop opens its child span (`start_span`) but
+//! forwards the original request bytes unchanged, so the downstream
+//! node sees the *client's* context — or none — and its spans parent
+//! under the wrong hop or start an unrelated trace. The stitcher then
+//! reports orphans and the per-hop self-time is garbage. Scoped to
+//! trace-aware files (those naming `TraceContext`) under the router
+//! and serve crates; plumbing that deliberately stays trace-opaque
+//! (e.g. the sync loop's single-span push traces) never names the
+//! type and stays out of scope.
+
+use crate::findings::Finding;
+use crate::rules::{path_in, Rule};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// Crates whose request paths carry trace contexts across the wire.
+/// Binaries are CLI frontends — they originate traces, never relay.
+const SCOPE: &[&str] = &["crates/router/src/", "crates/serve/src/"];
+
+/// Methods that push a line to another fleet node.
+const RELAY_CALLS: &[&str] = &["request", "round_trip"];
+
+pub struct TracePropagation;
+
+impl Rule for TracePropagation {
+    fn name(&self) -> &'static str {
+        "trace-propagation"
+    }
+
+    fn describe(&self) -> &'static str {
+        "a fn that opens a span and relays a request must re-stamp it with traced_line"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if !path_in(&file.path, SCOPE) || file.path.contains("/bin/") {
+                continue;
+            }
+            if !names_trace_context(file) {
+                continue;
+            }
+            check_file(file, &mut findings);
+        }
+        findings
+    }
+}
+
+/// Whether the file names `TraceContext` anywhere in non-test code —
+/// the opt-in marker that its request path is trace-aware.
+fn names_trace_context(file: &SourceFile) -> bool {
+    file.tokens
+        .iter()
+        .enumerate()
+        .any(|(i, t)| t.is_ident(&file.src, "TraceContext") && !file.is_test_code(i))
+}
+
+fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let src = &file.src;
+    let tokens = &file.tokens;
+    for f in &file.fns {
+        if f.is_test || f.body == (0, 0) {
+            continue;
+        }
+        let end = f.body.1.min(tokens.len().saturating_sub(1));
+        let mut opens_span = false;
+        let mut relays = false;
+        let mut restamps = false;
+        for i in f.body.0..=end {
+            let t = &tokens[i];
+            if t.is_ident(src, "start_span") {
+                opens_span = true;
+            } else if t.is_ident(src, "traced_line") {
+                restamps = true;
+            } else if RELAY_CALLS.iter().any(|c| t.is_ident(src, c))
+                && i > 0
+                && tokens[i - 1].is_punct(src, '.')
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct(src, '('))
+            {
+                relays = true;
+            }
+        }
+        if opens_span && relays && !restamps {
+            findings.push(Finding {
+                rule: "trace-propagation",
+                file: file.path.clone(),
+                line: f.line,
+                symbol: f.name.clone(),
+                message: format!(
+                    "fn {} opens a span and relays a request without traced_line — \
+                     the downstream hop loses the trace context",
+                    f.name
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Fixture: seeded `trace-propagation` violations. A hop opens its
+//! child span but forwards the original request bytes — the replica
+//! sees the client's context (or none) and its spans orphan.
+
+use ncl_obs::{TraceContext, Tracer};
+
+/// Violation 1: dispatch span opened, line relayed un-stamped.
+pub fn relay_predict(
+    tracer: &Arc<Tracer>,
+    ctx: &TraceContext,
+    backend: &Backend,
+    line: &str,
+) -> Result<String, RouterError> {
+    let _span = tracer.start_span(ctx, "dispatch");
+    backend.request(line)
+}
+
+/// Violation 2: same bug on the persistent-connection path.
+pub fn relay_persistent(
+    tracer: &Arc<Tracer>,
+    ctx: &TraceContext,
+    conn: &mut Connection,
+    line: &str,
+) -> Result<String, RouterError> {
+    let span = tracer.start_span(ctx, "dispatch");
+    let reply = conn.round_trip(line);
+    drop(span);
+    reply
+}
+
+/// Silent: relays without opening a span — a trace-opaque forward is
+/// allowed to pass bytes through untouched.
+pub fn relay_opaque(backend: &Backend, line: &str) -> Result<String, RouterError> {
+    backend.request(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test code may shortcut the re-stamp; the rule must stay silent.
+    #[test]
+    fn shortcut_is_fine_in_tests() {
+        let _span = tracer.start_span(&ctx, "dispatch");
+        backend.request("{}").unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! Clean twin for `trace-propagation`: every relay that opens a span
+//! re-stamps the outgoing line with `traced_line`, so the downstream
+//! hop parents under the dispatch span.
+
+use ncl_obs::{TraceContext, Tracer};
+
+/// The correct shape: open the child span, stamp its context onto the
+/// line, relay the stamped bytes.
+pub fn relay_predict(
+    tracer: &Arc<Tracer>,
+    ctx: &TraceContext,
+    backend: &Backend,
+    line: &str,
+) -> Result<String, RouterError> {
+    let span = tracer.start_span(ctx, "dispatch");
+    let relayed = protocol::traced_line(line, &span.context());
+    backend.request(&relayed)
+}
+
+/// Also correct on the persistent-connection path; mentions
+/// "start_span" and ".request(" in a string literal, which is data.
+pub fn relay_persistent(
+    tracer: &Arc<Tracer>,
+    ctx: &TraceContext,
+    conn: &mut Connection,
+    line: &str,
+) -> Result<String, RouterError> {
+    let span = tracer.start_span(ctx, "dispatch");
+    let relayed = protocol::traced_line(line, &span.context());
+    log(r#"start_span then .request( without restamp would orphan"#);
+    conn.round_trip(&relayed)
+}
+
+/// Trace-opaque forward: no span opened, no stamp required.
+pub fn relay_opaque(backend: &Backend, line: &str) -> Result<String, RouterError> {
+    backend.request(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_relay_unstamped() {
+        let _span = tracer.start_span(&ctx, "dispatch");
+        backend.request("{}").unwrap();
+    }
+}

@@ -12,6 +12,7 @@ use ncl_lint::rules::metric_names::MetricNames;
 use ncl_lint::rules::panic_freedom::PanicFreedom;
 use ncl_lint::rules::safety_comment::SafetyComment;
 use ncl_lint::rules::strict_decode::StrictDecode;
+use ncl_lint::rules::trace_propagation::TracePropagation;
 use ncl_lint::rules::wire_coverage::WireCoverage;
 use ncl_lint::rules::Rule;
 use ncl_lint::workspace::Workspace;
@@ -31,6 +32,8 @@ const WIRE_SERVER_BAD: &str = include_str!("fixtures/wire_server_bad.rs");
 const WIRE_SERVER_CLEAN: &str = include_str!("fixtures/wire_server_clean.rs");
 const WIRE_CLIENT_BAD: &str = include_str!("fixtures/wire_client_bad.rs");
 const WIRE_CLIENT_CLEAN: &str = include_str!("fixtures/wire_client_clean.rs");
+const TRACE_BAD: &str = include_str!("fixtures/trace_bad.rs");
+const TRACE_CLEAN: &str = include_str!("fixtures/trace_clean.rs");
 
 /// Lints a single fixture mounted at `path` with one rule.
 fn lint_one(rule: &dyn Rule, path: &str, src: &str) -> Vec<Finding> {
@@ -255,6 +258,46 @@ fn wire_coverage_silent_when_every_op_is_covered() {
 }
 
 #[test]
+fn trace_propagation_flags_unstamped_relays_after_start_span() {
+    let findings = lint_one(&TracePropagation, "crates/router/src/router.rs", TRACE_BAD);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().any(|f| f.symbol == "relay_predict"));
+    assert!(findings.iter().any(|f| f.symbol == "relay_persistent"));
+    assert!(findings
+        .iter()
+        .all(|f| f.message.contains("without traced_line")));
+}
+
+#[test]
+fn trace_propagation_silent_on_clean_twin_and_opaque_relays() {
+    // The twin re-stamps every relay; "start_span"/".request(" inside
+    // a string literal are data; the #[cfg(test)] shortcut is exempt.
+    let findings = lint_one(
+        &TracePropagation,
+        "crates/router/src/router.rs",
+        TRACE_CLEAN,
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn trace_propagation_ignores_trace_opaque_files_and_bins() {
+    // A file that never names TraceContext opted out of tracing — its
+    // relays (the sync loop's shape) pass bytes through unflagged.
+    let opaque = TRACE_BAD.replace("TraceContext", "TraceOpaque");
+    assert!(lint_one(&TracePropagation, "crates/router/src/sync.rs", &opaque).is_empty());
+    // Binaries originate traces, never relay.
+    assert!(lint_one(
+        &TracePropagation,
+        "crates/serve/src/bin/ncl-trace.rs",
+        TRACE_BAD
+    )
+    .is_empty());
+    // Out-of-scope crates are untouched.
+    assert!(lint_one(&TracePropagation, "crates/online/src/daemon.rs", TRACE_BAD).is_empty());
+}
+
+#[test]
 fn full_run_over_the_clean_corpus_is_clean() {
     // Every clean twin mounted at its in-scope path, all rules, empty
     // baseline: the whole pipeline agrees there is nothing to report.
@@ -268,6 +311,7 @@ fn full_run_over_the_clean_corpus_is_clean() {
             ("crates/serve/src/protocol.rs", WIRE_PROTOCOL.to_owned()),
             ("crates/serve/src/server.rs", WIRE_SERVER_CLEAN.to_owned()),
             ("crates/serve/src/client.rs", WIRE_CLIENT_CLEAN.to_owned()),
+            ("crates/router/src/router.rs", TRACE_CLEAN.to_owned()),
         ],
         vec![
             ("README.md", README_CLEAN.to_owned()),

@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::registry::Counter;
+use crate::registry::{Counter, Gauge};
 
 /// Event severity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -80,6 +80,8 @@ pub struct EventLog {
     seq: AtomicU64,
     counters: [Arc<Counter>; 4],
     echo: AtomicBool,
+    dropped: Arc<Counter>,
+    occupancy: Arc<Gauge>,
 }
 
 impl EventLog {
@@ -92,6 +94,8 @@ impl EventLog {
             seq: AtomicU64::new(0),
             counters: std::array::from_fn(|_| Arc::new(Counter::new())),
             echo: AtomicBool::new(true),
+            dropped: Arc::new(Counter::default()),
+            occupancy: Arc::new(Gauge::default()),
         }
     }
 
@@ -99,6 +103,18 @@ impl EventLog {
     #[must_use]
     pub fn counter(&self, level: Level) -> Arc<Counter> {
         Arc::clone(&self.counters[level.index()])
+    }
+
+    /// Events evicted by the bound (`obs_events_dropped_total`).
+    #[must_use]
+    pub fn dropped_handle(&self) -> Arc<Counter> {
+        Arc::clone(&self.dropped)
+    }
+
+    /// Current ring occupancy (`obs_event_ring_occupancy`).
+    #[must_use]
+    pub fn occupancy_handle(&self) -> Arc<Gauge> {
+        Arc::clone(&self.occupancy)
     }
 
     /// Enables/disables the `Warn`/`Error` stderr echo.
@@ -130,8 +146,11 @@ impl EventLog {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.len() == self.cap {
             ring.pop_front();
+            self.dropped.inc();
         }
         ring.push_back(event);
+        self.occupancy
+            .set(i64::try_from(ring.len()).unwrap_or(i64::MAX));
     }
 
     /// The retained events, oldest first.

@@ -23,6 +23,10 @@ pub struct Log2Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    exemplar_count: AtomicU64,
+    exemplar_value: AtomicU64,
+    exemplar_hi: AtomicU64,
+    exemplar_lo: AtomicU64,
 }
 
 impl Default for Log2Histogram {
@@ -40,6 +44,10 @@ impl Log2Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplar_count: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_hi: AtomicU64::new(0),
+            exemplar_lo: AtomicU64::new(0),
         }
     }
 
@@ -67,6 +75,39 @@ impl Log2Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records one observation tagged with the trace it came from,
+    /// keeping the trace id of the max-latency observation as an
+    /// exemplar — so a p99 number in `stats` links to an actual trace.
+    ///
+    /// The exemplar update is racy-by-design (a check then three
+    /// relaxed stores): under contention the exemplar may briefly name
+    /// a near-max observation, which is fine for a diagnostics pointer
+    /// and keeps the hot path lock-free.
+    #[inline]
+    pub fn record_traced(&self, value: u64, trace_id: u128) {
+        self.record(value);
+        self.exemplar_count.fetch_add(1, Ordering::Relaxed);
+        if value >= self.exemplar_value.load(Ordering::Relaxed) {
+            self.exemplar_value.store(value, Ordering::Relaxed);
+            self.exemplar_hi
+                .store((trace_id >> 64) as u64, Ordering::Relaxed);
+            self.exemplar_lo.store(trace_id as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// The `(value, trace_id)` exemplar of the slowest traced
+    /// observation, or `None` if nothing was recorded via
+    /// [`Log2Histogram::record_traced`].
+    #[must_use]
+    pub fn exemplar(&self) -> Option<(u64, u128)> {
+        if self.exemplar_count.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let hi = u128::from(self.exemplar_hi.load(Ordering::Relaxed));
+        let lo = u128::from(self.exemplar_lo.load(Ordering::Relaxed));
+        Some((self.exemplar_value.load(Ordering::Relaxed), (hi << 64) | lo))
     }
 
     /// Total observations recorded.
@@ -185,6 +226,22 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert!(h.mean().abs() < f64::EPSILON);
         assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn exemplar_tracks_the_slowest_traced_observation() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.exemplar(), None);
+        h.record(9_999); // untraced observations never become exemplars
+        assert_eq!(h.exemplar(), None);
+        h.record_traced(100, 7);
+        h.record_traced(5_000, 0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10);
+        h.record_traced(200, 9);
+        assert_eq!(
+            h.exemplar(),
+            Some((5_000, 0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10))
+        );
+        assert_eq!(h.count(), 4, "record_traced still feeds the histogram");
     }
 
     #[test]

@@ -26,8 +26,13 @@ pub mod exposition;
 pub mod histogram;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use events::{Event, EventLog, Level};
 pub use histogram::{Log2Histogram, BUCKETS};
 pub use registry::{Counter, Gauge, Registry};
 pub use span::{Span, SpanRecord, SpanRing, Stage};
+pub use trace::{
+    stitch, NodeFragment, StitchedSpan, StitchedTrace, TraceConfig, TraceContext, TraceFragment,
+    TraceSpan, TraceSpanRecord, Tracer,
+};

@@ -16,6 +16,7 @@ use std::time::Instant;
 use crate::events::{Event, EventLog, Level};
 use crate::histogram::Log2Histogram;
 use crate::span::{SpanRecord, SpanRing, Stage};
+use crate::trace::{TraceConfig, Tracer};
 
 /// Recent-span ring capacity.
 pub const SPAN_RING_CAP: usize = 256;
@@ -122,6 +123,7 @@ pub struct Registry {
     families: Mutex<BTreeMap<String, Family>>,
     spans: Arc<SpanRing>,
     events: EventLog,
+    tracer: Arc<Tracer>,
     epoch: Instant,
 }
 
@@ -141,14 +143,17 @@ fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
 }
 
 impl Registry {
-    /// An empty registry (plus its event-level counters).
+    /// An empty registry (plus its event-level counters, ring drop/
+    /// occupancy series and the distributed-trace buffer counters).
     #[must_use]
     pub fn new() -> Self {
+        let epoch = Instant::now();
         let registry = Registry {
             families: Mutex::new(BTreeMap::new()),
             spans: Arc::new(SpanRing::new(SPAN_RING_CAP)),
             events: EventLog::new(EVENT_RING_CAP),
-            epoch: Instant::now(),
+            tracer: Arc::new(Tracer::new(0, TraceConfig::default(), epoch)),
+            epoch,
         };
         for level in Level::ALL {
             registry.adopt(
@@ -158,7 +163,56 @@ impl Registry {
                 Handle::Counter(registry.events.counter(level)),
             );
         }
+        let _ = registry.adopt_counter(
+            "obs_spans_dropped_total",
+            &[],
+            "Stage spans evicted from the bounded recent-span ring.",
+            registry.spans.dropped_handle(),
+        );
+        let _ = registry.adopt_gauge(
+            "obs_span_ring_occupancy",
+            &[],
+            "Stage spans currently held in the recent-span ring.",
+            registry.spans.occupancy_handle(),
+        );
+        let _ = registry.adopt_counter(
+            "obs_events_dropped_total",
+            &[],
+            "Structured events evicted from the bounded event ring.",
+            registry.events.dropped_handle(),
+        );
+        let _ = registry.adopt_gauge(
+            "obs_event_ring_occupancy",
+            &[],
+            "Structured events currently held in the event ring.",
+            registry.events.occupancy_handle(),
+        );
+        let _ = registry.adopt_counter(
+            "obs_traces_dropped_total",
+            &[],
+            "Completed trace fragments dropped by tail-sampling or buffer eviction.",
+            registry.tracer.traces_dropped(),
+        );
+        let _ = registry.adopt_counter(
+            "obs_traces_kept_total",
+            &[],
+            "Completed trace fragments the tail sampler kept.",
+            registry.tracer.traces_kept(),
+        );
+        let _ = registry.adopt_gauge(
+            "obs_trace_buffer_spans",
+            &[],
+            "Spans currently held in the kept trace buffer.",
+            registry.tracer.buffer_spans(),
+        );
         registry
+    }
+
+    /// The process-wide distributed tracer (id minting, span recording
+    /// and the tail-sampled trace buffer).
+    #[must_use]
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Get-or-register under `name` + `labels`; `existing` is adopted

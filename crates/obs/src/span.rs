@@ -14,6 +14,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::histogram::Log2Histogram;
+use crate::registry::{Counter, Gauge};
+use crate::trace::{TraceContext, TraceSpan, Tracer};
 
 /// One completed span, timestamped relative to the registry's epoch.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,6 +34,8 @@ pub struct SpanRing {
     inner: Mutex<VecDeque<SpanRecord>>,
     cap: usize,
     total: AtomicU64,
+    dropped: Arc<Counter>,
+    occupancy: Arc<Gauge>,
 }
 
 impl SpanRing {
@@ -42,6 +46,8 @@ impl SpanRing {
             inner: Mutex::new(VecDeque::with_capacity(cap)),
             cap: cap.max(1),
             total: AtomicU64::new(0),
+            dropped: Arc::new(Counter::default()),
+            occupancy: Arc::new(Gauge::default()),
         }
     }
 
@@ -56,8 +62,23 @@ impl SpanRing {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.len() == self.cap {
             ring.pop_front();
+            self.dropped.inc();
         }
         ring.push_back(record);
+        self.occupancy
+            .set(i64::try_from(ring.len()).unwrap_or(i64::MAX));
+    }
+
+    /// Spans evicted by the bound (`obs_spans_dropped_total`).
+    #[must_use]
+    pub fn dropped_handle(&self) -> Arc<Counter> {
+        Arc::clone(&self.dropped)
+    }
+
+    /// Current ring occupancy (`obs_span_ring_occupancy`).
+    #[must_use]
+    pub fn occupancy_handle(&self) -> Arc<Gauge> {
+        Arc::clone(&self.occupancy)
     }
 
     /// The retained spans, oldest first.
@@ -119,6 +140,19 @@ impl Stage {
         Span {
             stage: self,
             started: Instant::now(),
+            trace: None,
+        }
+    }
+
+    /// Starts a span that *also* records into the distributed trace
+    /// buffer, parented by `ctx` — this is how daemon stages join an
+    /// increment-scoped trace without changing their histogram series.
+    #[must_use]
+    pub fn enter_traced(&self, tracer: &Arc<Tracer>, ctx: &TraceContext) -> Span<'_> {
+        Span {
+            stage: self,
+            started: Instant::now(),
+            trace: Some(tracer.start_span(ctx, self.name)),
         }
     }
 
@@ -133,6 +167,16 @@ impl Stage {
 pub struct Span<'a> {
     stage: &'a Stage,
     started: Instant,
+    trace: Option<TraceSpan>,
+}
+
+impl Span<'_> {
+    /// The trace context children of this span should carry, when the
+    /// span was opened with [`Stage::enter_traced`].
+    #[must_use]
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.trace.as_ref().map(TraceSpan::context)
+    }
 }
 
 impl Drop for Span<'_> {

@@ -1,0 +1,165 @@
+//! Property tests for the trace stitcher: for an arbitrary span tree
+//! scattered across arbitrary per-node fragments arriving in arbitrary
+//! order, `stitch` must return a well-formed tree — one root, parents
+//! before children, child intervals nested in their parents — and must
+//! not care about arrival order at all. Dropped fragments (a node's
+//! originating spans sampled away) must be accounted as orphans, never
+//! silently absorbed.
+
+use ncl_obs::trace::self_time_us;
+use ncl_obs::{stitch, NodeFragment, StitchedTrace, TraceSpanRecord};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const TRACE_ID: u128 = 0xABC0_0001;
+
+/// Raw material for one span: (parent pick, start, duration, fragment
+/// pick, arrival-order key). Span ids and parents derive from the
+/// position: span `i` gets id `i + 1` and a parent among `1..=i`, so
+/// the tree is connected by construction.
+type SpanSeed = (u64, u64, u64, u64, u64);
+
+fn seeds() -> impl Strategy<Value = Vec<SpanSeed>> {
+    vec(
+        (
+            any::<u64>(),
+            0u64..50_000,
+            0u64..20_000,
+            0u64..4,
+            any::<u64>(),
+        ),
+        2..24,
+    )
+}
+
+/// Expands seeds into per-node fragments, arrival-ordered by each
+/// fragment's smallest arrival key.
+fn build_fragments(seeds: &[SpanSeed]) -> Vec<NodeFragment> {
+    let mut groups: Vec<(u64, Vec<TraceSpanRecord>)> =
+        (0..4).map(|_| (u64::MAX, Vec::new())).collect();
+    for (i, &(parent_pick, start_us, duration_us, frag_pick, key)) in seeds.iter().enumerate() {
+        let parent = if i == 0 {
+            None
+        } else {
+            Some(parent_pick % i as u64 + 1)
+        };
+        let group = &mut groups[(frag_pick % 4) as usize];
+        group.0 = group.0.min(key);
+        group.1.push(TraceSpanRecord {
+            trace_id: TRACE_ID,
+            span_id: i as u64 + 1,
+            parent,
+            stage: "stage".to_owned(),
+            start_us,
+            duration_us,
+            links: Vec::new(),
+        });
+    }
+    let mut fragments: Vec<(u64, usize, NodeFragment)> = groups
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (_, spans))| !spans.is_empty())
+        .map(|(node, (key, spans))| {
+            (
+                key,
+                node,
+                NodeFragment {
+                    node: format!("node-{node}"),
+                    trace_id: TRACE_ID,
+                    spans,
+                },
+            )
+        })
+        .collect();
+    fragments.sort_by_key(|&(key, node, _)| (key, node));
+    fragments.into_iter().map(|(_, _, f)| f).collect()
+}
+
+/// Asserts the structural invariants of one stitched trace.
+fn assert_well_formed(trace: &StitchedTrace) -> Result<(), proptest::test_runner::TestCaseError> {
+    let root = trace.spans.first().expect("stitched trace has spans");
+    prop_assert_eq!(root.span_id, trace.root);
+    prop_assert!(root.parent.is_none(), "root is parentless");
+    prop_assert_eq!(root.start_us, 0, "root starts the unified timeline");
+    prop_assert_eq!(root.depth, 0);
+    prop_assert_eq!(trace.duration_us, root.duration_us);
+    prop_assert_eq!(
+        trace.spans.iter().filter(|s| s.parent.is_none()).count(),
+        1,
+        "exactly one root"
+    );
+    for (i, span) in trace.spans.iter().enumerate().skip(1) {
+        let parent_id = span.parent.expect("non-root spans have parents");
+        let parent_pos = trace.spans[..i].iter().position(|s| s.span_id == parent_id);
+        prop_assert!(
+            parent_pos.is_some(),
+            "parent {} does not precede span {}",
+            parent_id,
+            span.span_id
+        );
+        let parent = &trace.spans[parent_pos.unwrap_or(0)];
+        prop_assert_eq!(span.depth, parent.depth + 1, "depth is parent depth + 1");
+        prop_assert!(
+            span.start_us >= parent.start_us
+                && span.start_us + span.duration_us <= parent.start_us + parent.duration_us,
+            "child [{}, {}] escapes parent [{}, {}]",
+            span.start_us,
+            span.start_us + span.duration_us,
+            parent.start_us,
+            parent.start_us + parent.duration_us
+        );
+        prop_assert!(
+            self_time_us(trace, span.span_id) <= span.duration_us,
+            "self time bounded by wall time"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn stitched_trees_are_well_formed_for_any_arrival_order(seeds in seeds()) {
+        let fragments = build_fragments(&seeds);
+        let stitched = stitch(&fragments);
+        // The root's fragment is present, so the trace must survive,
+        // complete: every span's parent chain reaches the root.
+        prop_assert_eq!(stitched.len(), 1, "one trace id, one stitched trace");
+        let trace = &stitched[0];
+        prop_assert_eq!(trace.trace_id, TRACE_ID);
+        prop_assert_eq!(trace.orphan_spans, 0, "a connected tree has no orphans");
+        prop_assert_eq!(trace.spans.len(), seeds.len(), "every span emitted");
+        assert_well_formed(trace)?;
+
+        // Arrival order is a presentation detail: the canonical
+        // (node-ordered) arrival must stitch to the identical result.
+        let mut canonical = fragments.clone();
+        canonical.sort_by(|a, b| a.node.cmp(&b.node));
+        prop_assert_eq!(&stitch(&canonical), &stitched, "stitch is arrival-order invariant");
+    }
+
+    #[test]
+    fn dropped_fragments_surface_as_orphans_not_phantom_spans(seeds in seeds()) {
+        let fragments = build_fragments(&seeds);
+        // Drop the last-arriving fragment. If it held the root the
+        // whole trace must vanish; otherwise the survivors' unparented
+        // subtrees are counted as orphans, and emitted + orphaned
+        // always accounts for every surviving input span.
+        let dropped = fragments.last().cloned().expect("at least one fragment");
+        let kept: Vec<NodeFragment> = fragments[..fragments.len() - 1].to_vec();
+        let surviving: usize = kept.iter().map(|f| f.spans.len()).sum();
+        let stitched = stitch(&kept);
+        let root_dropped = dropped.spans.iter().any(|s| s.parent.is_none());
+        if root_dropped {
+            prop_assert!(stitched.is_empty(), "a rootless trace is omitted entirely");
+        } else {
+            prop_assert_eq!(stitched.len(), 1);
+            let trace = &stitched[0];
+            prop_assert_eq!(
+                trace.spans.len() + trace.orphan_spans,
+                surviving,
+                "every surviving span is emitted or counted as an orphan"
+            );
+            assert_well_formed(trace)?;
+        }
+    }
+}

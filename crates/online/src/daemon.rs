@@ -936,7 +936,14 @@ impl OnlineLearner {
         let scenario = &self.config.scenario;
         let method = &self.config.method;
         let decompress = method.replay.as_ref().is_some_and(|r| r.decompress);
-        let mix_span = obs.replay_mix.enter();
+        // The whole increment is one trace: a root span over the
+        // replay_mix/train/swap stages, so a slow increment shows its
+        // phase breakdown in the daemon's `traces` data alongside the
+        // per-stage histograms.
+        let tracer = obs.registry.tracer();
+        let increment_span = tracer.start_span(&tracer.new_trace(), "increment");
+        let stage_ctx = increment_span.context();
+        let mix_span = obs.replay_mix.enter_traced(tracer, &stage_ctx);
         let replay = self.buffer.replay_samples(decompress)?;
 
         // Class-balance the update: the pending pool (arrival_threshold
@@ -978,7 +985,7 @@ impl OnlineLearner {
         // partially-applied optimizer steps behind, and the learner must
         // stay untouched for the retry.
         let mut candidate = self.network.clone();
-        let train_span = obs.train.enter();
+        let train_span = obs.train.enter_traced(tracer, &stage_ctx);
         let train_started = Instant::now();
         let outcome = self.trainer.run_increment(
             &mut candidate,
@@ -994,7 +1001,7 @@ impl OnlineLearner {
 
         // Publish first (the last fallible step), then commit.
         let next_version = self.version + 1;
-        let swap_span = obs.swap.enter();
+        let swap_span = obs.swap.enter_traced(tracer, &stage_ctx);
         let swap_started = Instant::now();
         let registry_version = self
             .registry
@@ -1204,6 +1211,28 @@ mod tests {
         )));
         assert!(text.contains(&format!("online_version {}", learner.version())));
         assert!(learner.obs().spans_recorded() > 0, "spans were recorded");
+
+        // Every committed increment left a trace rooted at `increment`
+        // with the lifecycle stages as children (the tail sampler keeps
+        // the first completed trace, so at least one survives).
+        let captured = learner.obs().tracer().recent(0, usize::MAX);
+        let increment_trace = captured
+            .iter()
+            .find(|f| f.spans.iter().any(|s| s.stage == "increment"))
+            .expect("an increment trace was kept");
+        let root = increment_trace
+            .spans
+            .iter()
+            .find(|s| s.stage == "increment")
+            .unwrap();
+        for stage in ["replay_mix", "train", "swap"] {
+            let child = increment_trace
+                .spans
+                .iter()
+                .find(|s| s.stage == stage)
+                .unwrap_or_else(|| panic!("missing {stage} span in {increment_trace:?}"));
+            assert_eq!(child.parent, Some(root.span_id), "{stage} parents the root");
+        }
         std::fs::remove_file(&ckpt_path).ok();
     }
 

@@ -16,9 +16,9 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ncl_obs::{exposition, Counter, Gauge, Registry as ObsRegistry};
+use ncl_obs::{exposition, Counter, Gauge, NodeFragment, Registry as ObsRegistry, TraceContext};
 use ncl_serve::error::ServeError;
-use ncl_serve::protocol::object;
+use ncl_serve::protocol::{self, object};
 use serde_json::Value;
 
 use crate::backend::Backend;
@@ -123,6 +123,10 @@ impl Router {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
         let obs = Arc::new(ObsRegistry::new());
+        // Same seeding rule as the replicas: port-derived, so the
+        // router's span ids never collide with a replica's when
+        // fragments are stitched.
+        obs.tracer().set_seed(u64::from(addr.port()));
         let sync = SyncStats::default();
         sync.register_into(&obs);
         for backend in &backends {
@@ -371,6 +375,7 @@ fn handle_line(line: &str, shared: &RouterShared) -> (String, bool) {
         "stats" => stats_response(shared),
         "health" => health_response(shared),
         "metrics" => metrics_response(shared),
+        "traces" => traces_response(&request, shared),
         "join" => join_response(&request, shared),
         "leave" => leave_response(&request, shared),
         "members" => members_response(shared),
@@ -463,8 +468,25 @@ fn version_of(line: &str) -> Option<u64> {
 
 /// Relays a predict line, failing over across healthy replicas on
 /// transport errors only.
+///
+/// A request carrying a trace context gets a `route` span covering the
+/// whole relay (with the client's context as parent — for a loadgen-
+/// originated trace that makes `route` the trace root) and one
+/// `dispatch` child per attempt; the relayed line is re-stamped with
+/// the dispatch span's context so the replica's `accept` span parents
+/// under it. A failed attempt re-labels its span `failover`.
 fn relay_predict(line: &str, request: &Value, shared: &RouterShared) -> String {
     let id = request.get("id").and_then(Value::as_u64);
+    let trace: Option<TraceContext> = match protocol::parse_trace(request) {
+        Ok(trace) => trace,
+        Err(e) => {
+            shared.requests_failed.inc();
+            return error_line(id, &e);
+        }
+    };
+    let route = trace
+        .as_ref()
+        .map(|ctx| shared.obs.tracer().start_span(ctx, "route"));
     let order = dispatch_order(shared, request);
     if order.is_empty() {
         shared.requests_failed.inc();
@@ -476,7 +498,14 @@ fn relay_predict(line: &str, request: &Value, shared: &RouterShared) -> String {
         );
     }
     for backend in &order {
-        match backend.request(line) {
+        let dispatch = route
+            .as_ref()
+            .map(|route| shared.obs.tracer().start_span(&route.context(), "dispatch"));
+        let relayed = match &dispatch {
+            Some(span) => protocol::traced_line(line, &span.context()),
+            None => line.to_owned(),
+        };
+        match backend.request(&relayed) {
             Ok(response) => {
                 // Fold the reply's model_version into the backend's
                 // cache *before* the client sees the reply: the
@@ -493,6 +522,9 @@ fn relay_predict(line: &str, request: &Value, shared: &RouterShared) -> String {
             Err(_) => {
                 // backend.request already marked it unhealthy; try the
                 // next replica — the predict never reached a model.
+                if let Some(mut span) = dispatch {
+                    span.set_stage("failover");
+                }
                 shared.failovers.inc();
             }
         }
@@ -725,6 +757,60 @@ fn metrics_response(shared: &RouterShared) -> String {
     let mut sections = vec![shared.obs.render()];
     sections.extend(replica_sections);
     ncl_serve::protocol::metrics_response(&exposition::merge(&sections))
+}
+
+/// The router's `traces` op: fleet-wide trace assembly. The router's
+/// own kept fragments (`route`/`dispatch`/`sync_push` spans) are
+/// combined with every replica's fetched fragments and stitched by
+/// trace id into unified trees — the traces analogue of how `metrics`
+/// merges per-replica expositions. Filtering by `min_duration_us`
+/// happens *after* stitching, against the end-to-end root duration:
+/// a replica-local fragment can be fast while the trace is slow.
+fn traces_response(request: &Value, shared: &RouterShared) -> String {
+    let min_duration_us = request
+        .get("min_duration_us")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let limit = request
+        .get("limit")
+        .and_then(Value::as_u64)
+        .map_or(protocol::DEFAULT_TRACES_LIMIT, |l| l as usize)
+        .max(1);
+    // The kept stores are span-bounded, so fetching everything is
+    // bounded too; stitching needs every fragment of a trace no matter
+    // how fast the local piece was.
+    let mut fragments: Vec<NodeFragment> = shared
+        .obs
+        .tracer()
+        .recent(0, usize::MAX)
+        .into_iter()
+        .map(|fragment| NodeFragment {
+            node: "router".to_owned(),
+            trace_id: fragment.trace_id,
+            spans: fragment.spans,
+        })
+        .collect();
+    for backend in &shared.membership.snapshot() {
+        let fetched = backend
+            .request(r#"{"op":"traces","min_duration_us":0,"limit":4096}"#)
+            .ok()
+            .and_then(|response| serde_json::from_str(&response).ok())
+            .map(|value| protocol::parse_traces_response(&value))
+            .unwrap_or_default();
+        let node = format!("replica-{}", backend.id);
+        fragments.extend(fetched.into_iter().map(|fragment| NodeFragment {
+            node: node.clone(),
+            trace_id: fragment.trace_id,
+            spans: fragment.spans,
+        }));
+    }
+    let stitched: Vec<_> = ncl_obs::stitch(&fragments)
+        .into_iter()
+        .filter(|t| t.duration_us >= min_duration_us)
+        .take(limit)
+        .collect();
+    shared.requests_ok.inc();
+    protocol::stitched_traces_response(&stitched)
 }
 
 fn health_response(shared: &RouterShared) -> String {

@@ -226,6 +226,7 @@ pub(crate) fn sync_once(shared: &RouterShared) {
         Some(learner) => {
             shared.learner_down_ticks.store(0, Ordering::Release);
             let learner_version = learner.model_version();
+            let tracer = shared.obs.tracer();
             for follower in &backends {
                 if follower.id == learner.id
                     || !follower.is_healthy()
@@ -233,6 +234,11 @@ pub(crate) fn sync_once(shared: &RouterShared) {
                 {
                     continue;
                 }
+                // Each push is its own single-span router-local trace;
+                // the tail sampler keeps the slow ones, so a stalling
+                // propagation path shows up in the `traces` op.
+                let push = tracer.new_trace();
+                let _push_span = tracer.start_span(&push, "sync_push");
                 propagate(learner, follower, fleet_epoch, &shared.sync);
             }
         }

@@ -18,6 +18,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use ncl_obs::{TraceContext, Tracer};
 use ncl_runtime::queue::ShardedQueue;
 use ncl_spike::SpikeRaster;
 use ncl_tensor::ops;
@@ -66,7 +67,18 @@ struct PendingRequest {
     raster: SpikeRaster,
     enqueued: Instant,
     reply: mpsc::Sender<Result<PredictReply, ServeError>>,
+    /// Trace context of the request's accept span, if the request
+    /// carried one — the batcher records its queue-wait and forward
+    /// spans as children of that accept span.
+    trace: Option<TraceContext>,
 }
+
+/// Per-request state carried from batch formation to reply fan-out.
+type ReplySlot = (
+    mpsc::Sender<Result<PredictReply, ServeError>>,
+    Instant,
+    Option<TraceContext>,
+);
 
 /// The micro-batching scheduler + its worker pool.
 pub struct Batcher {
@@ -85,6 +97,9 @@ pub struct Batcher {
     /// submitter itself).
     terminated: AtomicBool,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Trace recorder for queue-wait/forward spans (absent in detached
+    /// test setups that never trace).
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Batcher {
@@ -98,7 +113,23 @@ impl Batcher {
     pub fn start(
         registry: Arc<ModelRegistry>,
         metrics: Arc<Metrics>,
+        config: BatchConfig,
+    ) -> std::io::Result<Arc<Self>> {
+        Batcher::start_traced(registry, metrics, config, None)
+    }
+
+    /// Like [`Batcher::start`], but with a tracer: requests submitted
+    /// with a trace context get `queue_wait` and `forward` child spans
+    /// recorded into it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error if a worker thread cannot be spawned.
+    pub fn start_traced(
+        registry: Arc<ModelRegistry>,
+        metrics: Arc<Metrics>,
         mut config: BatchConfig,
+        tracer: Option<Arc<Tracer>>,
     ) -> std::io::Result<Arc<Self>> {
         config.workers = config.workers.max(1);
         config.batch_size = config.batch_size.max(1);
@@ -111,6 +142,7 @@ impl Batcher {
             draining: AtomicBool::new(false),
             terminated: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
+            tracer,
         });
         let mut handles = Vec::with_capacity(config.workers);
         for worker in 0..config.workers {
@@ -158,6 +190,22 @@ impl Batcher {
     ///
     /// Returns [`ServeError::ShuttingDown`] once draining has begun.
     pub fn submit(&self, raster: SpikeRaster) -> Result<ReplyReceiver, ServeError> {
+        self.submit_traced(raster, None)
+    }
+
+    /// Like [`Batcher::submit`], but carrying the trace context of the
+    /// request's accept span: the batch worker records `queue_wait`
+    /// (enqueue to claim) and `forward` (the batched forward pass,
+    /// linked to co-batched requests) spans as its children.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] once draining has begun.
+    pub fn submit_traced(
+        &self,
+        raster: SpikeRaster,
+        trace: Option<TraceContext>,
+    ) -> Result<ReplyReceiver, ServeError> {
         if self.draining.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
@@ -172,6 +220,7 @@ impl Batcher {
             raster,
             enqueued: Instant::now(),
             reply: tx,
+            trace,
         });
         {
             // Notify under the lock: a worker only sleeps after
@@ -271,21 +320,40 @@ impl Batcher {
     /// Runs one batched forward pass and fans results back.
     fn run_batch(&self, batch: Vec<PendingRequest>) {
         self.metrics.queue_depth().sub(batch.len() as i64);
+        let claimed = Instant::now();
         let model = self.registry.current();
         let mut rasters = Vec::with_capacity(batch.len());
-        let mut replies = Vec::with_capacity(batch.len());
+        let mut replies: Vec<ReplySlot> = Vec::with_capacity(batch.len());
         for pending in batch {
             rasters.push(pending.raster);
-            replies.push((pending.reply, pending.enqueued));
+            replies.push((pending.reply, pending.enqueued, pending.trace));
         }
+        if let Some(tracer) = &self.tracer {
+            for (_, enqueued, trace) in &replies {
+                if let Some(ctx) = trace {
+                    tracer.record_span(
+                        ctx,
+                        "queue_wait",
+                        *enqueued,
+                        claimed.saturating_duration_since(*enqueued),
+                        Vec::new(),
+                    );
+                }
+            }
+        }
+        let forward_start = Instant::now();
         match model.network.forward_batch(&rasters) {
             Ok(all_logits) => {
-                for (logits, (reply, enqueued)) in all_logits.into_iter().zip(replies) {
+                self.record_forward_spans(&replies, forward_start, forward_start.elapsed());
+                for (logits, (reply, enqueued, trace)) in all_logits.into_iter().zip(replies) {
                     // output_size >= 1 is validated at model build, so
                     // the empty-logits fallback cannot trigger.
                     let prediction = ops::argmax(&logits).unwrap_or(0);
                     let latency = enqueued.elapsed().as_micros() as u64;
-                    self.metrics.record_ok(latency);
+                    match trace {
+                        Some(ctx) => self.metrics.record_ok_traced(latency, ctx.trace_id),
+                        None => self.metrics.record_ok(latency),
+                    }
                     let _ = reply.send(Ok(PredictReply {
                         logits,
                         prediction,
@@ -297,7 +365,7 @@ impl Batcher {
                 // Shape errors are screened at parse time, so this is a
                 // genuine model-level failure; every requester learns it.
                 let detail = e.to_string();
-                for (reply, _) in replies {
+                for (reply, _, _) in replies {
                     self.metrics.record_failure();
                     let _ = reply.send(Err(ServeError::InvalidRequest {
                         detail: detail.clone(),
@@ -306,6 +374,26 @@ impl Batcher {
             }
         }
         self.metrics.record_batch(rasters.len());
+    }
+
+    /// One `forward` span per traced request in the batch, each linking
+    /// the accept spans of the requests co-batched with it — the span
+    /// links express the fan-in a parent/child tree cannot.
+    fn record_forward_spans(&self, replies: &[ReplySlot], start: Instant, elapsed: Duration) {
+        let Some(tracer) = &self.tracer else { return };
+        let accepts: Vec<u64> = replies
+            .iter()
+            .filter_map(|(_, _, trace)| trace.and_then(|ctx| ctx.parent))
+            .collect();
+        for (_, _, trace) in replies {
+            let Some(ctx) = trace else { continue };
+            let links: Vec<u64> = accepts
+                .iter()
+                .copied()
+                .filter(|id| Some(*id) != ctx.parent)
+                .collect();
+            tracer.record_span(ctx, "forward", start, elapsed, links);
+        }
     }
 }
 
@@ -406,6 +494,40 @@ mod tests {
             versions_seen.contains(&2),
             "post-swap requests must see version 2 (saw {versions_seen:?})"
         );
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn traced_submissions_record_queue_wait_and_forward_spans() {
+        let registry = registry(5);
+        let tracer = Arc::new(ncl_obs::Tracer::new(
+            9,
+            ncl_obs::TraceConfig::default(),
+            Instant::now(),
+        ));
+        let batcher = Batcher::start_traced(
+            Arc::clone(&registry),
+            Arc::new(Metrics::default()),
+            BatchConfig::default(),
+            Some(Arc::clone(&tracer)),
+        )
+        .unwrap();
+        let ctx = tracer.new_trace();
+        let accept = tracer.start_span(&ctx, "accept");
+        let accept_id = accept.id();
+        let rx = batcher
+            .submit_traced(input(0), Some(accept.context()))
+            .unwrap();
+        rx.recv().unwrap().unwrap();
+        drop(accept);
+        let kept = tracer.recent(0, 8);
+        assert_eq!(kept.len(), 1, "first completed trace is always kept");
+        let stages: Vec<&str> = kept[0].spans.iter().map(|s| s.stage.as_str()).collect();
+        assert!(stages.contains(&"queue_wait"), "stages: {stages:?}");
+        assert!(stages.contains(&"forward"), "stages: {stages:?}");
+        for span in kept[0].spans.iter().filter(|s| s.stage != "accept") {
+            assert_eq!(span.parent, Some(accept_id), "batch spans parent to accept");
+        }
         batcher.shutdown();
     }
 

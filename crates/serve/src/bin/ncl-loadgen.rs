@@ -3,7 +3,7 @@
 //! ```sh
 //! ncl-loadgen [--addr 127.0.0.1:7878] [--connections N] [--duration-ms N]
 //!             [--steps N] [--density F] [--seed N] [--timeout-ms N]
-//!             [--swap-model ckpt.bin] [--swap-at-ms N]
+//!             [--swap-model ckpt.bin] [--swap-at-ms N] [--trace]
 //!             [--out BENCH_serve.json]
 //! ```
 //!
@@ -14,6 +14,11 @@
 //! half-way) — the acceptance bar is zero failed requests across the
 //! swap. Results (p50/p95/p99 µs, requests/s, per-version request
 //! counts, server-side stats) are written to `--out` as JSON.
+//!
+//! With `--trace`, every predict request originates a distributed
+//! trace context (ids minted deterministically from `--seed` and the
+//! connection index), so the fleet's tail sampler captures slow
+//! requests end-to-end; fetch them afterwards with `ncl-trace`.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -30,7 +35,7 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "usage: ncl-loadgen [--addr host:port] [--connections N] [--duration-ms N] \
          [--steps N] [--density F] [--seed N] [--timeout-ms N] \
-         [--swap-model ckpt.bin] [--swap-at-ms N] [--out file.json]"
+         [--swap-model ckpt.bin] [--swap-at-ms N] [--trace] [--out file.json]"
     );
     std::process::exit(2);
 }
@@ -46,6 +51,7 @@ struct Args {
     timeout: Option<Duration>,
     swap_model: Option<String>,
     swap_at: Option<Duration>,
+    trace: bool,
     out: String,
 }
 
@@ -71,6 +77,7 @@ fn parse_args() -> Args {
         timeout: None,
         swap_model: None,
         swap_at: None,
+        trace: false,
         out: "BENCH_serve.json".to_owned(),
     };
     let mut iter = std::env::args().skip(1);
@@ -120,6 +127,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage("--swap-at-ms must be a u64"));
                 args.swap_at = Some(Duration::from_millis(ms));
             }
+            "--trace" => args.trace = true,
             "--out" => args.out = value("--out"),
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -152,11 +160,23 @@ fn client_loop(
         return result;
     };
     let mut rng = Rng::seed_from_u64(args.seed ^ (conn_index as u64).wrapping_mul(0x9E37));
+    // Trace origination: ids are minted from a deterministic seed per
+    // connection, so a re-run with the same flags names the same traces.
+    let tracer = args.trace.then(|| {
+        ncl_obs::Tracer::new(
+            args.seed ^ (conn_index as u64).wrapping_mul(0xA5A5),
+            ncl_obs::TraceConfig::default(),
+            Instant::now(),
+        )
+    });
     let mut id = 0u64;
     while Instant::now() < deadline {
         let raster =
             SpikeRaster::from_fn(input_size, args.steps, |_, _| rng.bernoulli(args.density));
-        let line = protocol::predict_request_line(id, &raster);
+        let line = match &tracer {
+            Some(tracer) => protocol::predict_request_line_traced(id, &raster, &tracer.new_trace()),
+            None => protocol::predict_request_line(id, &raster),
+        };
         let sent = Instant::now();
         match conn.round_trip(&line) {
             Ok(reply) => {
@@ -325,6 +345,7 @@ fn main() {
         ("requests_ok", Value::from(ok)),
         ("requests_failed", Value::from(failed)),
         ("requests_per_sec", Value::from(rps)),
+        ("traced", Value::from(args_shared.trace)),
         ("latency_us", latency_block),
         ("requests_by_model_version", versions_block),
         ("hot_swap", hot_swap_block),

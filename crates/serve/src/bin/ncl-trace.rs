@@ -1,0 +1,220 @@
+//! `ncl-trace` — fetches and pretty-prints the slowest captured
+//! distributed traces from a fleet node.
+//!
+//! ```sh
+//! ncl-trace [--addr 127.0.0.1:7979] [--min-duration-us N] [--limit N]
+//!           [--slowest N]
+//! ```
+//!
+//! Pointed at `ncl-router`, the `traces` op returns traces already
+//! stitched across the fleet (router + every replica fragment joined
+//! by trace id). Pointed at a single replica it returns local
+//! fragments, which are stitched here before printing. Each hop prints
+//! its span on the unified timeline plus its **self time** — duration
+//! minus direct children — which is the number to rank hops by when
+//! hunting where a slow request actually spent its wall clock.
+
+use ncl_obs::trace;
+use ncl_obs::{NodeFragment, StitchedSpan, StitchedTrace};
+use ncl_serve::client::NclClient;
+use ncl_serve::protocol;
+use serde_json::Value;
+
+fn usage(problem: &str) -> ! {
+    eprintln!("ncl-trace: {problem}");
+    eprintln!(
+        "usage: ncl-trace [--addr host:port] [--min-duration-us N] [--limit N] [--slowest N]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    addr: String,
+    min_duration_us: u64,
+    limit: usize,
+    slowest: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7979".to_owned(),
+        min_duration_us: 0,
+        limit: protocol::DEFAULT_TRACES_LIMIT,
+        slowest: 5,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .unwrap_or_else(|| usage(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--min-duration-us" => {
+                args.min_duration_us = value("--min-duration-us")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--min-duration-us must be a u64"));
+            }
+            "--limit" => {
+                args.limit = value("--limit")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--limit must be a positive integer"));
+            }
+            "--slowest" => {
+                args.slowest = value("--slowest")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--slowest must be a positive integer"));
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if args.limit == 0 || args.slowest == 0 {
+        usage("--limit and --slowest must be at least 1");
+    }
+    args
+}
+
+/// Parses the router's already-stitched `traces` response back into
+/// [`StitchedTrace`]s; malformed entries are skipped, not fatal.
+fn parse_stitched(value: &Value) -> Vec<StitchedTrace> {
+    let Some(traces) = value.get("traces").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    traces
+        .iter()
+        .filter_map(|entry| {
+            let trace_id = trace::parse_trace_id(entry.get("id").and_then(Value::as_str)?)?;
+            let root = trace::parse_span_id(entry.get("root").and_then(Value::as_str)?)?;
+            let duration_us = entry.get("duration_us").and_then(Value::as_u64)?;
+            let orphan_spans = entry
+                .get("orphan_spans")
+                .and_then(Value::as_u64)
+                .unwrap_or(0) as usize;
+            let spans = entry
+                .get("spans")
+                .and_then(Value::as_array)?
+                .iter()
+                .filter_map(parse_stitched_span)
+                .collect::<Vec<_>>();
+            if spans.is_empty() {
+                return None;
+            }
+            Some(StitchedTrace {
+                trace_id,
+                root,
+                duration_us,
+                spans,
+                orphan_spans,
+            })
+        })
+        .collect()
+}
+
+fn parse_stitched_span(span: &Value) -> Option<StitchedSpan> {
+    let parent = match span.get("parent") {
+        None => None,
+        Some(parent) => Some(trace::parse_span_id(parent.as_str()?)?),
+    };
+    Some(StitchedSpan {
+        span_id: trace::parse_span_id(span.get("id").and_then(Value::as_str)?)?,
+        parent,
+        node: span.get("node").and_then(Value::as_str)?.to_owned(),
+        stage: span.get("stage").and_then(Value::as_str)?.to_owned(),
+        start_us: span.get("start_us").and_then(Value::as_u64)?,
+        duration_us: span.get("duration_us").and_then(Value::as_u64)?,
+        links: span
+            .get("links")
+            .and_then(Value::as_array)
+            .map(|links| {
+                links
+                    .iter()
+                    .filter_map(|l| trace::parse_span_id(l.as_str()?))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        depth: span.get("depth").and_then(Value::as_u64).unwrap_or(0) as usize,
+    })
+}
+
+fn print_trace(trace: &StitchedTrace) {
+    println!(
+        "trace {}  {}µs  {} spans  root {}{}",
+        trace::trace_id_hex(trace.trace_id),
+        trace.duration_us,
+        trace.spans.len(),
+        trace::span_id_hex(trace.root),
+        if trace.orphan_spans > 0 {
+            format!("  ({} orphan spans!)", trace.orphan_spans)
+        } else {
+            String::new()
+        }
+    );
+    for span in &trace.spans {
+        let indent = "  ".repeat(span.depth + 1);
+        let links = if span.links.is_empty() {
+            String::new()
+        } else {
+            format!("  +{} links", span.links.len())
+        };
+        println!(
+            "{indent}{stage:<12} {node:<12} start {start:>7}µs  wall {wall:>7}µs  self {own:>7}µs{links}",
+            stage = span.stage,
+            node = span.node,
+            start = span.start_us,
+            wall = span.duration_us,
+            own = ncl_obs::trace::self_time_us(trace, span.span_id),
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut client = NclClient::connect_with(&args.addr, Default::default()).unwrap_or_else(|e| {
+        eprintln!("ncl-trace: cannot connect to {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let reply = client
+        .traces(args.min_duration_us, args.limit)
+        .unwrap_or_else(|e| {
+            eprintln!("ncl-trace: traces op failed: {e}");
+            std::process::exit(1);
+        });
+    if reply.get("ok").and_then(Value::as_bool) != Some(true) {
+        let detail = reply.get("error").and_then(Value::as_str).unwrap_or("?");
+        eprintln!("ncl-trace: traces op declined: {detail}");
+        std::process::exit(1);
+    }
+    let stitched = if reply.get("stitched").and_then(Value::as_bool) == Some(true) {
+        parse_stitched(&reply)
+    } else {
+        // A lone replica serves raw local fragments; stitch them here
+        // so single-node traces print on the same unified timeline.
+        let fragments: Vec<NodeFragment> = protocol::parse_traces_response(&reply)
+            .into_iter()
+            .map(|fragment| NodeFragment {
+                node: args.addr.clone(),
+                trace_id: fragment.trace_id,
+                spans: fragment.spans,
+            })
+            .collect();
+        ncl_obs::stitch(&fragments)
+    };
+    if stitched.is_empty() {
+        println!(
+            "no traces captured at {} (min duration {}µs)",
+            args.addr, args.min_duration_us
+        );
+        return;
+    }
+    // Already sorted slowest-first by stitch(); the router's response
+    // preserves that order.
+    for trace in stitched.iter().take(args.slowest) {
+        print_trace(trace);
+        println!();
+    }
+    println!(
+        "{} of {} captured traces shown (slowest first)",
+        stitched.len().min(args.slowest),
+        stitched.len()
+    );
+}

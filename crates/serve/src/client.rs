@@ -163,6 +163,38 @@ impl NclClient {
         self.round_trip(&protocol::predict_request_line(id, raster))
     }
 
+    /// Predict round trip carrying a trace context, so the server's
+    /// accept/queue-wait/forward/reply spans join the caller's trace.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn predict_traced(
+        &mut self,
+        id: u64,
+        raster: &SpikeRaster,
+        ctx: &ncl_obs::TraceContext,
+    ) -> std::io::Result<Value> {
+        self.round_trip(&protocol::predict_request_line_traced(id, raster, ctx))
+    }
+
+    /// Fetches recent kept trace fragments (`traces` op), filtered to
+    /// root durations of at least `min_duration_us`, newest first,
+    /// capped at `limit`.
+    ///
+    /// # Errors
+    ///
+    /// As [`NclClient::round_trip`].
+    pub fn traces(&mut self, min_duration_us: u64, limit: usize) -> std::io::Result<Value> {
+        let line = protocol::object(vec![
+            ("op", Value::from("traces")),
+            ("min_duration_us", Value::from(min_duration_us)),
+            ("limit", Value::from(limit as u64)),
+        ])
+        .to_json();
+        self.round_trip(&line)
+    }
+
     /// Stats round trip.
     ///
     /// # Errors

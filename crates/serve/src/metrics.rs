@@ -88,8 +88,20 @@ impl Metrics {
 
     /// Records one successful predict with its end-to-end latency.
     pub fn record_ok(&self, latency_us: u64) {
-        self.ok.inc();
         self.latency.record(latency_us);
+        self.note_ok();
+    }
+
+    /// Records one successful predict that carried a trace context; the
+    /// observation feeds the latency exemplar, so the `stats` latency
+    /// block can point at the slowest captured trace.
+    pub fn record_ok_traced(&self, latency_us: u64, trace_id: u128) {
+        self.latency.record_traced(latency_us, trace_id);
+        self.note_ok();
+    }
+
+    fn note_ok(&self) {
+        self.ok.inc();
         let now_ns = self.started.elapsed().as_nanos() as u64;
         self.first_reply_ns.fetch_min(now_ns, Ordering::Relaxed);
         self.last_reply_ns.fetch_max(now_ns, Ordering::Relaxed);
@@ -162,6 +174,15 @@ impl Metrics {
         latency.insert("p99".to_owned(), Value::from(self.latency.quantile(0.99)));
         latency.insert("mean".to_owned(), Value::from(self.latency.mean()));
         latency.insert("max".to_owned(), Value::from(self.latency.max()));
+        if let Some((value, trace_id)) = self.latency.exemplar() {
+            let mut exemplar = BTreeMap::new();
+            exemplar.insert("latency_us".to_owned(), Value::from(value));
+            exemplar.insert(
+                "trace_id".to_owned(),
+                Value::from(ncl_obs::trace::trace_id_hex(trace_id)),
+            );
+            latency.insert("exemplar".to_owned(), Value::Object(exemplar));
+        }
 
         let mut map = BTreeMap::new();
         map.insert("requests_ok".to_owned(), Value::from(self.ok_count()));
@@ -251,6 +272,32 @@ mod tests {
         // Round-trips through the JSON writer/parser.
         let text = snap.to_json();
         assert_eq!(serde_json::from_str(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_surfaces_the_latency_exemplar() {
+        let m = Metrics::default();
+        m.record_ok(10);
+        let plain = m.snapshot();
+        assert!(
+            plain.get("latency_us").unwrap().get("exemplar").is_none(),
+            "untraced traffic yields no exemplar"
+        );
+        m.record_ok_traced(500, 0xab);
+        m.record_ok_traced(100, 0xcd);
+        let snap = m.snapshot();
+        let exemplar = snap
+            .get("latency_us")
+            .and_then(|l| l.get("exemplar"))
+            .expect("exemplar after traced traffic");
+        assert_eq!(
+            exemplar.get("latency_us").and_then(Value::as_u64),
+            Some(500)
+        );
+        assert_eq!(
+            exemplar.get("trace_id").and_then(Value::as_str),
+            Some("000000000000000000000000000000ab")
+        );
     }
 
     #[test]

@@ -21,7 +21,14 @@
 //! | `{"op":"join","addr":"127.0.0.1:7101"}` | `{"ok":true,"op":"join","id":3}` (router only) |
 //! | `{"op":"leave","id":3}` | `{"ok":true,"op":"leave","id":3}` (router only) |
 //! | `{"op":"members"}` | `{"ok":true,"op":"members","members":[...]}` (router only) |
+//! | `{"op":"traces","min_duration_us":0,"limit":8}` | `{"ok":true,"op":"traces","stitched":false,"traces":[...]}` |
 //!
+//! Any request may carry an optional `"trace"` field —
+//! `{"trace":{"id":"<32 hex>","parent":"<16 hex>"}}` — propagating a
+//! distributed-trace context; peers that predate tracing ignore it.
+//! The `traces` op returns recent tail-sampled traces: local fragments
+//! from a replica (`"stitched":false`), fleet-stitched trees from the
+//! router (`"stitched":true`).
 //! `input` is the spike raster as one array per timestep listing the
 //! active input-neuron indices at that step. Failures answer
 //! `{"ok":false,"error":"...","id":...}` and keep the connection open;
@@ -41,6 +48,7 @@
 
 use std::collections::BTreeMap;
 
+use ncl_obs::trace::{self, TraceContext, TraceFragment, TraceSpanRecord};
 use ncl_spike::SpikeRaster;
 use serde_json::Value;
 
@@ -59,6 +67,9 @@ pub enum Request {
         id: Option<u64>,
         /// The input spike raster.
         raster: SpikeRaster,
+        /// Distributed-trace context propagated by the caller (the
+        /// optional `"trace"` wire field; old peers never send it).
+        trace: Option<TraceContext>,
     },
     /// Fetch serving statistics.
     Stats,
@@ -120,7 +131,18 @@ pub enum Request {
     },
     /// List the router's current backends (router-only op).
     Members,
+    /// Fetch recent tail-sampled traces (stitched fleet-wide when the
+    /// router answers, local fragments when a replica does).
+    Traces {
+        /// Only traces at least this slow (µs); 0 = all.
+        min_duration_us: u64,
+        /// At most this many traces, newest/slowest first.
+        limit: usize,
+    },
 }
+
+/// Default `limit` for the `traces` op when the request omits it.
+pub const DEFAULT_TRACES_LIMIT: usize = 32;
 
 /// Renders bytes as lowercase hex (the wire form of binary payloads —
 /// no base64 dependency in the tree).
@@ -212,7 +234,11 @@ pub fn parse_request(line: &str, input_size: usize) -> Result<Request, ServeErro
                     raster.set(n, t, true);
                 }
             }
-            Ok(Request::Predict { id, raster })
+            Ok(Request::Predict {
+                id,
+                raster,
+                trace: parse_trace(&value)?,
+            })
         }
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
@@ -267,7 +293,77 @@ pub fn parse_request(line: &str, input_size: usize) -> Result<Request, ServeErro
             Ok(Request::Leave { id })
         }
         "members" => Ok(Request::Members),
+        "traces" => {
+            let min_duration_us = value.get("min_duration_us").and_then(Value::as_u64);
+            let limit = value
+                .get("limit")
+                .and_then(Value::as_u64)
+                .map_or(DEFAULT_TRACES_LIMIT, |l| l as usize);
+            Ok(Request::Traces {
+                min_duration_us: min_duration_us.unwrap_or(0),
+                limit,
+            })
+        }
         other => Err(invalid(format!("unknown op {other:?}"))),
+    }
+}
+
+/// Extracts the optional `"trace"` field of a request:
+/// `{"trace":{"id":"<32 hex>","parent":"<16 hex>"}}` (`parent` itself
+/// optional). A missing field is `Ok(None)`; a malformed one is an
+/// error — a peer that *tries* to propagate context must not fail
+/// silently into broken traces.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidRequest`] when the field is present but
+/// not an object, or its ids do not parse as fixed-width hex.
+pub fn parse_trace(value: &Value) -> Result<Option<TraceContext>, ServeError> {
+    let Some(field) = value.get("trace") else {
+        return Ok(None);
+    };
+    let id = field
+        .get("id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| invalid("trace needs \"id\" (32 hex digits)"))?;
+    let trace_id = trace::parse_trace_id(id)
+        .ok_or_else(|| invalid(format!("bad trace id {id:?} (want 32 hex digits)")))?;
+    let parent = match field.get("parent") {
+        None => None,
+        Some(parent) => {
+            let hex = parent
+                .as_str()
+                .ok_or_else(|| invalid("trace \"parent\" must be a string"))?;
+            Some(trace::parse_span_id(hex).ok_or_else(|| {
+                invalid(format!("bad parent span id {hex:?} (want 16 hex digits)"))
+            })?)
+        }
+    };
+    Ok(Some(TraceContext { trace_id, parent }))
+}
+
+/// The wire form of a trace context (the `"trace"` field value).
+#[must_use]
+pub fn trace_value(ctx: &TraceContext) -> Value {
+    let mut pairs = vec![("id", Value::from(trace::trace_id_hex(ctx.trace_id)))];
+    if let Some(parent) = ctx.parent {
+        pairs.push(("parent", Value::from(trace::span_id_hex(parent))));
+    }
+    object(pairs)
+}
+
+/// Re-stamps a request line with `ctx` as its `"trace"` field — the
+/// propagation helper every hop that forwards a request downstream
+/// while holding a live span must use (the `trace-propagation` lint
+/// rule checks for it). Non-object lines pass through unchanged.
+#[must_use]
+pub fn traced_line(line: &str, ctx: &TraceContext) -> String {
+    match serde_json::from_str(line) {
+        Ok(Value::Object(mut map)) => {
+            map.insert("trace".to_owned(), trace_value(ctx));
+            Value::Object(map).to_json()
+        }
+        _ => line.to_owned(),
     }
 }
 
@@ -315,6 +411,14 @@ pub fn predict_request_line(id: u64, raster: &SpikeRaster) -> String {
     .to_json()
 }
 
+/// Renders a predict request line carrying a trace context (the
+/// tracing-enabled client side: `ncl-loadgen --trace` and
+/// [`crate::client::NclClient::predict_traced`]).
+#[must_use]
+pub fn predict_request_line_traced(id: u64, raster: &SpikeRaster, ctx: &TraceContext) -> String {
+    traced_line(&predict_request_line(id, raster), ctx)
+}
+
 /// Renders a successful predict response line.
 #[must_use]
 pub fn predict_response(
@@ -349,6 +453,161 @@ pub fn metrics_response(exposition: &str) -> String {
     .to_json()
 }
 
+/// The wire form of one recorded span.
+fn span_value(span: &TraceSpanRecord) -> Value {
+    let mut pairs = vec![
+        ("id", Value::from(trace::span_id_hex(span.span_id))),
+        ("stage", Value::from(span.stage.as_str())),
+        ("start_us", Value::from(span.start_us)),
+        ("duration_us", Value::from(span.duration_us)),
+    ];
+    if let Some(parent) = span.parent {
+        pairs.push(("parent", Value::from(trace::span_id_hex(parent))));
+    }
+    if !span.links.is_empty() {
+        pairs.push((
+            "links",
+            span.links
+                .iter()
+                .map(|l| Value::from(trace::span_id_hex(*l)))
+                .collect::<Value>(),
+        ));
+    }
+    object(pairs)
+}
+
+/// Renders the `traces` op response for one node's local fragments
+/// (newest first, as [`ncl_obs::Tracer::recent`] returns them).
+#[must_use]
+pub fn traces_response(fragments: &[TraceFragment]) -> String {
+    let traces: Value = fragments
+        .iter()
+        .map(|fragment| {
+            object(vec![
+                ("id", Value::from(trace::trace_id_hex(fragment.trace_id))),
+                ("root_duration_us", Value::from(fragment.root_duration_us())),
+                (
+                    "spans",
+                    fragment.spans.iter().map(span_value).collect::<Value>(),
+                ),
+            ])
+        })
+        .collect();
+    object(vec![
+        ("ok", Value::from(true)),
+        ("op", Value::from("traces")),
+        ("stitched", Value::from(false)),
+        ("traces", traces),
+    ])
+    .to_json()
+}
+
+/// Renders the router's `traces` response: fleet-stitched trees,
+/// slowest first, each span tagged with the node that recorded it.
+#[must_use]
+pub fn stitched_traces_response(traces: &[ncl_obs::StitchedTrace]) -> String {
+    let rendered: Value = traces
+        .iter()
+        .map(|trace| {
+            let spans: Value = trace
+                .spans
+                .iter()
+                .map(|span| {
+                    let mut pairs = vec![
+                        ("id", Value::from(trace::span_id_hex(span.span_id))),
+                        ("node", Value::from(span.node.as_str())),
+                        ("stage", Value::from(span.stage.as_str())),
+                        ("start_us", Value::from(span.start_us)),
+                        ("duration_us", Value::from(span.duration_us)),
+                        ("depth", Value::from(span.depth)),
+                    ];
+                    if let Some(parent) = span.parent {
+                        pairs.push(("parent", Value::from(trace::span_id_hex(parent))));
+                    }
+                    if !span.links.is_empty() {
+                        pairs.push((
+                            "links",
+                            span.links
+                                .iter()
+                                .map(|l| Value::from(trace::span_id_hex(*l)))
+                                .collect::<Value>(),
+                        ));
+                    }
+                    object(pairs)
+                })
+                .collect();
+            object(vec![
+                ("id", Value::from(trace::trace_id_hex(trace.trace_id))),
+                ("root", Value::from(trace::span_id_hex(trace.root))),
+                ("duration_us", Value::from(trace.duration_us)),
+                ("orphan_spans", Value::from(trace.orphan_spans)),
+                ("spans", spans),
+            ])
+        })
+        .collect();
+    object(vec![
+        ("ok", Value::from(true)),
+        ("op", Value::from("traces")),
+        ("stitched", Value::from(true)),
+        ("traces", rendered),
+    ])
+    .to_json()
+}
+
+/// Parses a node's [`traces_response`] back into fragments (the router
+/// does this when assembling the fleet view). Lenient: malformed spans
+/// or traces are skipped rather than failing the whole assembly — one
+/// replica's bad reply must not hide every other node's fragments.
+#[must_use]
+pub fn parse_traces_response(value: &Value) -> Vec<TraceFragment> {
+    let Some(traces) = value.get("traces").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    traces
+        .iter()
+        .filter_map(|entry| {
+            let trace_id = trace::parse_trace_id(entry.get("id").and_then(Value::as_str)?)?;
+            let spans = entry
+                .get("spans")
+                .and_then(Value::as_array)?
+                .iter()
+                .filter_map(|span| parse_span(trace_id, span))
+                .collect::<Vec<_>>();
+            if spans.is_empty() {
+                return None;
+            }
+            Some(TraceFragment { trace_id, spans })
+        })
+        .collect()
+}
+
+fn parse_span(trace_id: u128, span: &Value) -> Option<TraceSpanRecord> {
+    let span_id = trace::parse_span_id(span.get("id").and_then(Value::as_str)?)?;
+    let parent = match span.get("parent") {
+        None => None,
+        Some(parent) => Some(trace::parse_span_id(parent.as_str()?)?),
+    };
+    let links = span
+        .get("links")
+        .and_then(Value::as_array)
+        .map(|links| {
+            links
+                .iter()
+                .filter_map(|l| trace::parse_span_id(l.as_str()?))
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(TraceSpanRecord {
+        trace_id,
+        span_id,
+        parent,
+        stage: span.get("stage").and_then(Value::as_str)?.to_owned(),
+        start_us: span.get("start_us").and_then(Value::as_u64)?,
+        duration_us: span.get("duration_us").and_then(Value::as_u64)?,
+        links,
+    })
+}
+
 /// Renders an error response line.
 #[must_use]
 pub fn error_response(id: Option<u64>, error: &ServeError) -> String {
@@ -374,12 +633,140 @@ mod tests {
         raster.set(1, 2, true);
         let line = predict_request_line(9, &raster);
         match parse_request(&line, 5).unwrap() {
-            Request::Predict { id, raster: parsed } => {
+            Request::Predict {
+                id,
+                raster: parsed,
+                trace,
+            } => {
                 assert_eq!(id, Some(9));
                 assert_eq!(parsed, raster);
+                assert_eq!(trace, None);
             }
             other => panic!("expected predict, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn predict_trace_context_round_trips() {
+        let raster = {
+            let mut r = SpikeRaster::new(4, 1);
+            r.set(2, 0, true);
+            r
+        };
+        let ctx = TraceContext {
+            trace_id: 0x00ff_0000_0000_0000_0000_0000_0000_00aau128,
+            parent: Some(0x1234),
+        };
+        let line = predict_request_line_traced(3, &raster, &ctx);
+        match parse_request(&line, 4).unwrap() {
+            Request::Predict { trace, .. } => assert_eq!(trace, Some(ctx)),
+            other => panic!("expected predict, got {other:?}"),
+        }
+        // Root context: no parent field on the wire.
+        let root = TraceContext {
+            trace_id: 7,
+            parent: None,
+        };
+        let line = predict_request_line_traced(3, &raster, &root);
+        assert!(!line.contains("parent"));
+        match parse_request(&line, 4).unwrap() {
+            Request::Predict { trace, .. } => assert_eq!(trace, Some(root)),
+            other => panic!("expected predict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_trace_contexts_are_rejected_not_ignored() {
+        for line in [
+            r#"{"op":"predict","input":[[1]],"trace":5}"#,
+            r#"{"op":"predict","input":[[1]],"trace":{}}"#,
+            r#"{"op":"predict","input":[[1]],"trace":{"id":"xyz"}}"#,
+            r#"{"op":"predict","input":[[1]],"trace":{"id":"00000000000000000000000000000007","parent":"zz"}}"#,
+        ] {
+            assert!(
+                matches!(
+                    parse_request(line, 4),
+                    Err(ServeError::InvalidRequest { .. })
+                ),
+                "{line} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_traces_op_with_defaults() {
+        assert_eq!(
+            parse_request(r#"{"op":"traces"}"#, 4).unwrap(),
+            Request::Traces {
+                min_duration_us: 0,
+                limit: DEFAULT_TRACES_LIMIT
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"traces","min_duration_us":500,"limit":3}"#, 4).unwrap(),
+            Request::Traces {
+                min_duration_us: 500,
+                limit: 3
+            }
+        );
+    }
+
+    #[test]
+    fn traces_response_round_trips_fragments() {
+        let fragment = TraceFragment {
+            trace_id: 0xabcd,
+            spans: vec![
+                TraceSpanRecord {
+                    trace_id: 0xabcd,
+                    span_id: 2,
+                    parent: Some(1),
+                    stage: "queue_wait".to_owned(),
+                    start_us: 10,
+                    duration_us: 40,
+                    links: vec![5, 6],
+                },
+                TraceSpanRecord {
+                    trace_id: 0xabcd,
+                    span_id: 1,
+                    parent: None,
+                    stage: "accept".to_owned(),
+                    start_us: 5,
+                    duration_us: 90,
+                    links: Vec::new(),
+                },
+            ],
+        };
+        let line = traces_response(std::slice::from_ref(&fragment));
+        let value = serde_json::from_str(&line).unwrap();
+        assert_eq!(value.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(value.get("stitched").and_then(Value::as_bool), Some(false));
+        let parsed = parse_traces_response(&value);
+        assert_eq!(parsed, vec![fragment]);
+    }
+
+    #[test]
+    fn traced_line_is_idempotent_and_preserves_other_fields() {
+        let ctx = TraceContext {
+            trace_id: 3,
+            parent: Some(9),
+        };
+        let once = traced_line(r#"{"op":"predict","id":4,"input":[[0]]}"#, &ctx);
+        let newer = TraceContext {
+            trace_id: 3,
+            parent: Some(10),
+        };
+        let twice = traced_line(&once, &newer);
+        let value = serde_json::from_str(&twice).unwrap();
+        assert_eq!(value.get("id").and_then(Value::as_u64), Some(4));
+        assert_eq!(
+            value
+                .get("trace")
+                .and_then(|t| t.get("parent"))
+                .and_then(Value::as_str),
+            Some("000000000000000a"),
+            "re-stamping replaces the context rather than nesting it"
+        );
+        assert_eq!(traced_line("not json", &ctx), "not json");
     }
 
     #[test]

@@ -93,8 +93,17 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
+        // Seed trace-id minting from the bound port: deterministic for a
+        // fixed fleet layout, yet distinct per member, so span ids never
+        // collide when the router stitches fragments across nodes.
+        obs.tracer().set_seed(u64::from(addr.port()));
         let metrics = Arc::new(Metrics::new(&obs));
-        let batcher = Batcher::start(Arc::clone(&registry), Arc::clone(&metrics), config.batch)?;
+        let batcher = Batcher::start_traced(
+            Arc::clone(&registry),
+            Arc::clone(&metrics),
+            config.batch,
+            Some(Arc::clone(obs.tracer())),
+        )?;
         let shared = Arc::new(Shared {
             registry,
             metrics,
@@ -272,19 +281,44 @@ fn handle_line(line: &str, shared: &Shared) -> (String, bool) {
         }
     };
     let response = match request {
-        Request::Predict { id, raster } => match predict(shared, raster) {
-            Ok((prediction, logits, version)) => {
-                protocol::predict_response(id, prediction, &logits, version)
-            }
-            Err(e) => {
-                // Batch-level failures are already counted by the
-                // batcher; only count pre-submit rejections here.
-                if matches!(e, ServeError::ShuttingDown) {
-                    shared.metrics.record_failure();
+        Request::Predict { id, raster, trace } => {
+            // The accept span covers the whole replica-side request; it
+            // is the last guard of the local fragment to close, so the
+            // fragment finalizes (and tail-samples) right here, before
+            // the response hits the wire.
+            let accept = trace
+                .as_ref()
+                .map(|ctx| shared.obs.tracer().start_span(ctx, "accept"));
+            let batch_ctx = accept.as_ref().map(|span| span.context());
+            match predict(shared, raster, batch_ctx) {
+                Ok((prediction, logits, version)) => {
+                    let render_start = std::time::Instant::now();
+                    let response = protocol::predict_response(id, prediction, &logits, version);
+                    if let Some(ctx) = &batch_ctx {
+                        shared.obs.tracer().record_span(
+                            ctx,
+                            "reply",
+                            render_start,
+                            render_start.elapsed(),
+                            Vec::new(),
+                        );
+                    }
+                    response
                 }
-                protocol::error_response(id, &e)
+                Err(e) => {
+                    // Batch-level failures are already counted by the
+                    // batcher; only count pre-submit rejections here.
+                    if matches!(e, ServeError::ShuttingDown) {
+                        shared.metrics.record_failure();
+                    }
+                    protocol::error_response(id, &e)
+                }
             }
-        },
+        }
+        Request::Traces {
+            min_duration_us,
+            limit,
+        } => protocol::traces_response(&shared.obs.tracer().recent(min_duration_us, limit)),
         Request::Stats => stats_response(shared),
         Request::Metrics => protocol::metrics_response(&shared.obs.render()),
         Request::Swap { path } => {
@@ -370,8 +404,9 @@ fn handle_line(line: &str, shared: &Shared) -> (String, bool) {
 fn predict(
     shared: &Shared,
     raster: ncl_spike::SpikeRaster,
+    trace: Option<ncl_obs::TraceContext>,
 ) -> Result<(usize, Vec<f32>, u64), ServeError> {
-    let rx = shared.batcher.submit(raster)?;
+    let rx = shared.batcher.submit_traced(raster, trace)?;
     let reply = rx.recv().map_err(|_| ServeError::ShuttingDown)??;
     Ok((reply.prediction, reply.logits, reply.model_version))
 }
@@ -551,6 +586,50 @@ mod tests {
         assert!(text.contains("# TYPE serve_latency_us histogram"));
         assert!(text.contains("serve_latency_us_count 1"));
         assert!(text.contains("serve_batches_total 1"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_predicts_surface_in_the_traces_op() {
+        let server = start_server();
+        let mut client = NclClient::connect(server.local_addr()).unwrap();
+        let raster = SpikeRaster::from_fn(8, 10, |n, t| (n + t) % 2 == 0);
+        let ctx = ncl_obs::TraceContext {
+            trace_id: 0xabc,
+            parent: None,
+        };
+        let reply = client.predict_traced(7, &raster, &ctx).unwrap();
+        assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+
+        let traces = client.traces(0, 16).unwrap();
+        assert_eq!(traces.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(traces.get("stitched").and_then(Value::as_bool), Some(false));
+        let list = traces.get("traces").and_then(Value::as_array).unwrap();
+        assert_eq!(list.len(), 1, "first completed trace is always kept");
+        assert_eq!(
+            list[0].get("id").and_then(Value::as_str),
+            Some("00000000000000000000000000000abc")
+        );
+        let spans = list[0].get("spans").and_then(Value::as_array).unwrap();
+        let stages: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("stage").and_then(Value::as_str))
+            .collect();
+        for expected in ["accept", "queue_wait", "forward", "reply"] {
+            assert!(stages.contains(&expected), "missing {expected}: {stages:?}");
+        }
+
+        // The exemplar in stats points at the captured trace.
+        let stats = client.stats().unwrap();
+        let exemplar = stats
+            .get("serving")
+            .and_then(|s| s.get("latency_us"))
+            .and_then(|l| l.get("exemplar"))
+            .expect("latency exemplar after traced traffic");
+        assert_eq!(
+            exemplar.get("trace_id").and_then(Value::as_str),
+            Some("00000000000000000000000000000abc")
+        );
         server.shutdown();
     }
 

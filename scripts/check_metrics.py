@@ -13,6 +13,9 @@ extracted). `<role>` picks the layer coverage the scrape must show:
     router    the fleet router               -> router_*, plus per-replica
               serve_* series stamped with a replica="N" label
 
+Every role must also expose the registry's own obs_* self-metrics
+(ring occupancy/drops and the trace tail-sampler counters).
+
 Beyond coverage, the exposition itself is checked for well-formedness:
 every sample parses, every family has exactly one HELP and TYPE comment
 before its samples, histogram buckets are cumulative and end at +Inf
@@ -36,10 +39,10 @@ SAMPLE_RE = re.compile(
 LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
 
 ROLE_PREFIXES = {
-    "serve": ["serve_"],
-    "learner": ["serve_", "online_", "snn_"],
-    "follower": ["serve_", "online_", "replica_"],
-    "router": ["router_"],
+    "serve": ["serve_", "obs_"],
+    "learner": ["serve_", "online_", "snn_", "obs_"],
+    "follower": ["serve_", "online_", "replica_", "obs_"],
+    "router": ["router_", "obs_"],
 }
 
 # Every prefix the fleet owns; families under these must be in the

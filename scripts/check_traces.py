@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validator for the router's stitched `traces` wire reply.
+
+    python3 scripts/check_traces.py <traces.json> [<metrics.json>]
+
+`<traces.json>` holds the one-line JSON reply of the `traces` op asked
+of ncl-router. The reply must be a stitched fleet view, and at least
+one trace must be a real multi-hop capture: spans recorded on two or
+more distinct nodes (the router plus a replica), including the
+replica-side `queue_wait` and `forward` stages, with zero orphan spans
+and every child interval nested inside its parent on the unified
+timeline. That is exactly what a traced `ncl-loadgen --trace` predict
+through the fleet produces, and the tail sampler's always-keep-first
+rule guarantees the first one survives on every node.
+
+`<metrics.json>`, when given, is the same node's `metrics` reply; the
+exposition must surface the tail sampler's accounting
+(`obs_traces_dropped_total` / `obs_traces_kept_total`, with at least
+one fragment kept).
+
+Exits nonzero with a pointed message on the first violation.
+"""
+
+import json
+import sys
+
+
+class CheckFailure(AssertionError):
+    pass
+
+
+def ensure(condition, message):
+    if not condition:
+        raise CheckFailure(message)
+
+
+def check_tree(trace):
+    """Structural invariants of one stitched trace."""
+    spans = trace.get("spans", [])
+    ensure(spans, f"trace {trace.get('id')} has no spans")
+    by_id = {s["id"]: s for s in spans}
+    ensure(len(by_id) == len(spans), "duplicate span ids in one trace")
+    roots = [s for s in spans if "parent" not in s]
+    ensure(len(roots) == 1, f"expected one root, got {len(roots)}")
+    root = roots[0]
+    ensure(root["id"] == trace["root"], "root field matches the parentless span")
+    ensure(root["start_us"] == 0, "root starts the unified timeline")
+    ensure(
+        trace["duration_us"] == root["duration_us"],
+        "trace duration is the root span's",
+    )
+    for span in spans:
+        parent_id = span.get("parent")
+        if parent_id is None:
+            continue
+        ensure(parent_id in by_id, f"span {span['id']} has a dangling parent")
+        parent = by_id[parent_id]
+        child_end = span["start_us"] + span["duration_us"]
+        parent_end = parent["start_us"] + parent["duration_us"]
+        ensure(
+            span["start_us"] >= parent["start_us"] and child_end <= parent_end,
+            f"span {span['id']} [{span['start_us']}, {child_end}] escapes "
+            f"its parent [{parent['start_us']}, {parent_end}]",
+        )
+
+
+def is_multi_hop(trace):
+    spans = trace.get("spans", [])
+    nodes = {s.get("node") for s in spans}
+    stages = {s.get("stage") for s in spans}
+    return (
+        len(nodes) >= 2
+        and {"queue_wait", "forward"} <= stages
+        and trace.get("orphan_spans") == 0
+    )
+
+
+def check_traces(reply):
+    ensure(reply.get("ok") is True, f"traces op replied {reply}")
+    ensure(
+        reply.get("stitched") is True,
+        "the router must serve stitched traces (raw fragments mean the "
+        "fleet assembly path is broken)",
+    )
+    traces = reply.get("traces", [])
+    ensure(traces, "no traces captured — did loadgen run with --trace?")
+    for trace in traces:
+        check_tree(trace)
+    multi_hop = [t for t in traces if is_multi_hop(t)]
+    ensure(
+        multi_hop,
+        "no stitched multi-hop trace: every capture stayed on one node "
+        "or lost its queue_wait/forward spans — trace-context "
+        "propagation across the wire is broken",
+    )
+    sample = multi_hop[0]
+    nodes = sorted({s["node"] for s in sample["spans"]})
+    print(
+        f"traces ok: {len(traces)} stitched, {len(multi_hop)} multi-hop; "
+        f"slowest multi-hop {sample['id']} spans {nodes} "
+        f"in {sample['duration_us']}us"
+    )
+
+
+def check_sampler_metrics(path):
+    with open(path) as fh:
+        reply = json.load(fh)
+    exposition = reply.get("exposition", "")
+    values = {}
+    for line in exposition.splitlines():
+        for name in ("obs_traces_dropped_total", "obs_traces_kept_total"):
+            if line.startswith(name + " "):
+                values[name] = float(line.rsplit(" ", 1)[1])
+    for name in ("obs_traces_dropped_total", "obs_traces_kept_total"):
+        ensure(name in values, f"{name} missing from the exposition")
+    ensure(
+        values["obs_traces_kept_total"] >= 1,
+        "the tail sampler kept zero fragments on a node serving traces",
+    )
+    print(
+        "sampler ok: kept {obs_traces_kept_total:.0f}, "
+        "dropped {obs_traces_dropped_total:.0f}".format(**values)
+    )
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(
+            "usage: check_traces.py <traces.json> [<metrics.json>]",
+            file=sys.stderr,
+        )
+        return 2
+    with open(sys.argv[1]) as fh:
+        reply = json.load(fh)
+    try:
+        check_traces(reply)
+        if len(sys.argv) == 3:
+            check_sampler_metrics(sys.argv[2])
+    except CheckFailure as failure:
+        print(f"check_traces: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

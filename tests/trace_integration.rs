@@ -1,0 +1,173 @@
+//! End-to-end distributed-tracing integration: one traced predict
+//! through `ncl-router` fronting two real replicas over TCP must come
+//! back from the router's `traces` op as a **single stitched trace** —
+//! router `route`/`dispatch` spans parenting the serving replica's
+//! `accept`/`queue_wait`/`forward`/`reply` spans, zero orphans, and
+//! every child interval nested inside its parent on the unified
+//! timeline.
+//!
+//! Determinism leans on the tail sampler's counter starting at zero:
+//! the first completed trace on every node is always kept, so the very
+//! first traced predict is guaranteed to be fully captured on both the
+//! router and whichever replica served it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncl_obs::TraceContext;
+use ncl_router::backend::Backend;
+use ncl_router::router::{Router, RouterConfig};
+use ncl_serve::client::NclClient;
+use ncl_serve::registry::ModelRegistry;
+use ncl_serve::server::{Server, ServerConfig};
+use ncl_snn::{Network, NetworkConfig};
+use ncl_spike::SpikeRaster;
+use serde_json::Value;
+
+fn start_replica(seed: u64) -> Server {
+    let mut config = NetworkConfig::tiny(8, 3);
+    config.seed = seed;
+    let registry = Arc::new(ModelRegistry::new(
+        Network::new(config).unwrap(),
+        "trace-test",
+    ));
+    Server::start(registry, ServerConfig::default()).unwrap()
+}
+
+/// The stitched span with the given stage, if present.
+fn span_with_stage<'a>(spans: &'a [Value], stage: &str) -> Option<&'a Value> {
+    spans
+        .iter()
+        .find(|s| s.get("stage").and_then(Value::as_str) == Some(stage))
+}
+
+#[test]
+fn routed_predict_stitches_into_one_multi_hop_trace() {
+    let replica_a = start_replica(11);
+    let replica_b = start_replica(11);
+    let backends = vec![
+        Arc::new(Backend::new(0, replica_a.local_addr())),
+        Arc::new(Backend::new(1, replica_b.local_addr())),
+    ];
+    let router = Router::start(
+        backends,
+        RouterConfig {
+            sync_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut client = NclClient::connect(router.local_addr()).unwrap();
+    let raster = SpikeRaster::from_fn(8, 12, |n, t| (n + t) % 3 == 0);
+    let ctx = TraceContext {
+        trace_id: 0x7777_0001,
+        parent: None,
+    };
+    let reply = client.predict_traced(1, &raster, &ctx).unwrap();
+    assert_eq!(
+        reply.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "traced predict answered: {reply:?}"
+    );
+
+    // A few untraced predicts ride along untouched by tracing.
+    for id in 2..5 {
+        let plain = client.predict(id, &raster).unwrap();
+        assert_eq!(plain.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    let traces = client.traces(0, 16).unwrap();
+    assert_eq!(traces.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        traces.get("stitched").and_then(Value::as_bool),
+        Some(true),
+        "the router serves stitched traces"
+    );
+    let list = traces.get("traces").and_then(Value::as_array).unwrap();
+    let ours: Vec<&Value> = list
+        .iter()
+        .filter(|t| t.get("id").and_then(Value::as_str) == Some("00000000000000000000000077770001"))
+        .collect();
+    assert_eq!(
+        ours.len(),
+        1,
+        "exactly one stitched trace for the traced predict, got {list:?}"
+    );
+    let trace = ours[0];
+    assert_eq!(
+        trace.get("orphan_spans").and_then(Value::as_u64),
+        Some(0),
+        "no span lost its parent chain: {trace:?}"
+    );
+    let spans = trace.get("spans").and_then(Value::as_array).unwrap();
+
+    // The full hop chain: router route/dispatch over replica-side
+    // accept/queue_wait/forward/reply.
+    let route = span_with_stage(spans, "route").expect("route span");
+    let dispatch = span_with_stage(spans, "dispatch").expect("dispatch span");
+    let accept = span_with_stage(spans, "accept").expect("accept span");
+    for stage in ["queue_wait", "forward", "reply"] {
+        assert!(
+            span_with_stage(spans, stage).is_some(),
+            "missing {stage} span in {spans:?}"
+        );
+    }
+    assert_eq!(
+        route.get("node").and_then(Value::as_str),
+        Some("router"),
+        "route span recorded by the router"
+    );
+    assert!(
+        accept
+            .get("node")
+            .and_then(Value::as_str)
+            .is_some_and(|n| n.starts_with("replica-")),
+        "accept span recorded by a replica: {accept:?}"
+    );
+    assert!(route.get("parent").is_none(), "route is the trace root");
+    assert_eq!(
+        dispatch.get("parent").and_then(Value::as_str),
+        route.get("id").and_then(Value::as_str),
+        "dispatch parents under route"
+    );
+    assert_eq!(
+        accept.get("parent").and_then(Value::as_str),
+        dispatch.get("id").and_then(Value::as_str),
+        "accept parents under dispatch (context crossed the wire)"
+    );
+
+    // Containment on the unified timeline: every child interval nests
+    // inside its parent's, and the root covers every hop.
+    let interval = |span: &Value| -> (u64, u64) {
+        let start = span.get("start_us").and_then(Value::as_u64).unwrap();
+        let duration = span.get("duration_us").and_then(Value::as_u64).unwrap();
+        (start, start + duration)
+    };
+    for span in spans {
+        let Some(parent_id) = span.get("parent").and_then(Value::as_str) else {
+            continue;
+        };
+        let parent = spans
+            .iter()
+            .find(|s| s.get("id").and_then(Value::as_str) == Some(parent_id))
+            .expect("parent present in stitched span list");
+        let (child_start, child_end) = interval(span);
+        let (parent_start, parent_end) = interval(parent);
+        assert!(
+            child_start >= parent_start && child_end <= parent_end,
+            "child escapes parent: {span:?} vs {parent:?}"
+        );
+    }
+    let (root_start, root_end) = interval(route);
+    assert_eq!(root_start, 0, "the root starts the unified timeline");
+    assert_eq!(
+        trace.get("duration_us").and_then(Value::as_u64),
+        Some(root_end),
+        "trace duration is the root's"
+    );
+
+    router.shutdown();
+    replica_a.shutdown();
+    replica_b.shutdown();
+}
